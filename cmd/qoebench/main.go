@@ -1,0 +1,193 @@
+// Command qoebench regenerates the paper's tables and figures from
+// simulated corpora and prints them in paper-style text form.
+//
+// Usage:
+//
+//	qoebench [-experiment all|fig2|fig3|fig4|fig5|fig6|fig7|table1|table2|
+//	          table3|table4|table5|ablations|extensions]
+//	         [-sessions N] [-seed S] [-folds K] [-trees T]
+//
+// With -sessions 0 (default) the paper's corpus sizes are used
+// (Svc1: 2111, Svc2: 2216, Svc3: 1440); smaller values trade fidelity
+// for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"droppackets/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (comma-separated, or 'all')")
+		sessions   = flag.Int("sessions", 0, "sessions per service (0 = paper sizes)")
+		seed       = flag.Int64("seed", 42, "corpus and training seed")
+		folds      = flag.Int("folds", 5, "cross-validation folds")
+		trees      = flag.Int("trees", 100, "random-forest size")
+	)
+	flag.Parse()
+	if err := run(*experiment, experiments.Config{Seed: *seed, Sessions: *sessions, Folds: *folds, Trees: *trees}); err != nil {
+		fmt.Fprintln(os.Stderr, "qoebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, cfg experiments.Config) error {
+	s := experiments.NewSuite(cfg)
+	wanted := map[string]bool{}
+	for _, w := range strings.Split(which, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(w))] = true
+	}
+	all := wanted["all"]
+	ran := 0
+	steps := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"table1", func() (string, error) { return experiments.Table1(), nil }},
+		{"fig2", func() (string, error) { r, err := s.Fig2(); return format(r, err) }},
+		{"fig3", func() (string, error) { r, err := s.Fig3(); return format(r, err) }},
+		{"fig4", func() (string, error) {
+			r, err := s.Fig4()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig4(r), nil
+		}},
+		{"fig5", func() (string, error) {
+			r, err := s.Fig5()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig5(r), nil
+		}},
+		{"table2", func() (string, error) { r, err := s.Table2(); return format(r, err) }},
+		{"table3", func() (string, error) {
+			r, err := s.Table3()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable3(r), nil
+		}},
+		{"fig6", func() (string, error) {
+			r, err := s.Fig6()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig6(r), nil
+		}},
+		{"fig7", func() (string, error) {
+			// Widen the paper's exact SDR bands x3 so all QoE classes
+			// have instances in the simulated corpus.
+			r, err := s.Fig7(3)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatFig7(r), nil
+		}},
+		{"table4", func() (string, error) {
+			r, err := s.Table4()
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatTable4(r), nil
+		}},
+		{"table5", func() (string, error) { r, err := s.Table5(); return format(r, err) }},
+		{"ablations", func() (string, error) { return runAblations(s) }},
+		{"extensions", func() (string, error) { return runExtensions(s) }},
+	}
+	for _, step := range steps {
+		if !all && !wanted[step.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := step.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", step.name, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", step.name, time.Since(start).Seconds(), out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", which)
+	}
+	return nil
+}
+
+// format adapts Format()-carrying results.
+func format(r interface{ Format() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Format(), nil
+}
+
+func runAblations(s *experiments.Suite) (string, error) {
+	var b strings.Builder
+	if rows, err := s.AblationTemporalGrid(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatTemporalGrid(rows))
+	}
+	if rows, err := s.AblationForestSize(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatForestSize(rows))
+	}
+	if rows, err := s.AblationModelFamily(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatModelFamily(rows))
+	}
+	if rows, err := s.AblationSessionIDThresholds(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatSessionID(rows))
+	}
+	if rows, err := s.AblationConnReuse(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatConnReuse(rows))
+	}
+	if rows, err := s.AblationABRDesign(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatABRDesign(rows))
+	}
+	return b.String(), nil
+}
+
+func runExtensions(s *experiments.Suite) (string, error) {
+	var b strings.Builder
+	if rows, err := s.ExtensionFlowComparison(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatFlowComparison(rows))
+	}
+	if rows, err := s.ExtensionUserInteractions(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatUserInteractions(rows))
+	}
+	if rows, err := s.ExtensionCrossService(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatCrossService(rows))
+	}
+	if rows, err := s.ExtensionCrossNetwork(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatCrossNetwork(rows))
+	}
+	if rows, err := s.ExtensionEarlyDetection(); err != nil {
+		return "", err
+	} else {
+		b.WriteString(experiments.FormatEarlyDetection(rows))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"droppackets/internal/experiments"
+)
+
+// tinyCfg keeps CLI tests fast.
+var tinyCfg = experiments.Config{Seed: 5, Sessions: 80, Folds: 3, Trees: 8}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow")
+	}
+	if err := run("table1,fig3,fig2", tinyCfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nosuch", tinyCfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow")
+	}
+	if err := run(" TABLE1 ", tinyCfg); err != nil {
+		t.Errorf("case/space handling: %v", err)
+	}
+}

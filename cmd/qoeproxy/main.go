@@ -1,0 +1,190 @@
+// Command qoeproxy runs the SNI-sniffing transparent proxy as a
+// daemon: it relays TLS connections to their backends, exports one
+// transaction record per connection (CSV and/or Squid-format log), and
+// — when given a trained model — classifies each client's session QoE
+// on shutdown.
+//
+// Usage:
+//
+//	qoeproxy -listen 127.0.0.1:8443 -upstream 127.0.0.1:9443
+//	         [-resolve map.txt] [-out transactions.csv]
+//	         [-squid-log access.log] [-model model.json]
+//
+// The resolver map file holds "sni backend:port" lines; unlisted SNIs
+// fall back to -upstream. Stop with SIGINT/SIGTERM; per-client QoE
+// estimates (if -model is given) print before exit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"droppackets/internal/core"
+	"droppackets/internal/squidlog"
+	"droppackets/internal/tlsproxy"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8443", "address to listen on")
+		upstream  = flag.String("upstream", "", "default backend address (required unless every SNI is mapped)")
+		resolve   = flag.String("resolve", "", "file of 'sni backend:port' mappings")
+		outPath   = flag.String("out", "", "append transaction CSV records to this file")
+		squidPath = flag.String("squid-log", "", "append Squid-format log lines to this file")
+		modelPath = flag.String("model", "", "saved model (cmd/qoeinfer -save) for shutdown classification")
+	)
+	flag.Parse()
+	if err := run(*listen, *upstream, *resolve, *outPath, *squidPath, *modelPath); err != nil {
+		fmt.Fprintln(os.Stderr, "qoeproxy:", err)
+		os.Exit(1)
+	}
+}
+
+// loadResolver builds the SNI->backend mapping.
+func loadResolver(path, fallback string) (tlsproxy.Resolver, error) {
+	table := map[string]string{}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("resolve map line %d: want 'sni backend'", line)
+			}
+			table[fields[0]] = fields[1]
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if fallback == "" && len(table) == 0 {
+		return nil, fmt.Errorf("need -upstream or a non-empty -resolve map")
+	}
+	return func(sni string) (string, error) {
+		if addr, ok := table[sni]; ok {
+			return addr, nil
+		}
+		if fallback == "" {
+			return "", fmt.Errorf("no backend for SNI %q", sni)
+		}
+		return fallback, nil
+	}, nil
+}
+
+func run(listen, upstream, resolve, outPath, squidPath, modelPath string) error {
+	resolver, err := loadResolver(resolve, upstream)
+	if err != nil {
+		return err
+	}
+
+	var est *core.Estimator
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		est, err = core.LoadEstimator(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var outFile, squidFile *os.File
+	if outPath != "" {
+		if outFile, err = os.OpenFile(outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644); err != nil {
+			return err
+		}
+		defer outFile.Close()
+		fmt.Fprintln(outFile, "session,sni,start,end,up_bytes,down_bytes")
+	}
+	if squidPath != "" {
+		if squidFile, err = os.OpenFile(squidPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644); err != nil {
+			return err
+		}
+		defer squidFile.Close()
+	}
+
+	epoch := time.Now()
+	var mu sync.Mutex
+	byClient := map[string][]tlsproxy.Record{}
+	onTxn := func(r tlsproxy.Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		client := clientHost(r.ClientAddr)
+		byClient[client] = append(byClient[client], r)
+		txn := tlsproxy.ToCaptureTransactions([]tlsproxy.Record{r}, epoch)[0]
+		if outFile != nil {
+			fmt.Fprintf(outFile, "%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
+		}
+		if squidFile != nil {
+			fmt.Fprintln(squidFile, squidlog.FormatEntry(client, txn, float64(epoch.Unix())))
+		}
+		fmt.Fprintf(os.Stderr, "txn %-24s client=%s %.1fs up=%d down=%d\n",
+			r.SNI, client, r.End.Sub(r.Start).Seconds(), r.UpBytes, r.DownBytes)
+	}
+
+	proxy, err := tlsproxy.New(tlsproxy.Config{Resolver: resolver, OnTransaction: onTxn})
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- proxy.ListenAndServe(listen) }()
+	fmt.Fprintf(os.Stderr, "qoeproxy: listening on %s\n", listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+	fmt.Fprintln(os.Stderr, "qoeproxy: shutting down")
+	proxy.Close()
+
+	if est != nil {
+		mu.Lock()
+		defer mu.Unlock()
+		names := core.ClassNames(est.Metric())
+		clients := make([]string, 0, len(byClient))
+		for c := range byClient {
+			clients = append(clients, c)
+		}
+		sort.Strings(clients)
+		for _, c := range clients {
+			txns := tlsproxy.ToCaptureTransactions(byClient[c], epoch)
+			class, err := est.Classify(txns)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("client %-22s sessions-qoe=%s (%d transactions)\n", c, names[class], len(txns))
+		}
+	}
+	return nil
+}
+
+// clientHost strips the port from a client address.
+func clientHost(addr string) string {
+	if i := strings.LastIndex(addr, ":"); i > 0 {
+		return addr[:i]
+	}
+	return addr
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"droppackets/internal/core"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+	"droppackets/internal/squidlog"
+	"droppackets/internal/tlsproxy"
+)
+
+func TestLoadResolverMapAndFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "map.txt")
+	content := "# comment\ncdn-01.svc1.example 10.0.0.1:9443\napi.svc1.example 10.0.0.2:9443\n\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := loadResolver(path, "fallback:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ := r("cdn-01.svc1.example"); addr != "10.0.0.1:9443" {
+		t.Errorf("mapped SNI -> %s", addr)
+	}
+	if addr, _ := r("other.example"); addr != "fallback:443" {
+		t.Errorf("unmapped SNI -> %s", addr)
+	}
+}
+
+func TestLoadResolverNoFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "map.txt")
+	os.WriteFile(path, []byte("a.example 1.2.3.4:443\n"), 0o644)
+	r, err := loadResolver(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r("unmapped.example"); err == nil {
+		t.Error("unmapped SNI without fallback should error")
+	}
+}
+
+func TestLoadResolverErrors(t *testing.T) {
+	if _, err := loadResolver("", ""); err == nil {
+		t.Error("no map and no fallback accepted")
+	}
+	if _, err := loadResolver("/nonexistent/map", "x:1"); err == nil {
+		t.Error("missing map file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("one-field-only\n"), 0o644)
+	if _, err := loadResolver(bad, "x:1"); err == nil {
+		t.Error("malformed map line accepted")
+	}
+}
+
+func TestClientHost(t *testing.T) {
+	if clientHost("10.0.0.5:51234") != "10.0.0.5" {
+		t.Error("port not stripped")
+	}
+	if clientHost("noport") != "noport" {
+		t.Error("portless address mangled")
+	}
+}
+
+// freePort reserves a port briefly and returns it for reuse.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestRunEndToEnd drives the daemon: origin <- proxy <- client, CSV and
+// Squid outputs, then shutdown via SIGINT with model classification.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon integration is slow")
+	}
+	// Train and save a tiny model for the shutdown classification.
+	corpus, err := dataset.Build(dataset.Config{Seed: 2, Sessions: 60}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var training []core.TrainingSession
+	for _, r := range corpus.Records {
+		training = append(training, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{Metric: qoe.MetricCombined, Forest: forest.Config{NumTrees: 8, Seed: 2}})
+	if err := est.Train(training); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	// Origin behind the proxy.
+	origin := tlsproxy.NewOrigin(0)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go origin.Serve(ol)
+	defer origin.Close()
+
+	listen := freePort(t)
+	csvPath := filepath.Join(dir, "txns.csv")
+	squidPath := filepath.Join(dir, "access.log")
+	done := make(chan error, 1)
+	go func() {
+		done <- run(listen, ol.Addr().String(), "", csvPath, squidPath, modelPath)
+	}()
+
+	// Wait for the listener, then stream two connections through it.
+	var client *tlsproxy.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client, err = tlsproxy.Dial(listen, "cdn-01.svc1.example")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("dial daemon: %v", err)
+	}
+	if _, err := client.Fetch(120_000); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	second, err := tlsproxy.Dial(listen, "api.svc1.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Fetch(20_000); err != nil {
+		t.Fatal(err)
+	}
+	second.Close()
+
+	// Give the relay a moment to flush records, then stop the daemon.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csvData), "cdn-01.svc1.example") {
+		t.Errorf("CSV missing transaction:\n%s", csvData)
+	}
+	squidData, err := os.ReadFile(squidPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := squidlog.Parse(strings.NewReader(string(squidData)))
+	if err != nil {
+		t.Fatalf("squid log does not parse: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("%d squid entries, want 2", len(entries))
+	}
+}

@@ -1,0 +1,95 @@
+// Command sessionize runs the paper's session-identification heuristic
+// (§4.2) over a TLS transaction log and prints the detected session
+// boundaries.
+//
+// The input CSV has the cmd/tracegen transaction format
+// (session,sni,start,end,up_bytes,down_bytes); the session column is
+// treated as ground truth when -score is set, and ignored otherwise.
+//
+// Usage:
+//
+//	sessionize -txns transactions.csv [-w 3] [-nmin 2] [-dmin 0.5] [-score]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"droppackets/internal/dataset"
+	"droppackets/internal/sessionid"
+)
+
+func main() {
+	var (
+		txnsPath = flag.String("txns", "", "transactions CSV (required)")
+		w        = flag.Float64("w", sessionid.PaperParams.WindowSec, "window W in seconds")
+		nmin     = flag.Int("nmin", sessionid.PaperParams.MinCount, "minimum transactions in window")
+		dmin     = flag.Float64("dmin", sessionid.PaperParams.MinNewFrac, "minimum new-server fraction")
+		score    = flag.Bool("score", false, "score against the session column as ground truth")
+	)
+	flag.Parse()
+	if err := run(*txnsPath, sessionid.Params{WindowSec: *w, MinCount: *nmin, MinNewFrac: *dmin}, *score); err != nil {
+		fmt.Fprintln(os.Stderr, "sessionize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, params sessionid.Params, score bool) error {
+	if path == "" {
+		return fmt.Errorf("-txns is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bySession, order, err := dataset.ReadTransactionsCSV(f)
+	if err != nil {
+		return err
+	}
+
+	// Flatten into one time-ordered stream with ground-truth labels.
+	sessionIdx := map[string]int{}
+	for i, id := range order {
+		sessionIdx[id] = i
+	}
+	var stream []sessionid.Transaction
+	for id, txns := range bySession {
+		firstIdx := -1
+		for i, t := range txns {
+			if firstIdx < 0 || t.Start < txns[firstIdx].Start {
+				firstIdx = i
+			}
+		}
+		for i, t := range txns {
+			stream = append(stream, sessionid.Transaction{
+				Start:      t.Start,
+				End:        t.End,
+				SNI:        t.SNI,
+				SessionIdx: sessionIdx[id],
+				First:      i == firstIdx,
+			})
+		}
+	}
+	sort.Slice(stream, func(a, b int) bool { return stream[a].Start < stream[b].Start })
+
+	pred := sessionid.Detect(stream, params)
+	boundaries := 0
+	for i, isNew := range pred {
+		if isNew {
+			boundaries++
+			fmt.Printf("session boundary at t=%.2fs (sni=%s)\n", stream[i].Start, stream[i].SNI)
+		}
+	}
+	fmt.Printf("%d transactions, %d detected session starts\n", len(stream), boundaries)
+
+	if score {
+		conf := sessionid.Evaluate(stream, params)
+		fmt.Println(conf.Format(sessionid.ClassNames))
+		correct, total := sessionid.SessionsRecovered(stream, params)
+		fmt.Printf("session starts recovered: %d/%d\n", correct, total)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/sessionid"
+)
+
+// writeStream exports a back-to-back chain in the CSV format the tool
+// expects.
+func writeStream(t *testing.T, sessions int) string {
+	t.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: 7, Sessions: sessions}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := make([][]capture.TLSTransaction, len(c.Records))
+	durations := make([]float64, len(c.Records))
+	for i, r := range c.Records {
+		lists[i] = r.Capture.TLS
+		durations[i] = r.DurationSec
+	}
+	stream := sessionid.Concat(lists, durations)
+	path := filepath.Join(t.TempDir(), "stream.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "session,sni,start,end,up_bytes,down_bytes")
+	for _, txn := range stream {
+		fmt.Fprintf(f, "Svc1-%d,%s,%.3f,%.3f,0,0\n", txn.SessionIdx, txn.SNI, txn.Start, txn.End)
+	}
+	return path
+}
+
+func TestRunDetectAndScore(t *testing.T) {
+	path := writeStream(t, 5)
+	if err := run(path, sessionid.PaperParams, true); err != nil {
+		t.Fatalf("run with scoring: %v", err)
+	}
+	if err := run(path, sessionid.PaperParams, false); err != nil {
+		t.Fatalf("run without scoring: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", sessionid.PaperParams, false); err == nil {
+		t.Error("missing path accepted")
+	}
+	if err := run("/nonexistent/file.csv", sessionid.PaperParams, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(bad, []byte("session,sni,start,end,up_bytes,down_bytes\nx,y,NOT,1,2,3\n"), 0o644)
+	if err := run(bad, sessionid.PaperParams, false); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+}

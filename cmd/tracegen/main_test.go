@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"droppackets/internal/pcap"
+)
+
+func TestEmitTraces(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	if err := emitTraces(5, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasPrefix(lines[0], "trace,class") {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Errorf("only %d lines for 5 traces", len(lines))
+	}
+}
+
+func TestEmitDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := emitDataset(6, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"features.csv", "transactions.csv", "links.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s missing: %v", name, err)
+		}
+	}
+}
+
+func TestEmitStream(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "stream.csv")
+	if err := emitStream(4, "Svc1", 3, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Svc1-0") {
+		t.Error("stream missing session ids")
+	}
+	if err := emitStream(2, "SvcX", 3, out); err == nil {
+		t.Error("unknown service accepted")
+	}
+}
+
+func TestEmitPcap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.pcap")
+	if err := emitPcap("Svc1", 0, 4, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatalf("output not a valid pcap: %v", err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 100 {
+		t.Errorf("only %d packets", len(pkts))
+	}
+	if err := emitPcap("SvcX", 0, 4, out); err == nil {
+		t.Error("unknown service accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Proxy inference: the paper's collection path over real sockets. A
+// synthetic CDN origin, the SNI-sniffing transparent proxy and a
+// segment-fetching video client all run in this process on localhost;
+// the proxy's per-connection transaction records — start/end, byte
+// counts, SNI, nothing else — feed a trained estimator that grades the
+// session's QoE.
+//
+// Run with: go run ./examples/proxy_inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"droppackets/internal/core"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+	"droppackets/internal/tlsproxy"
+)
+
+func main() {
+	// Origin: a CDN edge paced at 1.5 MB/s (a mid-quality link).
+	origin := tlsproxy.NewOrigin(1_500_000)
+	ol := listen()
+	go origin.Serve(ol)
+	defer origin.Close()
+
+	// Transparent proxy: resolves every SNI to the origin and reports
+	// transaction records.
+	var mu sync.Mutex
+	var records []tlsproxy.Record
+	proxy, err := tlsproxy.New(tlsproxy.Config{
+		Resolver: tlsproxy.StaticResolver(ol.Addr().String()),
+		OnTransaction: func(r tlsproxy.Record) {
+			mu.Lock()
+			records = append(records, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl := listen()
+	go proxy.Serve(pl)
+	defer proxy.Close()
+
+	// A miniature video session through the proxy: fetch a manifest
+	// from the API host, then segments from two CDN hosts, adapting
+	// segment size to measured throughput like a (very small) player.
+	epoch := time.Now()
+	fmt.Println("streaming a 12-segment session through the proxy...")
+	api := dial(pl, "api.svc1.example")
+	fetch(api, 60_000) // manifest
+	api.Close()
+
+	ladder := []int64{400_000, 900_000, 1_800_000} // bytes per 5s segment
+	level := 0
+	hosts := []string{"cdn-03.svc1.example", "cdn-07.svc1.example"}
+	conns := map[string]*tlsproxy.Client{}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for seg := 0; seg < 12; seg++ {
+		host := hosts[seg/8%len(hosts)]
+		c := conns[host]
+		if c == nil {
+			c = dial(pl, host)
+			conns[host] = c
+		}
+		elapsed, err := c.Fetch(ladder[level])
+		if err != nil {
+			log.Fatal(err)
+		}
+		tput := float64(ladder[level]) / elapsed.Seconds() // bytes/s
+		// Primitive ABR: move toward the highest level sustainable at
+		// 80% of measured throughput.
+		want := 0
+		for i, b := range ladder {
+			if float64(b)/5 <= 0.8*tput {
+				want = i
+			}
+		}
+		if want > level {
+			level++
+		} else if want < level {
+			level--
+		}
+		fmt.Printf("  segment %2d from %-22s level=%d tput=%.0f kB/s\n", seg, host, level, tput/1000)
+	}
+	for h, c := range conns {
+		c.Close()
+		delete(conns, h)
+	}
+	// Give the proxy a moment to flush the final transaction records.
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	txns := tlsproxy.ToCaptureTransactions(records, epoch)
+	mu.Unlock()
+	fmt.Printf("\nproxy observed %d TLS transactions:\n", len(txns))
+	for _, t := range txns {
+		fmt.Printf("  %-24s %6.2fs..%6.2fs  up=%7d  down=%9d\n", t.SNI, t.Start, t.End, t.UpBytes, t.DownBytes)
+	}
+
+	// Train the estimator on simulated Svc1 sessions and classify the
+	// live capture.
+	fmt.Println("\ntraining estimator on simulated corpus...")
+	corpus, err := dataset.Build(dataset.Config{Seed: 11, Sessions: 400}, has.Svc1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var training []core.TrainingSession
+	for _, r := range corpus.Records {
+		training = append(training, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{
+		Metric: qoe.MetricCombined,
+		Forest: forest.Config{NumTrees: 60, MinLeaf: 2, Seed: 11},
+	})
+	if err := est.Train(training); err != nil {
+		log.Fatal(err)
+	}
+	probs, err := est.ClassifyProba(txns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := core.ClassNames(qoe.MetricCombined)
+	fmt.Print("\nestimated combined QoE: ")
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	fmt.Printf("%s (", names[best])
+	for i, p := range probs {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s=%.2f", names[i], p)
+	}
+	fmt.Println(")")
+}
+
+func listen() net.Listener {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return l
+}
+
+func dial(l net.Listener, sni string) *tlsproxy.Client {
+	c, err := tlsproxy.Dial(l.Addr().String(), sni)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func fetch(c *tlsproxy.Client, size int64) {
+	if _, err := c.Fetch(size); err != nil {
+		log.Fatal(err)
+	}
+}

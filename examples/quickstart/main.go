@@ -1,0 +1,72 @@
+// Quickstart: train a QoE estimator on a simulated labeled corpus and
+// classify held-out sessions from their TLS transactions alone.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droppackets/internal/core"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+)
+
+func main() {
+	// 1. Generate a labeled corpus for the Svc1 profile: every session
+	// is streamed through the HAS simulator under a random network
+	// trace, producing TLS transactions (the model input) and
+	// player-side ground truth (the label).
+	const trainSessions = 500
+	corpus, err := dataset.Build(dataset.Config{Seed: 1, Sessions: trainSessions + 20}, has.Svc1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, holdout := corpus.Records[:trainSessions], corpus.Records[trainSessions:]
+
+	// 2. Train the combined-QoE estimator on the 38 TLS features.
+	var sessions []core.TrainingSession
+	for _, r := range train {
+		sessions = append(sessions, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{
+		Metric: qoe.MetricCombined,
+		Forest: forest.Config{NumTrees: 100, MinLeaf: 2, Seed: 1},
+	})
+	if err := est.Train(sessions); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Classify the held-out sessions and compare with ground truth.
+	names := core.ClassNames(qoe.MetricCombined)
+	correct := 0
+	fmt.Println("session  predicted  actual   link-kbps  duration")
+	for _, r := range holdout {
+		class, err := est.Classify(r.Capture.TLS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := r.QoE.Label(qoe.MetricCombined)
+		mark := " "
+		if class == actual {
+			correct++
+			mark = "*"
+		}
+		fmt.Printf("%7d  %-9s  %-6s %s %8.0f  %6.0fs\n",
+			r.Capture.ID, names[class], names[actual], mark, r.AvgLinkKbps, r.DurationSec)
+	}
+	fmt.Printf("\n%d/%d held-out sessions classified correctly\n", correct, len(holdout))
+
+	// 4. The most informative features, as in the paper's Figure 6.
+	top, err := est.Importances(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop features:")
+	for _, imp := range top {
+		fmt.Printf("  %-16s %.3f\n", imp.Feature, imp.Importance)
+	}
+}

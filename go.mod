@@ -1,0 +1,3 @@
+module droppackets
+
+go 1.22

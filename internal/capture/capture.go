@@ -1,0 +1,405 @@
+// Package capture models the two network views the paper compares: the
+// coarse-grained transparent-proxy view (TLS transactions carrying only
+// start/end times, uplink/downlink byte counts and the SNI hostname,
+// §2.2) and the fine-grained packet-trace view. It converts a simulated
+// HAS session's download schedule into HTTP transactions, collapses
+// those onto persistent TLS connections exactly the way a proxy would
+// observe them (connection reuse, keep-alive request caps, idle
+// timeouts), and can lazily synthesise the corresponding packet trace.
+package capture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"droppackets/internal/has"
+	"droppackets/internal/netem"
+	"droppackets/internal/qoe"
+)
+
+// HTTPTransaction is one request/response exchange as seen on the wire.
+type HTTPTransaction struct {
+	Host       string
+	Start, End float64
+	DownBytes  int64
+	UpBytes    int64
+	Kind       has.DownloadKind
+}
+
+// TLSTransaction is the proxy's record of one TLS connection: the
+// coarse-grained unit of the paper's inference data. Sizes include TLS
+// record and handshake overhead, as a proxy byte counter would.
+type TLSTransaction struct {
+	SNI        string
+	Start, End float64
+	DownBytes  int64
+	UpBytes    int64
+	// HTTPCount is ground truth (how many HTTP transactions the
+	// connection carried); it is NOT visible to the inference features.
+	HTTPCount int
+}
+
+// Duration returns the transaction's lifetime in seconds.
+func (t TLSTransaction) Duration() float64 { return t.End - t.Start }
+
+// ActivitySpan records one exchange's contribution to a connection's
+// byte timeline. It is ground truth the proxy does NOT export (TLS
+// features never see it); the netflow package uses it to emulate
+// flow-record collection, which observes per-packet timing.
+type ActivitySpan struct {
+	Start, End float64
+	Down, Up   int64
+}
+
+// Packet is one packet of the fine-grained trace.
+type Packet struct {
+	Time       float64
+	Size       int
+	Uplink     bool
+	Retransmit bool
+	// RTTms is the RTT estimate a passive analyser would associate with
+	// this packet (data packets only; 0 on pure ACKs).
+	RTTms float64
+}
+
+// TLS protocol overhead applied by the capture layer, representative of
+// TLS 1.2/1.3 with a typical certificate chain.
+const (
+	handshakeUpBytes   = 700
+	handshakeDownBytes = 4200
+	recordOverheadPct  = 0.02
+	requestPacketMax   = 1200
+	ackSize            = 52
+)
+
+// SessionCapture bundles everything observed for one streaming session.
+type SessionCapture struct {
+	Service     string
+	ID          int
+	DurationSec float64
+	QoE         qoe.Session
+	HTTP        []HTTPTransaction
+	TLS         []TLSTransaction
+	// ConnActivity holds, parallel to TLS, each connection's byte
+	// timeline (handshake plus one span per HTTP exchange), used only
+	// by flow-record emulation.
+	ConnActivity [][]ActivitySpan
+
+	// downloads retains transfer detail for lazy packetization; nil
+	// after DropPacketDetail.
+	downloads []has.Download
+}
+
+// conn tracks one TLS connection while HTTP transactions are assigned.
+type conn struct {
+	host        string
+	firstStart  float64
+	lastEnd     float64
+	down, up    int64
+	requests    int
+	maxRequests int
+	spans       []ActivitySpan
+}
+
+// hostPlan decides which hostname serves each download kind.
+type hostPlan struct {
+	api       string
+	telemetry string
+	license   string
+	static    string
+	cdns      []string
+	primary   int
+}
+
+func newHostPlan(svc string, p *has.ServiceProfile, rng *rand.Rand) *hostPlan {
+	l := strings.ToLower(svc)
+	n := p.CDNHostsMin
+	if p.CDNHostsMax > p.CDNHostsMin {
+		n += rng.Intn(p.CDNHostsMax - p.CDNHostsMin + 1)
+	}
+	// Draw the session's CDN hosts from a service-wide pool of 24 edge
+	// nodes; distinct sessions usually land on distinct subsets, which
+	// is what the session-identification heuristic exploits (§4.2).
+	pool := rng.Perm(24)
+	cdns := make([]string, n)
+	for i := 0; i < n; i++ {
+		cdns[i] = fmt.Sprintf("cdn-%02d.%s.example", pool[i], l)
+	}
+	return &hostPlan{
+		api:       fmt.Sprintf("api.%s.example", l),
+		telemetry: fmt.Sprintf("telemetry.%s.example", l),
+		license:   fmt.Sprintf("license.%s.example", l),
+		static:    fmt.Sprintf("static.%s.example", l),
+		cdns:      cdns,
+		primary:   0,
+	}
+}
+
+// hostFor assigns a hostname to a download, occasionally rotating the
+// primary CDN host mid-session as real players do.
+func (hp *hostPlan) hostFor(d has.Download, rng *rand.Rand) string {
+	switch d.Kind {
+	case has.Manifest:
+		return hp.api
+	case has.Beacon:
+		return hp.telemetry
+	case has.Auxiliary:
+		if d.Index == 0 {
+			return hp.license
+		}
+		return hp.static
+	case has.Preconnect:
+		return hp.cdns[d.Index%len(hp.cdns)]
+	case has.AudioSegment:
+		// Audio often rides a different edge than video.
+		return hp.cdns[(hp.primary+1)%len(hp.cdns)]
+	default:
+		if d.Kind == has.VideoSegment && rng.Float64() < 0.02 && len(hp.cdns) > 1 {
+			hp.primary = (hp.primary + 1 + rng.Intn(len(hp.cdns)-1)) % len(hp.cdns)
+		}
+		return hp.cdns[hp.primary]
+	}
+}
+
+// Build converts a simulated session into its on-the-wire views. rng
+// drives host assignment and keep-alive caps only; it must be distinct
+// per session for realistic host diversity.
+func Build(svc string, id int, p *has.ServiceProfile, res *has.Result, rng *rand.Rand) *SessionCapture {
+	sc := &SessionCapture{
+		Service:     svc,
+		ID:          id,
+		DurationSec: res.DurationSec,
+		QoE:         res.QoE,
+		downloads:   res.Downloads,
+	}
+	hp := newHostPlan(svc, p, rng)
+
+	open := map[string][]*conn{}
+	var closed []*conn
+
+	sc.HTTP = make([]HTTPTransaction, 0, len(res.Downloads))
+	for _, d := range res.Downloads {
+		host := hp.hostFor(d, rng)
+		if d.Kind == has.Preconnect {
+			// A preconnect opens a TLS connection with no HTTP exchange;
+			// later requests to the host reuse it.
+			c := &conn{
+				host:        host,
+				firstStart:  d.Transfer.Start,
+				lastEnd:     d.Transfer.End,
+				down:        handshakeDownBytes,
+				up:          handshakeUpBytes,
+				maxRequests: maxReq(p.ConnMaxRequests, rng),
+				spans: []ActivitySpan{{
+					Start: d.Transfer.Start, End: d.Transfer.End,
+					Down: handshakeDownBytes, Up: handshakeUpBytes,
+				}},
+			}
+			open[host] = append(open[host], c)
+			closed = append(closed, c)
+			continue
+		}
+		sc.HTTP = append(sc.HTTP, HTTPTransaction{
+			Host:      host,
+			Start:     d.Transfer.Start,
+			End:       d.Transfer.End,
+			DownBytes: d.Transfer.Bytes,
+			UpBytes:   d.Transfer.UplinkBytes,
+			Kind:      d.Kind,
+		})
+	}
+	// Proxy view: assign HTTP transactions onto TLS connections in time
+	// order, reusing a connection when it is idle for less than the
+	// service's keep-alive timeout and under its request cap.
+	order := make([]int, len(sc.HTTP))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sc.HTTP[order[a]].Start < sc.HTTP[order[b]].Start })
+
+	for _, i := range order {
+		h := sc.HTTP[i]
+		var c *conn
+		for _, cand := range open[h.Host] {
+			if cand.requests >= cand.maxRequests {
+				continue
+			}
+			if h.Start >= cand.lastEnd && h.Start-cand.lastEnd <= p.ConnIdleTimeoutSec {
+				c = cand
+				break
+			}
+		}
+		if c == nil {
+			c = &conn{
+				host:        h.Host,
+				firstStart:  h.Start,
+				lastEnd:     h.Start,
+				down:        handshakeDownBytes,
+				up:          handshakeUpBytes,
+				maxRequests: maxReq(p.ConnMaxRequests, rng),
+				spans: []ActivitySpan{{
+					Start: h.Start, End: h.Start + 0.05,
+					Down: handshakeDownBytes, Up: handshakeUpBytes,
+				}},
+			}
+			open[h.Host] = append(open[h.Host], c)
+			closed = append(closed, c)
+		}
+		c.requests++
+		down := h.DownBytes + int64(float64(h.DownBytes)*recordOverheadPct)
+		up := h.UpBytes + int64(float64(h.UpBytes)*recordOverheadPct)
+		c.down += down
+		c.up += up
+		c.spans = append(c.spans, ActivitySpan{Start: h.Start, End: h.End, Down: down, Up: up})
+		if h.End > c.lastEnd {
+			c.lastEnd = h.End
+		}
+	}
+	type pair struct {
+		txn   TLSTransaction
+		spans []ActivitySpan
+	}
+	pairs := make([]pair, 0, len(closed))
+	for _, c := range closed {
+		pairs = append(pairs, pair{
+			txn: TLSTransaction{
+				SNI:   c.host,
+				Start: c.firstStart,
+				// The connection lingers idle until the server times it
+				// out; the proxy reports the transaction only then
+				// (§4.3: no real-time inference, and §2.2: overlap past
+				// player close).
+				End:       c.lastEnd + p.ConnIdleTimeoutSec,
+				DownBytes: c.down,
+				UpBytes:   c.up,
+				HTTPCount: c.requests,
+			},
+			spans: c.spans,
+		})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].txn.Start < pairs[b].txn.Start })
+	sc.TLS = make([]TLSTransaction, len(pairs))
+	sc.ConnActivity = make([][]ActivitySpan, len(pairs))
+	for i, p := range pairs {
+		sc.TLS[i] = p.txn
+		sc.ConnActivity[i] = p.spans
+	}
+	return sc
+}
+
+// maxReq randomises the per-connection keep-alive cap around the
+// service's nominal value (front-ends are rarely exact).
+func maxReq(nominal int, rng *rand.Rand) int {
+	lo := nominal - nominal/3
+	if lo < 1 {
+		lo = 1
+	}
+	return lo + rng.Intn(nominal-lo+1)
+}
+
+// DropPacketDetail releases the per-transfer detail retained for
+// packetization, shrinking the capture to its transaction views.
+func (sc *SessionCapture) DropPacketDetail() { sc.downloads = nil }
+
+// HasPacketDetail reports whether Packetize can still be called.
+func (sc *SessionCapture) HasPacketDetail() bool { return sc.downloads != nil }
+
+// PacketCount returns the exact number of packets Packetize would
+// emit, without materialising them: per download one request packet,
+// the per-rate-segment data packets, one ACK per two data packets and
+// the recorded retransmissions.
+func (sc *SessionCapture) PacketCount() int {
+	n := 0
+	for _, d := range sc.downloads {
+		data := 0
+		for _, seg := range d.Transfer.Segments {
+			data += int((seg.Bytes + netem.MSS - 1) / netem.MSS)
+		}
+		n += 1 + data + data/2 + d.Transfer.Retransmits
+	}
+	return n
+}
+
+// Packetize synthesises the fine-grained packet trace of the session
+// from the recorded transfer timelines: one request packet per HTTP
+// transaction, MSS-sized data packets spread across each transfer's
+// rate segments, periodic ACKs, and retransmissions injected where the
+// transfer model recorded losses. Packets are returned in time order.
+func (sc *SessionCapture) Packetize(rng *rand.Rand) ([]Packet, error) {
+	if sc.downloads == nil {
+		return nil, fmt.Errorf("capture: packet detail dropped for session %s/%d", sc.Service, sc.ID)
+	}
+	pkts := make([]Packet, 0, sc.PacketCount())
+	for _, d := range sc.downloads {
+		tr := d.Transfer
+		req := tr.UplinkBytes
+		if req > requestPacketMax {
+			req = requestPacketMax
+		}
+		if req < 60 {
+			req = 60
+		}
+		pkts = append(pkts, Packet{Time: tr.Start, Size: int(req), Uplink: true})
+
+		dataTotal := int((tr.Bytes + netem.MSS - 1) / netem.MSS)
+		retransLeft := tr.Retransmits
+		emitted := 0
+		for _, seg := range tr.Segments {
+			n := int((seg.Bytes + netem.MSS - 1) / netem.MSS)
+			if n == 0 {
+				continue
+			}
+			dt := (seg.End - seg.Start) / float64(n)
+			for j := 0; j < n; j++ {
+				ts := seg.Start + dt*float64(j)
+				size := netem.MSS
+				if emitted == dataTotal-1 {
+					if rem := int(tr.Bytes) % netem.MSS; rem != 0 {
+						size = rem
+					}
+				}
+				rtt := tr.MeanRTTms * (0.9 + 0.2*rng.Float64())
+				pkts = append(pkts, Packet{Time: ts, Size: size, RTTms: rtt})
+				emitted++
+				if emitted%2 == 0 {
+					pkts = append(pkts, Packet{Time: ts + 0.001, Size: ackSize, Uplink: true})
+				}
+				// Inject retransmissions uniformly across the transfer.
+				if retransLeft > 0 && rng.Float64() < float64(tr.Retransmits)/float64(dataTotal+1) {
+					pkts = append(pkts, Packet{
+						Time: ts + tr.MeanRTTms/1000, Size: netem.MSS,
+						Retransmit: true, RTTms: tr.MaxRTTms,
+					})
+					retransLeft--
+				}
+			}
+		}
+		// Any loss events not placed by the probabilistic sprinkle above
+		// are appended at the tail of the transfer.
+		for ; retransLeft > 0; retransLeft-- {
+			pkts = append(pkts, Packet{Time: tr.End, Size: netem.MSS, Retransmit: true, RTTms: tr.MaxRTTms})
+		}
+	}
+	sort.Slice(pkts, func(a, b int) bool { return pkts[a].Time < pkts[b].Time })
+	return pkts, nil
+}
+
+// TotalTLSBytes sums both directions over the TLS view.
+func (sc *SessionCapture) TotalTLSBytes() (down, up int64) {
+	for _, t := range sc.TLS {
+		down += t.DownBytes
+		up += t.UpBytes
+	}
+	return down, up
+}
+
+// MeanHTTPPerTLS returns the session's HTTP-transaction-per-TLS ratio,
+// the coarse-graining factor of Figure 2 (paper: 12.1 on Svc1).
+func (sc *SessionCapture) MeanHTTPPerTLS() float64 {
+	if len(sc.TLS) == 0 {
+		return 0
+	}
+	return float64(len(sc.HTTP)) / float64(len(sc.TLS))
+}

@@ -1,0 +1,336 @@
+package capture
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"droppackets/internal/has"
+	"droppackets/internal/netem"
+	"droppackets/internal/stats"
+	"droppackets/internal/trace"
+)
+
+// simResult runs one session end-to-end for capture testing.
+func simResult(t *testing.T, p *has.ServiceProfile, kbps, dur float64, seed int64) *has.Result {
+	t.Helper()
+	tr := &trace.Trace{Name: "flat", Class: trace.Broadband,
+		Samples: []trace.Sample{{Kbps: kbps, Duration: dur}}}
+	rng := stats.NewRNG(seed)
+	link := netem.NewLink(tr, rng)
+	res, err := has.Simulate(p, link, dur, rng)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return res
+}
+
+func buildCapture(t *testing.T, seed int64) (*has.ServiceProfile, *SessionCapture) {
+	t.Helper()
+	p := has.Svc1()
+	res := simResult(t, p, 4000, 240, seed)
+	return p, Build("Svc1", 0, p, res, stats.NewRNG(seed+1))
+}
+
+func TestBuildHTTPMatchesDownloads(t *testing.T) {
+	p := has.Svc1()
+	res := simResult(t, p, 4000, 240, 1)
+	sc := Build("Svc1", 0, p, res, stats.NewRNG(2))
+	preconnects := 0
+	for _, d := range res.Downloads {
+		if d.Kind == has.Preconnect {
+			preconnects++
+		}
+	}
+	if len(sc.HTTP) != len(res.Downloads)-preconnects {
+		t.Errorf("HTTP count %d, want downloads %d minus %d preconnects",
+			len(sc.HTTP), len(res.Downloads), preconnects)
+	}
+	for _, h := range sc.HTTP {
+		if h.Host == "" {
+			t.Fatal("HTTP transaction without host")
+		}
+		if h.End < h.Start {
+			t.Fatal("HTTP transaction ends before start")
+		}
+	}
+}
+
+func TestBuildHostAssignment(t *testing.T) {
+	_, sc := buildCapture(t, 3)
+	kindHosts := map[has.DownloadKind]map[string]bool{}
+	for _, h := range sc.HTTP {
+		if kindHosts[h.Kind] == nil {
+			kindHosts[h.Kind] = map[string]bool{}
+		}
+		kindHosts[h.Kind][h.Host] = true
+	}
+	for host := range kindHosts[has.Manifest] {
+		if host != "api.svc1.example" {
+			t.Errorf("manifest from %s", host)
+		}
+	}
+	for host := range kindHosts[has.Beacon] {
+		if host != "telemetry.svc1.example" {
+			t.Errorf("beacon from %s", host)
+		}
+	}
+	for host := range kindHosts[has.VideoSegment] {
+		if !strings.HasPrefix(host, "cdn-") || !strings.HasSuffix(host, ".svc1.example") {
+			t.Errorf("video from %s", host)
+		}
+	}
+}
+
+func TestTLSGroupingInvariants(t *testing.T) {
+	p, sc := buildCapture(t, 4)
+	if len(sc.TLS) == 0 {
+		t.Fatal("no TLS transactions")
+	}
+	// HTTP transaction counts are conserved.
+	var httpTotal int
+	for _, txn := range sc.TLS {
+		httpTotal += txn.HTTPCount
+		if txn.End-txn.Start < p.ConnIdleTimeoutSec {
+			t.Errorf("TLS txn shorter than the idle linger: %g", txn.End-txn.Start)
+		}
+		if txn.DownBytes < handshakeDownBytes || txn.UpBytes < handshakeUpBytes {
+			t.Error("TLS txn smaller than a handshake")
+		}
+	}
+	preconnTLS := 0
+	for _, txn := range sc.TLS {
+		if txn.HTTPCount == 0 {
+			preconnTLS++
+		}
+	}
+	if httpTotal != len(sc.HTTP) {
+		t.Errorf("TLS HTTPCounts sum to %d, want %d", httpTotal, len(sc.HTTP))
+	}
+	// Time-ordering of the report.
+	if !sort.SliceIsSorted(sc.TLS, func(a, b int) bool { return sc.TLS[a].Start < sc.TLS[b].Start }) {
+		t.Error("TLS transactions not sorted by start")
+	}
+	// TLS bytes cover HTTP bytes plus overhead.
+	tlsDown, tlsUp := sc.TotalTLSBytes()
+	var httpDown, httpUp int64
+	for _, h := range sc.HTTP {
+		httpDown += h.DownBytes
+		httpUp += h.UpBytes
+	}
+	if tlsDown <= httpDown || tlsUp <= httpUp {
+		t.Error("TLS bytes should exceed raw HTTP bytes (handshake + record overhead)")
+	}
+}
+
+func TestConnReuseHonorsMaxRequests(t *testing.T) {
+	p := has.Svc1()
+	p.ConnMaxRequests = 3
+	res := simResult(t, p, 4000, 240, 5)
+	sc := Build("Svc1", 0, p, res, stats.NewRNG(6))
+	for _, txn := range sc.TLS {
+		// maxReq randomises in [nominal-nominal/3, nominal]; with
+		// nominal 3 the cap is at most 3.
+		if txn.HTTPCount > 3 {
+			t.Errorf("connection carried %d requests, cap 3", txn.HTTPCount)
+		}
+	}
+}
+
+func TestIdleTimeoutControlsCollapse(t *testing.T) {
+	p := has.Svc1()
+	res := simResult(t, p, 4000, 240, 7)
+	shortIdle := *p
+	shortIdle.ConnIdleTimeoutSec = 0.5
+	scShort := Build("Svc1", 0, &shortIdle, res, stats.NewRNG(8))
+	scLong := Build("Svc1", 0, p, res, stats.NewRNG(8))
+	if len(scShort.TLS) <= len(scLong.TLS) {
+		t.Errorf("short idle timeout gave %d TLS txns, long gave %d; want more with short",
+			len(scShort.TLS), len(scLong.TLS))
+	}
+	if scShort.MeanHTTPPerTLS() >= scLong.MeanHTTPPerTLS() {
+		t.Error("collapse factor should grow with idle timeout")
+	}
+}
+
+func TestPacketizeConsistency(t *testing.T) {
+	_, sc := buildCapture(t, 9)
+	want := sc.PacketCount()
+	pkts, err := sc.Packetize(stats.NewRNG(10))
+	if err != nil {
+		t.Fatalf("Packetize: %v", err)
+	}
+	if len(pkts) != want {
+		t.Errorf("got %d packets, PacketCount predicted %d", len(pkts), want)
+	}
+	if !sort.SliceIsSorted(pkts, func(a, b int) bool { return pkts[a].Time < pkts[b].Time }) {
+		t.Error("packets not time-ordered")
+	}
+	var down int64
+	var retrans int
+	for _, pk := range pkts {
+		if pk.Size <= 0 || pk.Size > netem.MSS {
+			t.Fatalf("packet size %d outside (0, MSS]", pk.Size)
+		}
+		if !pk.Uplink {
+			if !pk.Retransmit {
+				down += int64(pk.Size)
+			} else {
+				retrans++
+			}
+			if pk.RTTms <= 0 {
+				t.Fatal("downlink data packet without RTT sample")
+			}
+		}
+	}
+	// Downlink payload matches the HTTP view (modulo rounding per
+	// transfer's final packet).
+	var httpDown int64
+	for _, h := range sc.HTTP {
+		httpDown += h.DownBytes
+	}
+	diff := down - httpDown
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.02*float64(httpDown) {
+		t.Errorf("packetized %d downlink bytes, HTTP view has %d", down, httpDown)
+	}
+	if retrans == 0 {
+		// Loss on a broadband link is rare but the corpus-level check is
+		// in netem tests; just require the field round-trips.
+		t.Log("no retransmissions in this session (broadband link)")
+	}
+}
+
+func TestDropPacketDetail(t *testing.T) {
+	_, sc := buildCapture(t, 11)
+	if !sc.HasPacketDetail() {
+		t.Fatal("fresh capture should have packet detail")
+	}
+	sc.DropPacketDetail()
+	if sc.HasPacketDetail() {
+		t.Error("detail not dropped")
+	}
+	if _, err := sc.Packetize(stats.NewRNG(1)); err == nil {
+		t.Error("Packetize after DropPacketDetail should fail")
+	}
+}
+
+func TestMeanHTTPPerTLS(t *testing.T) {
+	_, sc := buildCapture(t, 12)
+	got := sc.MeanHTTPPerTLS()
+	want := float64(len(sc.HTTP)) / float64(len(sc.TLS))
+	if got != want {
+		t.Errorf("MeanHTTPPerTLS = %g, want %g", got, want)
+	}
+	empty := &SessionCapture{}
+	if empty.MeanHTTPPerTLS() != 0 {
+		t.Error("empty capture should report 0")
+	}
+}
+
+func TestPreconnectCreatesReusableConn(t *testing.T) {
+	// The preconnected CDN connection must absorb the first segment
+	// requests: at least one TLS transaction on a cdn host must start
+	// within the first second.
+	_, sc := buildCapture(t, 13)
+	early, reused := 0, 0
+	for _, txn := range sc.TLS {
+		if strings.HasPrefix(txn.SNI, "cdn-") && txn.Start < 1 {
+			early++
+			if txn.HTTPCount > 0 {
+				reused++
+			}
+		}
+	}
+	if early == 0 {
+		t.Error("no early CDN TLS transaction (preconnect missing)")
+	}
+	// The primary CDN's preconnect must be reused for segment requests;
+	// the secondary's may stay idle if the player never rotates to it.
+	if reused == 0 {
+		t.Error("no preconnected CDN conn was reused for requests")
+	}
+}
+
+func TestHostPlanSessionDiversity(t *testing.T) {
+	p := has.Svc1()
+	res := simResult(t, p, 4000, 120, 14)
+	hostsOf := func(seed int64) map[string]bool {
+		sc := Build("Svc1", 0, p, res, stats.NewRNG(seed))
+		hosts := map[string]bool{}
+		for _, txn := range sc.TLS {
+			if strings.HasPrefix(txn.SNI, "cdn-") {
+				hosts[txn.SNI] = true
+			}
+		}
+		return hosts
+	}
+	a, b := hostsOf(100), hostsOf(200)
+	same := true
+	for h := range a {
+		if !b[h] {
+			same = false
+		}
+	}
+	if same && len(a) == len(b) {
+		t.Error("two sessions drew identical CDN host sets (should differ almost surely)")
+	}
+}
+
+// Property: for arbitrary idle timeouts and request caps, grouping
+// conserves HTTP transactions and never overlaps requests on one
+// connection.
+func TestQuickGroupingConserves(t *testing.T) {
+	p := has.Svc1()
+	res := simResult(t, p, 3000, 180, 15)
+	f := func(idleRaw, maxRaw uint8) bool {
+		prof := *p
+		prof.ConnIdleTimeoutSec = 1 + float64(idleRaw)/4
+		prof.ConnMaxRequests = 1 + int(maxRaw)%30
+		sc := Build("Svc1", 0, &prof, res, stats.NewRNG(int64(idleRaw)*31+int64(maxRaw)))
+		total := 0
+		for _, txn := range sc.TLS {
+			total += txn.HTTPCount
+		}
+		return total == len(sc.HTTP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnActivityParallelToTLS(t *testing.T) {
+	_, sc := buildCapture(t, 21)
+	if len(sc.ConnActivity) != len(sc.TLS) {
+		t.Fatalf("activity lists %d, TLS %d", len(sc.ConnActivity), len(sc.TLS))
+	}
+	for i, spans := range sc.ConnActivity {
+		txn := sc.TLS[i]
+		if len(spans) == 0 {
+			t.Fatalf("conn %d has no activity", i)
+		}
+		var down, up int64
+		for _, sp := range spans {
+			if sp.End < sp.Start {
+				t.Fatalf("conn %d span ends before start", i)
+			}
+			if sp.Start < txn.Start-1e-9 {
+				t.Fatalf("conn %d span starts before the connection", i)
+			}
+			if sp.End > txn.End+1e-9 {
+				t.Fatalf("conn %d span outlives the transaction (%g > %g)", i, sp.End, txn.End)
+			}
+			down += sp.Down
+			up += sp.Up
+		}
+		// Spans must account for the transaction's bytes exactly: the
+		// handshake span plus one span per HTTP exchange.
+		if down != txn.DownBytes || up != txn.UpBytes {
+			t.Fatalf("conn %d spans carry %d/%d bytes, transaction says %d/%d",
+				i, down, up, txn.DownBytes, txn.UpBytes)
+		}
+	}
+}

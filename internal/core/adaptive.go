@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"droppackets/internal/capture"
+)
+
+// MonitorConfig controls adaptive monitoring: the paper's deployment
+// story (§1, §4.2) where an ISP watches all network locations with
+// cheap TLS-transaction inference and turns on expensive fine-grained
+// collection only where low QoE concentrates.
+type MonitorConfig struct {
+	// Window is the number of recent sessions per location considered
+	// (default 50).
+	Window int
+	// MinSessions is the minimum observations before a location can be
+	// escalated (default 10).
+	MinSessions int
+	// LowFractionThreshold escalates a location when the fraction of
+	// low-QoE sessions in the window reaches it (default 0.3).
+	LowFractionThreshold float64
+	// ClearFractionThreshold de-escalates when the fraction falls below
+	// it (default half the escalation threshold).
+	ClearFractionThreshold float64
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Window <= 0 {
+		c.Window = 50
+	}
+	if c.MinSessions <= 0 {
+		c.MinSessions = 10
+	}
+	if c.LowFractionThreshold <= 0 {
+		c.LowFractionThreshold = 0.3
+	}
+	if c.ClearFractionThreshold <= 0 {
+		c.ClearFractionThreshold = c.LowFractionThreshold / 2
+	}
+	return c
+}
+
+// locationState is a sliding window of recent per-session predictions.
+type locationState struct {
+	recent    []int // predicted classes, newest last
+	escalated bool
+}
+
+// AdaptiveMonitor aggregates per-location QoE predictions and decides
+// where fine-grained (packet-level) collection should be enabled.
+type AdaptiveMonitor struct {
+	cfg MonitorConfig
+	est *Estimator
+	loc map[string]*locationState
+}
+
+// NewAdaptiveMonitor wraps a trained estimator.
+func NewAdaptiveMonitor(est *Estimator, cfg MonitorConfig) (*AdaptiveMonitor, error) {
+	if est == nil || !est.trained {
+		return nil, fmt.Errorf("core: adaptive monitor needs a trained estimator")
+	}
+	return &AdaptiveMonitor{cfg: cfg.withDefaults(), est: est, loc: map[string]*locationState{}}, nil
+}
+
+// Observe classifies one session observed at a network location and
+// updates the location's escalation state. It returns the predicted
+// class and whether the location is (now) escalated to fine-grained
+// collection.
+func (m *AdaptiveMonitor) Observe(location string, txns []capture.TLSTransaction) (class int, escalated bool, err error) {
+	class, err = m.est.Classify(txns)
+	if err != nil {
+		return 0, false, err
+	}
+	st := m.loc[location]
+	if st == nil {
+		st = &locationState{}
+		m.loc[location] = st
+	}
+	st.recent = append(st.recent, class)
+	if len(st.recent) > m.cfg.Window {
+		st.recent = st.recent[len(st.recent)-m.cfg.Window:]
+	}
+	frac := m.LowFraction(location)
+	if len(st.recent) >= m.cfg.MinSessions {
+		if frac >= m.cfg.LowFractionThreshold {
+			st.escalated = true
+		} else if frac < m.cfg.ClearFractionThreshold {
+			st.escalated = false
+		}
+	}
+	return class, st.escalated, nil
+}
+
+// LowFraction returns the fraction of low-QoE predictions in the
+// location's window (0 for unknown locations).
+func (m *AdaptiveMonitor) LowFraction(location string) float64 {
+	st := m.loc[location]
+	if st == nil || len(st.recent) == 0 {
+		return 0
+	}
+	low := 0
+	for _, c := range st.recent {
+		if c == 0 {
+			low++
+		}
+	}
+	return float64(low) / float64(len(st.recent))
+}
+
+// Escalated lists locations currently flagged for fine-grained
+// collection, sorted for stable output.
+func (m *AdaptiveMonitor) Escalated() []string {
+	var out []string
+	for name, st := range m.loc {
+		if st.escalated {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Locations returns all observed location names, sorted.
+func (m *AdaptiveMonitor) Locations() []string {
+	out := make([]string, 0, len(m.loc))
+	for name := range m.loc {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

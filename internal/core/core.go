@@ -1,0 +1,241 @@
+// Package core is the paper's primary contribution as a library: QoE
+// estimation from coarse-grained TLS-transaction data (§3). An
+// Estimator trains a Random Forest over the 38 TLS features and
+// classifies sessions into low/medium/high QoE; a PacketEstimator is
+// the fine-grained ML16 baseline (§4.2) it is compared against; and an
+// AdaptiveMonitor implements the paper's motivating deployment story:
+// monitor everywhere cheaply, escalate to packet collection only where
+// problems appear (§1, §4.2 takeaways).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/features"
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/eval"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+)
+
+// ClassNames returns the display names of the three classes of a
+// metric, index-aligned with labels (class 0 is always the problem
+// class).
+func ClassNames(m qoe.MetricKind) []string {
+	if m == qoe.MetricRebuffer {
+		return []string{"high", "mild", "zero"}
+	}
+	return []string{"low", "med", "high"}
+}
+
+// Config parameterises an Estimator.
+type Config struct {
+	// Metric is the QoE target (default: combined QoE, the paper's
+	// headline metric).
+	Metric qoe.MetricKind
+	// Subset selects the Table 3 feature set (default: all 38).
+	Subset features.Subset
+	// Forest configures the Random Forest.
+	Forest forest.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Subset == 0 {
+		c.Subset = features.AllFeatures
+	}
+	return c
+}
+
+// TrainingSession pairs one session's TLS transactions with its
+// ground-truth QoE (labels from the player, §4.1).
+type TrainingSession struct {
+	TLS []capture.TLSTransaction
+	QoE qoe.Session
+}
+
+// Estimator classifies per-session QoE from TLS transactions.
+type Estimator struct {
+	cfg     Config
+	cols    []int
+	model   *forest.Classifier
+	trained bool
+}
+
+// NewEstimator returns an untrained estimator.
+func NewEstimator(cfg Config) *Estimator {
+	cfg = cfg.withDefaults()
+	return &Estimator{cfg: cfg, cols: features.SubsetIndices(cfg.Subset)}
+}
+
+// featuresFor extracts and projects the configured feature subset.
+func (e *Estimator) featuresFor(txns []capture.TLSTransaction) []float64 {
+	full := features.FromTLS(txns)
+	out := make([]float64, len(e.cols))
+	for i, c := range e.cols {
+		out[i] = full[c]
+	}
+	return out
+}
+
+// dataset assembles the ml.Dataset for the configured metric/subset.
+func (e *Estimator) dataset(sessions []TrainingSession) (*ml.Dataset, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("core: no training sessions")
+	}
+	x := make([][]float64, len(sessions))
+	y := make([]int, len(sessions))
+	for i, s := range sessions {
+		x[i] = e.featuresFor(s.TLS)
+		y[i] = s.QoE.Label(e.cfg.Metric)
+	}
+	names := make([]string, len(e.cols))
+	for i, c := range e.cols {
+		names[i] = features.TLSNames[c]
+	}
+	return ml.NewDataset(x, y, qoe.NumCategories, names)
+}
+
+// Train fits the estimator on labeled sessions.
+func (e *Estimator) Train(sessions []TrainingSession) error {
+	ds, err := e.dataset(sessions)
+	if err != nil {
+		return err
+	}
+	e.model = forest.New(e.cfg.Forest)
+	if err := e.model.Fit(ds); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.trained = true
+	return nil
+}
+
+// Classify predicts the QoE class (0 = problem class) of a session from
+// its TLS transactions.
+func (e *Estimator) Classify(txns []capture.TLSTransaction) (int, error) {
+	if !e.trained {
+		return 0, fmt.Errorf("core: estimator not trained")
+	}
+	return e.model.Predict(e.featuresFor(txns)), nil
+}
+
+// ClassifyProba returns per-class probabilities for a session.
+func (e *Estimator) ClassifyProba(txns []capture.TLSTransaction) ([]float64, error) {
+	if !e.trained {
+		return nil, fmt.Errorf("core: estimator not trained")
+	}
+	return e.model.PredictProba(e.featuresFor(txns)), nil
+}
+
+// Importances returns the trained model's feature importances paired
+// with feature names (Figure 6).
+func (e *Estimator) Importances(topK int) ([]forest.Importance, error) {
+	if !e.trained {
+		return nil, fmt.Errorf("core: estimator not trained")
+	}
+	names := make([]string, len(e.cols))
+	for i, c := range e.cols {
+		names[i] = features.TLSNames[c]
+	}
+	return e.model.TopImportances(names, topK), nil
+}
+
+// CrossValidate runs the paper's 5-fold stratified protocol on the
+// sessions and returns pooled results (Figure 5, Tables 2–3).
+func (e *Estimator) CrossValidate(sessions []TrainingSession, folds int, seed int64) (*eval.CVResult, error) {
+	ds, err := e.dataset(sessions)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg.Forest
+	return eval.CrossValidate(func() ml.Classifier { return forest.New(cfg) }, ds, folds, seed)
+}
+
+// Metric returns the estimator's target metric.
+func (e *Estimator) Metric() qoe.MetricKind { return e.cfg.Metric }
+
+// PacketEstimator is the ML16 baseline: the same protocol over
+// fine-grained packet-trace features.
+type PacketEstimator struct {
+	Metric qoe.MetricKind
+	Forest forest.Config
+
+	model   *forest.Classifier
+	trained bool
+}
+
+// PacketTrainingSession pairs a packet trace with ground truth.
+type PacketTrainingSession struct {
+	Packets []capture.Packet
+	QoE     qoe.Session
+}
+
+func (p *PacketEstimator) dataset(sessions []PacketTrainingSession) (*ml.Dataset, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("core: no training sessions")
+	}
+	x := make([][]float64, len(sessions))
+	y := make([]int, len(sessions))
+	for i, s := range sessions {
+		x[i] = features.FromPackets(s.Packets)
+		y[i] = s.QoE.Label(p.Metric)
+	}
+	return ml.NewDataset(x, y, qoe.NumCategories, features.ML16Names)
+}
+
+// Train fits the baseline.
+func (p *PacketEstimator) Train(sessions []PacketTrainingSession) error {
+	ds, err := p.dataset(sessions)
+	if err != nil {
+		return err
+	}
+	p.model = forest.New(p.Forest)
+	if err := p.model.Fit(ds); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	p.trained = true
+	return nil
+}
+
+// Classify predicts the QoE class from a packet trace.
+func (p *PacketEstimator) Classify(pkts []capture.Packet) (int, error) {
+	if !p.trained {
+		return 0, fmt.Errorf("core: packet estimator not trained")
+	}
+	return p.model.Predict(features.FromPackets(pkts)), nil
+}
+
+// Overhead quantifies the accuracy-versus-cost trade-off of Table 4.
+type Overhead struct {
+	// Records is how many input records were processed (packets or TLS
+	// transactions).
+	Records int
+	// ExtractTime is the total feature-extraction CPU time.
+	ExtractTime time.Duration
+}
+
+// MeasureTLSExtraction times feature extraction over many sessions.
+func MeasureTLSExtraction(sessions [][]capture.TLSTransaction) Overhead {
+	var o Overhead
+	start := time.Now()
+	for _, txns := range sessions {
+		_ = features.FromTLS(txns)
+		o.Records += len(txns)
+	}
+	o.ExtractTime = time.Since(start)
+	return o
+}
+
+// MeasurePacketExtraction times ML16 feature extraction over many
+// packet traces.
+func MeasurePacketExtraction(traces [][]capture.Packet) Overhead {
+	var o Overhead
+	start := time.Now()
+	for _, pkts := range traces {
+		_ = features.FromPackets(pkts)
+		o.Records += len(pkts)
+	}
+	o.ExtractTime = time.Since(start)
+	return o
+}

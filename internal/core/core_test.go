@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/dataset"
+	"droppackets/internal/features"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+	"droppackets/internal/stats"
+)
+
+// trainingData builds a small labeled corpus once per test binary.
+func trainingData(t *testing.T, n int) []TrainingSession {
+	t.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: 50, Sessions: n}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]TrainingSession, len(c.Records))
+	for i, r := range c.Records {
+		out[i] = TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE}
+	}
+	return out
+}
+
+func newEstimator() *Estimator {
+	return NewEstimator(Config{
+		Metric: qoe.MetricCombined,
+		Forest: forest.Config{NumTrees: 25, MinLeaf: 2, Seed: 1},
+	})
+}
+
+func TestEstimatorTrainAndClassify(t *testing.T) {
+	sessions := trainingData(t, 150)
+	est := newEstimator()
+	if _, err := est.Classify(sessions[0].TLS); err == nil {
+		t.Error("untrained estimator classified")
+	}
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range sessions {
+		class, err := est.Classify(s.TLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class == s.QoE.Label(qoe.MetricCombined) {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(sessions)); frac < 0.8 {
+		t.Errorf("training-set accuracy %.2f, implausibly low", frac)
+	}
+	probs, err := est.ClassifyProba(sessions[0].TLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestEstimatorSubsetConfig(t *testing.T) {
+	sessions := trainingData(t, 80)
+	est := NewEstimator(Config{
+		Metric: qoe.MetricCombined,
+		Subset: features.SessionLevelOnly,
+		Forest: forest.Config{NumTrees: 10, Seed: 2},
+	})
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	imps, err := est.Importances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 4 {
+		t.Errorf("SL subset should expose 4 features, got %d", len(imps))
+	}
+	for _, imp := range imps {
+		switch imp.Feature {
+		case "SDR_DL", "SDR_UL", "SES_DUR", "TRANS_PER_SEC":
+		default:
+			t.Errorf("unexpected feature %q in SL subset", imp.Feature)
+		}
+	}
+}
+
+func TestEstimatorCrossValidate(t *testing.T) {
+	sessions := trainingData(t, 150)
+	est := newEstimator()
+	res, err := est.CrossValidate(sessions, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != len(sessions) {
+		t.Errorf("CV pooled %d predictions", res.Confusion.Total())
+	}
+	if m := res.Metrics(); m.Accuracy < 0.5 {
+		t.Errorf("CV accuracy %.2f", m.Accuracy)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	est := newEstimator()
+	if err := est.Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := est.Importances(3); err == nil {
+		t.Error("untrained importances returned")
+	}
+	if _, err := est.ClassifyProba(nil); err == nil {
+		t.Error("untrained proba returned")
+	}
+	if est.Metric() != qoe.MetricCombined {
+		t.Error("metric accessor wrong")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	if got := ClassNames(qoe.MetricRebuffer); got[0] != "high" || got[2] != "zero" {
+		t.Errorf("rebuffer names %v", got)
+	}
+	if got := ClassNames(qoe.MetricCombined); got[0] != "low" || got[2] != "high" {
+		t.Errorf("combined names %v", got)
+	}
+}
+
+func TestPacketEstimator(t *testing.T) {
+	c, err := dataset.Build(dataset.Config{Seed: 51, Sessions: 60, KeepPacketDetail: true}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessions []PacketTrainingSession
+	for i, r := range c.Records {
+		pkts, err := r.Capture.Packetize(stats.SplitRNG(1, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, PacketTrainingSession{Packets: pkts, QoE: r.QoE})
+	}
+	pe := &PacketEstimator{Metric: qoe.MetricCombined, Forest: forest.Config{NumTrees: 15, Seed: 4}}
+	if _, err := pe.Classify(sessions[0].Packets); err == nil {
+		t.Error("untrained packet estimator classified")
+	}
+	if err := pe.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	class, err := pe.Classify(sessions[0].Packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class < 0 || class >= qoe.NumCategories {
+		t.Errorf("class %d out of range", class)
+	}
+	if err := pe.Train(nil); err == nil {
+		t.Error("empty packet training set accepted")
+	}
+}
+
+func TestMeasureExtractionOverheads(t *testing.T) {
+	c, err := dataset.Build(dataset.Config{Seed: 52, Sessions: 10, KeepPacketDetail: true}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tls [][]capture.TLSTransaction
+	var pkts [][]capture.Packet
+	for i, r := range c.Records {
+		tls = append(tls, r.Capture.TLS)
+		p, err := r.Capture.Packetize(stats.SplitRNG(2, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	to := MeasureTLSExtraction(tls)
+	po := MeasurePacketExtraction(pkts)
+	if to.Records == 0 || po.Records == 0 {
+		t.Fatal("no records measured")
+	}
+	if po.Records <= to.Records {
+		t.Errorf("packet records %d should dwarf TLS records %d", po.Records, to.Records)
+	}
+	if po.ExtractTime <= 0 || to.ExtractTime < 0 {
+		t.Error("non-positive extraction times")
+	}
+}
+
+func TestAdaptiveMonitor(t *testing.T) {
+	sessions := trainingData(t, 120)
+	est := newEstimator()
+	if _, err := NewAdaptiveMonitor(est, MonitorConfig{}); err == nil {
+		t.Error("monitor accepted untrained estimator")
+	}
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewAdaptiveMonitor(est, MonitorConfig{Window: 20, MinSessions: 5, LowFractionThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the monitor sessions whose predicted class we know (reuse
+	// training rows): low-QoE rows to one location, high to another.
+	lowFed, highFed := 0, 0
+	for _, s := range sessions {
+		class, _ := est.Classify(s.TLS)
+		switch {
+		case class == 0 && lowFed < 15:
+			if _, _, err := mon.Observe("bad-cell", s.TLS); err != nil {
+				t.Fatal(err)
+			}
+			lowFed++
+		case class == 2 && highFed < 15:
+			if _, _, err := mon.Observe("good-cell", s.TLS); err != nil {
+				t.Fatal(err)
+			}
+			highFed++
+		}
+	}
+	if lowFed < 5 || highFed < 5 {
+		t.Skip("not enough distinct predictions in the corpus sample")
+	}
+	esc := mon.Escalated()
+	found := map[string]bool{}
+	for _, l := range esc {
+		found[l] = true
+	}
+	if !found["bad-cell"] {
+		t.Errorf("bad-cell not escalated (low fraction %.2f)", mon.LowFraction("bad-cell"))
+	}
+	if found["good-cell"] {
+		t.Errorf("good-cell escalated (low fraction %.2f)", mon.LowFraction("good-cell"))
+	}
+	if got := mon.Locations(); len(got) != 2 {
+		t.Errorf("locations %v", got)
+	}
+	if mon.LowFraction("unknown") != 0 {
+		t.Error("unknown location fraction should be 0")
+	}
+}
+
+func TestMonitorDeescalation(t *testing.T) {
+	sessions := trainingData(t, 120)
+	est := newEstimator()
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewAdaptiveMonitor(est, MonitorConfig{Window: 10, MinSessions: 4, LowFractionThreshold: 0.5, ClearFractionThreshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var low, high []TrainingSession
+	for _, s := range sessions {
+		class, _ := est.Classify(s.TLS)
+		if class == 0 {
+			low = append(low, s)
+		} else if class == 2 {
+			high = append(high, s)
+		}
+	}
+	if len(low) < 8 || len(high) < 12 {
+		t.Skip("not enough distinct predictions")
+	}
+	// Escalate with 8 low sessions...
+	for i := 0; i < 8; i++ {
+		mon.Observe("cell", low[i].TLS)
+	}
+	if len(mon.Escalated()) != 1 {
+		t.Fatalf("cell not escalated; fraction %.2f", mon.LowFraction("cell"))
+	}
+	// ...then clear with a window full of healthy sessions.
+	for i := 0; i < 12; i++ {
+		mon.Observe("cell", high[i%len(high)].TLS)
+	}
+	if len(mon.Escalated()) != 0 {
+		t.Errorf("cell still escalated; fraction %.2f", mon.LowFraction("cell"))
+	}
+}
+
+func TestEstimatorSaveLoad(t *testing.T) {
+	sessions := trainingData(t, 100)
+	est := newEstimator()
+	if err := est.Save(&bytes.Buffer{}); err == nil {
+		t.Error("untrained estimator saved")
+	}
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Metric() != est.Metric() {
+		t.Error("metric not preserved")
+	}
+	for _, s := range sessions[:20] {
+		a, err := est.Classify(s.TLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Classify(s.TLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("loaded estimator predicts differently")
+		}
+	}
+}
+
+func TestLoadEstimatorRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		`{"version":9,"metric":2,"subset":3,"model":{}}`,
+		`{"version":1,"metric":7,"subset":3,"model":{}}`,
+		`{"version":1,"metric":2,"subset":9,"model":{}}`,
+		`{"version":1,"metric":2,"subset":3,"model":{"version":1,"num_classes":3,"trees":[]}}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadEstimator(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage estimator loaded", i)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"droppackets/internal/features"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+)
+
+// savedEstimator is the on-disk estimator layout.
+type savedEstimator struct {
+	Version int             `json:"version"`
+	Metric  int             `json:"metric"`
+	Subset  int             `json:"subset"`
+	Model   json.RawMessage `json:"model"`
+}
+
+const estimatorVersion = 1
+
+// Save serialises the trained estimator (metric, feature subset and
+// forest) as JSON, so a model trained once can classify in later
+// processes without retraining.
+func (e *Estimator) Save(w io.Writer) error {
+	if !e.trained {
+		return fmt.Errorf("core: save before Train")
+	}
+	var buf bytes.Buffer
+	if err := e.model.Save(&buf); err != nil {
+		return err
+	}
+	out := savedEstimator{
+		Version: estimatorVersion,
+		Metric:  int(e.cfg.Metric),
+		Subset:  int(e.cfg.Subset),
+		Model:   json.RawMessage(buf.Bytes()),
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("core: encoding estimator: %w", err)
+	}
+	return nil
+}
+
+// LoadEstimator reads an estimator saved by Save.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	var in savedEstimator
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding estimator: %w", err)
+	}
+	if in.Version != estimatorVersion {
+		return nil, fmt.Errorf("core: estimator version %d, want %d", in.Version, estimatorVersion)
+	}
+	subset := features.Subset(in.Subset)
+	switch subset {
+	case features.SessionLevelOnly, features.WithTransactionStats, features.AllFeatures:
+	default:
+		return nil, fmt.Errorf("core: invalid feature subset %d", in.Subset)
+	}
+	metric := qoe.MetricKind(in.Metric)
+	if metric < qoe.MetricRebuffer || metric > qoe.MetricCombined {
+		return nil, fmt.Errorf("core: invalid metric %d", in.Metric)
+	}
+	model, err := forest.Load(bytes.NewReader(in.Model))
+	if err != nil {
+		return nil, err
+	}
+	e := NewEstimator(Config{Metric: metric, Subset: subset})
+	e.model = model
+	e.trained = true
+	return e, nil
+}

@@ -1,0 +1,31 @@
+package dataset
+
+import (
+	"testing"
+
+	"droppackets/internal/has"
+	"droppackets/internal/qoe"
+)
+
+// TestSmokeDistributions builds small corpora and logs the ground-truth
+// QoE distributions, the coarse-graining factor and packet counts. It
+// is primarily a development aid for tuning service profiles against
+// the paper's Figure 4; it fails only on structural problems.
+func TestSmokeDistributions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke distribution check is slow")
+	}
+	cfg := Config{Seed: 42, Sessions: 300, KeepPacketDetail: true}
+	for _, p := range has.Profiles() {
+		c, err := Build(cfg, p)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", p.Name, err)
+		}
+		for _, m := range []qoe.MetricKind{qoe.MetricRebuffer, qoe.MetricQuality, qoe.MetricCombined} {
+			d := c.LabelDistribution(m)
+			t.Logf("%s %-12s low/high=%3d med/mild=%3d high/zero=%3d", p.Name, m, d[0], d[1], d[2])
+		}
+		t.Logf("%s TLS/session=%.1f HTTP/TLS=%.1f packets/session=%.0f",
+			p.Name, c.MeanTLSPerSession(), c.MeanHTTPPerTLS(), c.MeanPacketsPerSession())
+	}
+}

@@ -1,0 +1,194 @@
+// Package emimic implements a model-based QoE estimator in the style
+// of eMIMIC (Mangla et al., TMA'18 — the paper's reference [22] and
+// the authors' own prior system). Where the paper's ML approach learns
+// patterns from labeled data, eMIMIC needs no training: it identifies
+// video-segment downloads among HTTP transactions, reconstructs the
+// client's playback buffer from their completion times, and derives
+// re-buffering and average-bitrate estimates directly from HAS
+// semantics.
+//
+// eMIMIC requires HTTP-transaction granularity — finer than the TLS
+// transactions the paper targets, coarser than packets — so in this
+// repository it slots between the two in the coarse-data spectrum and
+// serves as a second, training-free baseline.
+package emimic
+
+import (
+	"fmt"
+	"sort"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/has"
+	"droppackets/internal/qoe"
+)
+
+// Config holds the service knowledge eMIMIC assumes: the segment
+// duration and the size threshold separating video segments from other
+// objects (manifests, beacons, licenses).
+type Config struct {
+	// SegmentSeconds is the service's nominal segment duration.
+	SegmentSeconds float64
+	// MinVideoBytes classifies an HTTP response as a video segment
+	// (default 100 kB: below typical lowest-rung segments, above
+	// manifests and side requests).
+	MinVideoBytes int64
+	// StartupSegments is the assumed startup/resume buffer requirement
+	// (default 2).
+	StartupSegments int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentSeconds <= 0 {
+		c.SegmentSeconds = 5
+	}
+	if c.MinVideoBytes <= 0 {
+		c.MinVideoBytes = 100_000
+	}
+	if c.StartupSegments <= 0 {
+		c.StartupSegments = 2
+	}
+	return c
+}
+
+// ForProfile derives the eMIMIC configuration from a service profile
+// (an ISP would obtain the same constants by inspecting the service
+// once).
+func ForProfile(p *has.ServiceProfile) Config {
+	return Config{
+		SegmentSeconds:  p.SegmentSeconds,
+		StartupSegments: p.StartupSegments,
+	}.withDefaults()
+}
+
+// Estimate is the model-based per-session output.
+type Estimate struct {
+	// Segments is the number of HTTP transactions classified as video.
+	Segments int
+	// AvgBitrateKbps is total video bytes over playback content time.
+	AvgBitrateKbps float64
+	// RebufferRatio is the reconstructed stall/playback ratio.
+	RebufferRatio float64
+	Rebuffer      qoe.RebufferClass
+	// Quality is the majority category of per-segment bitrates mapped
+	// onto the ladder.
+	Quality  qoe.Category
+	Combined qoe.Category
+}
+
+// Label returns the estimate's class for a metric, mirroring
+// qoe.Session.Label so estimates score against ground truth directly.
+func (e Estimate) Label(m qoe.MetricKind) int {
+	switch m {
+	case qoe.MetricRebuffer:
+		return int(e.Rebuffer)
+	case qoe.MetricQuality:
+		return int(e.Quality)
+	default:
+		return int(e.Combined)
+	}
+}
+
+// Run estimates session QoE from HTTP transactions. ladder and
+// levelCategory provide the service's encoding ladder and its §4.1
+// category thresholds. It returns an error when no video segments are
+// found (nothing to estimate).
+func Run(httpTxns []capture.HTTPTransaction, ladder has.Ladder, levelCategory func(int) qoe.Category, cfg Config) (Estimate, error) {
+	cfg = cfg.withDefaults()
+	if err := ladder.Validate(); err != nil {
+		return Estimate{}, fmt.Errorf("emimic: %w", err)
+	}
+	// Segment identification: large downlink objects, by completion time.
+	type seg struct {
+		end   float64
+		bytes int64
+	}
+	var segs []seg
+	for _, h := range httpTxns {
+		if h.DownBytes >= cfg.MinVideoBytes {
+			segs = append(segs, seg{end: h.End, bytes: h.DownBytes})
+		}
+	}
+	if len(segs) == 0 {
+		return Estimate{}, fmt.Errorf("emimic: no video segments above %d bytes among %d transactions",
+			cfg.MinVideoBytes, len(httpTxns))
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].end < segs[b].end })
+
+	// Buffer reconstruction: each completed segment adds SegmentSeconds
+	// of content; playback starts once StartupSegments have arrived and
+	// drains in real time; the buffer emptying marks a stall, resumed
+	// after StartupSegments more arrive. This is the eMIMIC core.
+	var (
+		buffer, played, stalled float64
+		started, stalling       bool
+		clock                   float64
+	)
+	advance := func(to float64) {
+		if to <= clock {
+			return
+		}
+		dt := to - clock
+		if started && !stalling {
+			if buffer >= dt {
+				buffer -= dt
+				played += dt
+			} else {
+				played += buffer
+				stalled += dt - buffer
+				buffer = 0
+				stalling = true
+			}
+		} else if started && stalling {
+			stalled += dt
+		}
+		clock = to
+	}
+	need := float64(cfg.StartupSegments) * cfg.SegmentSeconds
+	var totalBytes int64
+	for _, s := range segs {
+		advance(s.end)
+		buffer += cfg.SegmentSeconds
+		totalBytes += s.bytes
+		if !started && buffer >= need {
+			started = true
+		}
+		if stalling && buffer >= need {
+			stalling = false
+		}
+	}
+	// Play out the remaining buffer after the last download.
+	if started {
+		played += buffer
+	}
+
+	est := Estimate{Segments: len(segs)}
+	if played > 0 {
+		est.RebufferRatio = stalled / played
+	} else if stalled > 0 {
+		est.RebufferRatio = 1
+	}
+	est.Rebuffer = qoe.ClassifyRebuffer(est.RebufferRatio)
+
+	// Quality: per-segment bitrate mapped to the highest ladder level at
+	// or below it, majority category, ties to the lower category (as in
+	// §2.1).
+	content := float64(len(segs)) * cfg.SegmentSeconds
+	est.AvgBitrateKbps = float64(totalBytes) * 8 / content / 1000
+	counts := [qoe.NumCategories]int{}
+	for _, s := range segs {
+		kbps := float64(s.bytes) * 8 / cfg.SegmentSeconds / 1000
+		counts[levelCategory(ladder.HighestSustainable(kbps))]++
+	}
+	best := qoe.Low
+	for c := qoe.Low; c <= qoe.High; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	est.Quality = best
+	est.Combined = est.Quality
+	if rb := est.Rebuffer.Category(); rb < est.Combined {
+		est.Combined = rb
+	}
+	return est, nil
+}

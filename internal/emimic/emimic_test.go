@@ -1,0 +1,176 @@
+package emimic
+
+import (
+	"testing"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/eval"
+	"droppackets/internal/qoe"
+)
+
+// httpSeg builds a video-sized HTTP transaction completing at end.
+func httpSeg(end float64, bytes int64) capture.HTTPTransaction {
+	return capture.HTTPTransaction{Start: end - 1, End: end, DownBytes: bytes, UpBytes: 800}
+}
+
+func svc1Cat(p *has.ServiceProfile) func(int) qoe.Category {
+	return p.LevelCategory
+}
+
+func TestRunCleanSession(t *testing.T) {
+	p := has.Svc1()
+	cfg := ForProfile(p)
+	// Segments at 1080p size (5.2 Mbps * 5 s = 3.25 MB), arriving twice
+	// as fast as playback: no stalls, high quality.
+	var txns []capture.HTTPTransaction
+	for i := 0; i < 20; i++ {
+		txns = append(txns, httpSeg(float64(i+1)*2.5, 3_250_000))
+	}
+	est, err := Run(txns, p.Ladder, svc1Cat(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Segments != 20 {
+		t.Errorf("segments %d, want 20", est.Segments)
+	}
+	if est.Rebuffer != qoe.ZeroRebuffer {
+		t.Errorf("rebuffer %v (rr=%.3f), want zero", est.Rebuffer, est.RebufferRatio)
+	}
+	if est.Quality != qoe.High || est.Combined != qoe.High {
+		t.Errorf("quality %v combined %v, want high", est.Quality, est.Combined)
+	}
+	if est.AvgBitrateKbps < 5000 || est.AvgBitrateKbps > 5500 {
+		t.Errorf("avg bitrate %.0f kbps, want ~5200", est.AvgBitrateKbps)
+	}
+}
+
+func TestRunReconstructsStalls(t *testing.T) {
+	p := has.Svc1()
+	cfg := ForProfile(p)
+	// Two quick segments (playback starts), then a 60 s download gap:
+	// the 10 s of buffer drain and ~50 s stall before the next arrivals.
+	txns := []capture.HTTPTransaction{
+		httpSeg(1, 400_000), httpSeg(2, 400_000),
+		httpSeg(62, 400_000), httpSeg(63, 400_000),
+		httpSeg(64, 400_000), httpSeg(65, 400_000),
+	}
+	est, err := Run(txns, p.Ladder, svc1Cat(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rebuffer != qoe.HighRebuffer {
+		t.Errorf("rebuffer %v (rr=%.3f), want high", est.Rebuffer, est.RebufferRatio)
+	}
+	if est.Combined != qoe.Low {
+		t.Errorf("combined %v, want low", est.Combined)
+	}
+}
+
+func TestRunQualityMapping(t *testing.T) {
+	p := has.Svc1()
+	cfg := ForProfile(p)
+	// 650 kbps segments (5 s * 650 kbps / 8 ≈ 406 kB): level 288p = low.
+	var low []capture.HTTPTransaction
+	for i := 0; i < 10; i++ {
+		low = append(low, httpSeg(float64(i+1)*2, 406_000))
+	}
+	est, err := Run(low, p.Ladder, svc1Cat(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Quality != qoe.Low {
+		t.Errorf("quality %v for 650 kbps segments, want low", est.Quality)
+	}
+	// 1400 kbps segments = 480p = medium.
+	var med []capture.HTTPTransaction
+	for i := 0; i < 10; i++ {
+		med = append(med, httpSeg(float64(i+1)*2, 875_000))
+	}
+	est, err = Run(med, p.Ladder, svc1Cat(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Quality != qoe.Medium {
+		t.Errorf("quality %v for 1400 kbps segments, want medium", est.Quality)
+	}
+}
+
+func TestRunFiltersSideTraffic(t *testing.T) {
+	p := has.Svc1()
+	cfg := ForProfile(p)
+	txns := []capture.HTTPTransaction{
+		{Start: 0, End: 0.5, DownBytes: 50_000},  // manifest
+		{Start: 0.5, End: 0.6, DownBytes: 8_000}, // license
+		httpSeg(2, 2_000_000),
+		httpSeg(4, 2_000_000),
+		{Start: 5, End: 5.1, DownBytes: 300, UpBytes: 2_000}, // beacon
+		httpSeg(6, 2_000_000),
+	}
+	est, err := Run(txns, p.Ladder, svc1Cat(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Segments != 3 {
+		t.Errorf("segments %d, want 3 (side traffic excluded)", est.Segments)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := has.Svc1()
+	cfg := ForProfile(p)
+	if _, err := Run(nil, p.Ladder, svc1Cat(p), cfg); err == nil {
+		t.Error("empty input accepted")
+	}
+	small := []capture.HTTPTransaction{{Start: 0, End: 1, DownBytes: 10}}
+	if _, err := Run(small, p.Ladder, svc1Cat(p), cfg); err == nil {
+		t.Error("no-segment session accepted")
+	}
+	if _, err := Run(small, has.Ladder{}, svc1Cat(p), cfg); err == nil {
+		t.Error("invalid ladder accepted")
+	}
+}
+
+// TestRunAgainstGroundTruth scores the model-based estimator on a
+// simulated corpus: training-free, it should still beat the majority
+// class clearly on combined QoE.
+func TestRunAgainstGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus evaluation is slow")
+	}
+	p := has.Svc1()
+	corpus, err := dataset.Build(dataset.Config{Seed: 31, Sessions: 300}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ForProfile(p)
+	conf := eval.NewConfusion(qoe.NumCategories)
+	skipped := 0
+	majority := make([]int, qoe.NumCategories)
+	for _, rec := range corpus.Records {
+		majority[rec.QoE.Label(qoe.MetricCombined)]++
+		est, err := Run(rec.Capture.HTTP, p.Ladder, p.LevelCategory, cfg)
+		if err != nil {
+			skipped++
+			continue
+		}
+		conf.Add(rec.QoE.Label(qoe.MetricCombined), est.Label(qoe.MetricCombined))
+	}
+	if skipped > len(corpus.Records)/10 {
+		t.Fatalf("%d/%d sessions had no detectable segments", skipped, len(corpus.Records))
+	}
+	maj := 0
+	for _, n := range majority {
+		if n > maj {
+			maj = n
+		}
+	}
+	majAcc := float64(maj) / float64(len(corpus.Records))
+	acc := conf.Accuracy()
+	t.Logf("eMIMIC accuracy %.2f (majority baseline %.2f), low-QoE recall %.2f",
+		acc, majAcc, conf.Recall(0))
+	if acc < majAcc+0.1 {
+		t.Errorf("model-based accuracy %.2f does not clearly beat majority %.2f", acc, majAcc)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"testing"
+
+	"droppackets/internal/qoe"
+)
+
+// smallSuite is a reduced-scale suite for integration tests.
+func smallSuite() *Suite {
+	return NewSuite(Config{Seed: 7, Sessions: 360, Folds: 5, Trees: 40})
+}
+
+// TestFig5SmallScale checks that the headline result holds at reduced
+// scale: combined-QoE classification is well above the majority-class
+// baseline and low-QoE recall is strong.
+func TestFig5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment is slow")
+	}
+	s := smallSuite()
+	rows, err := s.Fig5()
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	for _, r := range rows {
+		t.Logf("%s %-13s A=%.0f%% R=%.0f%% P=%.0f%%", r.Service, r.Metric,
+			r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100)
+		if r.Metric == qoe.MetricCombined {
+			if r.Metrics.Accuracy < 0.55 {
+				t.Errorf("%s combined accuracy %.2f below 0.55", r.Service, r.Metrics.Accuracy)
+			}
+			if r.Metrics.Recall < 0.55 {
+				t.Errorf("%s combined low-QoE recall %.2f below 0.55", r.Service, r.Metrics.Recall)
+			}
+		}
+	}
+}
+
+// TestTable5SmallScale checks the session-identification heuristic
+// recovers most back-to-back session starts.
+func TestTable5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment is slow")
+	}
+	s := smallSuite()
+	res, err := s.Table5()
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	t.Logf("\n%s", res.Format())
+	frac := float64(res.SessionsCorrect) / float64(res.SessionsTotal)
+	if frac < 0.7 {
+		t.Errorf("session starts recovered %.0f%%, want >= 70%%", frac*100)
+	}
+	if existingAcc := res.Confusion.Recall(0); existingAcc < 0.9 {
+		t.Errorf("existing-transaction accuracy %.2f, want >= 0.9", existingAcc)
+	}
+}
+
+// TestTable4SmallScale checks the paper's central comparison: packet
+// traces (ML16) beat TLS transactions by a few points while costing
+// orders of magnitude more to process.
+func TestTable4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment is slow")
+	}
+	s := smallSuite()
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	t.Logf("\n%s", FormatTable4(rows))
+	for _, r := range rows {
+		if r.Packet.Accuracy < r.TLS.Accuracy-0.03 {
+			t.Errorf("%s: packet accuracy %.2f clearly below TLS %.2f", r.Service, r.Packet.Accuracy, r.TLS.Accuracy)
+		}
+		if r.RecordRatio() < 100 {
+			t.Errorf("%s: record ratio %.0f, want >= 100", r.Service, r.RecordRatio())
+		}
+		if r.TimeRatio() < 5 {
+			t.Errorf("%s: time ratio %.1f, want >= 5", r.Service, r.TimeRatio())
+		}
+	}
+}
+
+// TestAblationABRDesign checks the ABR sweep produces distinct QoE
+// mixes across designs.
+func TestAblationABRDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	s := NewSuite(Config{Seed: 7, Sessions: 150, Folds: 3, Trees: 10})
+	rows, err := s.AblationABRDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d ABRs", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.ABR] = true
+		var sum float64
+		for _, share := range r.CombinedShares {
+			sum += share
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s shares sum to %g", r.ABR, sum)
+		}
+	}
+	for _, want := range []string{"buffer-filler", "quality-keeper", "hybrid", "bba", "mpc"} {
+		if !names[want] {
+			t.Errorf("missing ABR %s", want)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+package experiments
+
+// Extensions beyond the paper's evaluation, implementing its own
+// future-work agenda: flow-level (NetFlow) data as an alternative
+// coarse source (§2.2, §5) and the impact of user interactions on
+// inference accuracy (§4.3).
+
+import (
+	"fmt"
+	"strings"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/dataset"
+	"droppackets/internal/emimic"
+	"droppackets/internal/features"
+	"droppackets/internal/has"
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/eval"
+	"droppackets/internal/netflow"
+	"droppackets/internal/qoe"
+	"droppackets/internal/stats"
+)
+
+// FlowComparisonRow compares one data view's classification quality and
+// volume.
+type FlowComparisonRow struct {
+	View              string
+	Metrics           eval.Metrics
+	RecordsPerSession float64
+}
+
+// ExtensionFlowComparison evaluates combined-QoE inference on Svc1
+// across the coarse-data spectrum: TLS transactions, NetFlow with 60 s
+// and 10 s active timeouts (finer temporal slicing, but a DNS-
+// resolution penalty for video identification), and the ML16 packet
+// baseline from Table 4 sits above all of them.
+func (s *Suite) ExtensionFlowComparison() ([]FlowComparisonRow, error) {
+	c, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	var rows []FlowComparisonRow
+
+	// Baseline: TLS transactions.
+	tlsDS, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.crossValidate(tlsDS)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, FlowComparisonRow{
+		View:              "tls-transactions",
+		Metrics:           res.Metrics(),
+		RecordsPerSession: c.MeanTLSPerSession(),
+	})
+
+	// Model-based eMIMIC on HTTP transactions: finer data than TLS,
+	// coarser than packets, and no training at all.
+	emimicCfg := emimic.ForProfile(c.Profile)
+	conf := eval.NewConfusion(qoe.NumCategories)
+	httpRecords := 0
+	for _, rec := range c.Records {
+		httpRecords += len(rec.Capture.HTTP)
+		est, err := emimic.Run(rec.Capture.HTTP, c.Profile.Ladder, c.Profile.LevelCategory, emimicCfg)
+		if err != nil {
+			// Sessions with no detectable segments default to the
+			// problem class — the conservative call for an ISP.
+			conf.Add(rec.QoE.Label(qoe.MetricCombined), 0)
+			continue
+		}
+		conf.Add(rec.QoE.Label(qoe.MetricCombined), est.Label(qoe.MetricCombined))
+	}
+	rows = append(rows, FlowComparisonRow{
+		View:              "emimic-http",
+		Metrics:           eval.MetricsFor(conf),
+		RecordsPerSession: float64(httpRecords) / float64(len(c.Records)),
+	})
+
+	for _, cfg := range []struct {
+		name   string
+		active float64
+	}{
+		{"netflow-60s", 60},
+		{"netflow-10s", 10},
+	} {
+		x := make([][]float64, len(c.Records))
+		y := make([]int, len(c.Records))
+		totalRecords := 0
+		for i, rec := range c.Records {
+			flows, err := netflow.FromCapture(rec.Capture, netflow.Config{ActiveTimeoutSec: cfg.active}, stats.SplitRNG(s.cfg.Seed+31, int64(i)))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", cfg.name, err)
+			}
+			totalRecords += len(flows)
+			x[i] = features.FromTLS(netflow.VideoTransactions(flows))
+			y[i] = rec.QoE.Label(qoe.MetricCombined)
+		}
+		ds, err := newMLDataset(x, y, features.TLSNames)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.crossValidate(ds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FlowComparisonRow{
+			View:              cfg.name,
+			Metrics:           res.Metrics(),
+			RecordsPerSession: float64(totalRecords) / float64(len(c.Records)),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFlowComparison renders the spectrum.
+func FormatFlowComparison(rows []FlowComparisonRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: coarse-data spectrum (Svc1, combined QoE; §5 future work)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s A=%3.0f%% R=%3.0f%% P=%3.0f%%  %.1f records/session\n",
+			r.View, r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100,
+			r.RecordsPerSession)
+	}
+	return b.String()
+}
+
+// InteractionRow is one train/test scenario in the user-interaction
+// study.
+type InteractionRow struct {
+	Scenario string
+	Metrics  eval.Metrics
+}
+
+// defaultInteractions is a moderately fidgety viewer: roughly one pause
+// (~20 s) every four minutes and one forward seek every five minutes.
+var defaultInteractions = has.Interactions{
+	PausesPerMinute: 0.25,
+	PauseMeanSec:    20,
+	SeeksPerMinute:  0.2,
+}
+
+// ExtensionUserInteractions quantifies the §4.3 limitation: a model
+// trained on clean sessions is evaluated on sessions with user pauses
+// and seeks, against two controls (clean/clean and a model retrained on
+// interactive data).
+func (s *Suite) ExtensionUserInteractions() ([]InteractionRow, error) {
+	clean, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	inter := defaultInteractions
+	interactive, err := dataset.Build(dataset.Config{
+		Seed:         s.cfg.Seed,
+		Sessions:     s.cfg.Sessions,
+		Interactions: &inter,
+	}, has.Svc1())
+	if err != nil {
+		return nil, err
+	}
+	cleanDS, err := clean.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		return nil, err
+	}
+	interDS, err := interactive.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		return nil, err
+	}
+
+	// All scenarios use the same index-disjoint holdout: train on
+	// session indices [0, n/2), test on [n/2, n). Clean and interactive
+	// corpora share traces index-by-index, so evaluating a clean-trained
+	// model on interactive test rows isolates the behaviour shift —
+	// without leaking each test trace's clean twin into training.
+	n := cleanDS.Len()
+	if interDS.Len() < n {
+		n = interDS.Len()
+	}
+	trainRows := make([]int, 0, n/2)
+	testRows := make([]int, 0, n-n/2)
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			trainRows = append(trainRows, i)
+		} else {
+			testRows = append(testRows, i)
+		}
+	}
+	scenario := func(name string, train, test *ml.Dataset) (InteractionRow, error) {
+		f := newForestClassifier(s.forestConfig())
+		if err := f.Fit(train.Subset(trainRows)); err != nil {
+			return InteractionRow{}, err
+		}
+		conf := eval.NewConfusion(qoe.NumCategories)
+		for _, i := range testRows {
+			conf.Add(test.Y[i], f.Predict(test.X[i]))
+		}
+		return InteractionRow{Scenario: name, Metrics: eval.MetricsFor(conf)}, nil
+	}
+	var rows []InteractionRow
+	for _, sc := range []struct {
+		name        string
+		train, test *ml.Dataset
+	}{
+		{"train clean / test clean", cleanDS, cleanDS},
+		{"train clean / test interactive", cleanDS, interDS},
+		{"train interactive / test interactive", interDS, interDS},
+	} {
+		row, err := scenario(sc.name, sc.train, sc.test)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatUserInteractions renders the study.
+func FormatUserInteractions(rows []InteractionRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: user interactions (Svc1, combined QoE; §4.3 future work)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-38s A=%3.0f%% R=%3.0f%% P=%3.0f%%\n",
+			r.Scenario, r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100)
+	}
+	return b.String()
+}
+
+// GeneralizationRow is one train-service/test-service cell.
+type GeneralizationRow struct {
+	TrainOn string
+	TestOn  string
+	Metrics eval.Metrics
+}
+
+// ExtensionCrossService studies model generalizability across services
+// (§5: "analyze the generalizability of the models across different
+// device platforms and service types"): a combined-QoE model trained
+// on one service's sessions is evaluated on every service, using
+// index-disjoint halves so shared traces never leak.
+func (s *Suite) ExtensionCrossService() ([]GeneralizationRow, error) {
+	type half struct{ train, test *ml.Dataset }
+	parts := map[string]half{}
+	for _, svc := range Services() {
+		c, err := s.Corpus(svc)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := c.MLDataset(qoe.MetricCombined)
+		if err != nil {
+			return nil, err
+		}
+		n := ds.Len()
+		trainRows := make([]int, 0, n/2)
+		testRows := make([]int, 0, n-n/2)
+		for i := 0; i < n; i++ {
+			if i < n/2 {
+				trainRows = append(trainRows, i)
+			} else {
+				testRows = append(testRows, i)
+			}
+		}
+		parts[svc] = half{train: ds.Subset(trainRows), test: ds.Subset(testRows)}
+	}
+	var rows []GeneralizationRow
+	for _, trainSvc := range Services() {
+		f := newForestClassifier(s.forestConfig())
+		if err := f.Fit(parts[trainSvc].train); err != nil {
+			return nil, fmt.Errorf("experiments: cross-service train %s: %w", trainSvc, err)
+		}
+		for _, testSvc := range Services() {
+			test := parts[testSvc].test
+			conf := eval.NewConfusion(qoe.NumCategories)
+			for i, row := range test.X {
+				conf.Add(test.Y[i], f.Predict(row))
+			}
+			rows = append(rows, GeneralizationRow{TrainOn: trainSvc, TestOn: testSvc, Metrics: eval.MetricsFor(conf)})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCrossService renders the generalization matrix.
+func FormatCrossService(rows []GeneralizationRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: cross-service generalization (combined QoE; §5 future work)\n")
+	for _, r := range rows {
+		marker := " "
+		if r.TrainOn == r.TestOn {
+			marker = "*" // within-service control
+		}
+		fmt.Fprintf(&b, "  train %s -> test %s %s A=%3.0f%% R=%3.0f%% P=%3.0f%%\n",
+			r.TrainOn, r.TestOn, marker,
+			r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100)
+	}
+	b.WriteString("  (* = within-service control)\n")
+	return b.String()
+}
+
+// ExtensionCrossNetwork studies generalization across network
+// environments: train on sessions whose traces come from one class
+// (e.g. LTE), test on another (e.g. 3G) — the deployment question of
+// whether a model learned in one part of the network transfers.
+func (s *Suite) ExtensionCrossNetwork() ([]GeneralizationRow, error) {
+	c, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		return nil, err
+	}
+	byClass := map[string][]int{}
+	for i, rec := range c.Records {
+		byClass[rec.TraceClass.String()] = append(byClass[rec.TraceClass.String()], i)
+	}
+	classes := []string{"broadband", "3g", "lte"}
+	var rows []GeneralizationRow
+	for _, trainClass := range classes {
+		trainRows := byClass[trainClass]
+		if len(trainRows) < 30 {
+			continue
+		}
+		f := newForestClassifier(s.forestConfig())
+		if err := f.Fit(ds.Subset(trainRows)); err != nil {
+			return nil, fmt.Errorf("experiments: cross-network train %s: %w", trainClass, err)
+		}
+		for _, testClass := range classes {
+			if testClass == trainClass {
+				continue
+			}
+			conf := eval.NewConfusion(qoe.NumCategories)
+			for _, i := range byClass[testClass] {
+				conf.Add(ds.Y[i], f.Predict(ds.X[i]))
+			}
+			if conf.Total() == 0 {
+				continue
+			}
+			rows = append(rows, GeneralizationRow{TrainOn: trainClass, TestOn: testClass, Metrics: eval.MetricsFor(conf)})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCrossNetwork renders the network-class transfer matrix.
+func FormatCrossNetwork(rows []GeneralizationRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: cross-network-class generalization (Svc1, combined QoE)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  train %-9s -> test %-9s A=%3.0f%% R=%3.0f%% P=%3.0f%%\n",
+			r.TrainOn, r.TestOn,
+			r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100)
+	}
+	return b.String()
+}
+
+// EarlyDetectionRow is one observation horizon in the real-time study.
+type EarlyDetectionRow struct {
+	// HorizonSec is when the classifier must answer; 0 means full
+	// session (the paper's setting).
+	HorizonSec float64
+	// Completed uses only transactions that TERMINATED by the horizon —
+	// all a proxy has (§4.3); the Oracle variant also sees in-flight
+	// transactions clipped at the horizon.
+	Completed eval.Metrics
+	Oracle    eval.Metrics
+	// CoveredFrac is the fraction of sessions with at least one
+	// completed transaction by the horizon.
+	CoveredFrac float64
+}
+
+// ExtensionEarlyDetection quantifies the paper's real-time limitation
+// (§4.3): proxies export a TLS transaction only when the connection
+// terminates, so early classification sees very little. For each
+// horizon the model is trained and cross-validated on features from
+// (a) completed-only transactions and (b) an oracle view that also
+// clips in-flight transactions at the horizon.
+func (s *Suite) ExtensionEarlyDetection() ([]EarlyDetectionRow, error) {
+	c, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	horizons := []float64{60, 120, 300, 0}
+	var rows []EarlyDetectionRow
+	for _, h := range horizons {
+		row := EarlyDetectionRow{HorizonSec: h}
+		for _, oracle := range []bool{false, true} {
+			x := make([][]float64, len(c.Records))
+			y := make([]int, len(c.Records))
+			covered := 0
+			for i, rec := range c.Records {
+				var view []capture.TLSTransaction
+				for _, t := range rec.Capture.TLS {
+					switch {
+					case h == 0:
+						view = append(view, t)
+					case t.End <= h:
+						view = append(view, t)
+					case oracle && t.Start < h:
+						clipped := t
+						clipped.End = h
+						// Bytes prorated to the observed share of the
+						// connection's lifetime.
+						frac := (h - t.Start) / t.Duration()
+						clipped.DownBytes = int64(float64(t.DownBytes) * frac)
+						clipped.UpBytes = int64(float64(t.UpBytes) * frac)
+						view = append(view, clipped)
+					}
+				}
+				if len(view) > 0 {
+					covered++
+				}
+				x[i] = features.FromTLS(view)
+				y[i] = rec.QoE.Label(qoe.MetricCombined)
+			}
+			ds, err := newMLDataset(x, y, features.TLSNames)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.crossValidate(ds)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: early detection h=%g oracle=%v: %w", h, oracle, err)
+			}
+			if oracle {
+				row.Oracle = res.Metrics()
+			} else {
+				row.Completed = res.Metrics()
+				row.CoveredFrac = float64(covered) / float64(len(c.Records))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatEarlyDetection renders the horizon sweep.
+func FormatEarlyDetection(rows []EarlyDetectionRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: early detection vs the proxy's termination delay (Svc1, combined QoE; §4.3)\n")
+	for _, r := range rows {
+		label := "full session"
+		if r.HorizonSec > 0 {
+			label = fmt.Sprintf("by %3.0fs", r.HorizonSec)
+		}
+		fmt.Fprintf(&b, "  %-12s completed-only A=%3.0f%% R=%3.0f%% (%.0f%% sessions visible)   oracle A=%3.0f%% R=%3.0f%%\n",
+			label, r.Completed.Accuracy*100, r.Completed.Recall*100, r.CoveredFrac*100,
+			r.Oracle.Accuracy*100, r.Oracle.Recall*100)
+	}
+	return b.String()
+}

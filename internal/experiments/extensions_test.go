@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionFlowComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiment is slow")
+	}
+	s := tinySuite()
+	rows, err := s.ExtensionFlowComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byView := map[string]FlowComparisonRow{}
+	for _, r := range rows {
+		byView[r.View] = r
+	}
+	for _, want := range []string{"tls-transactions", "emimic-http", "netflow-60s", "netflow-10s"} {
+		if _, ok := byView[want]; !ok {
+			t.Fatalf("missing view %s", want)
+		}
+	}
+	// NetFlow slicing can only add records, and HTTP granularity is
+	// finer still.
+	if byView["netflow-60s"].RecordsPerSession < byView["tls-transactions"].RecordsPerSession {
+		t.Error("netflow-60s has fewer records than TLS")
+	}
+	if byView["netflow-10s"].RecordsPerSession < byView["netflow-60s"].RecordsPerSession {
+		t.Error("10s slicing has fewer records than 60s")
+	}
+	if byView["emimic-http"].RecordsPerSession < byView["tls-transactions"].RecordsPerSession {
+		t.Error("HTTP transactions should outnumber TLS transactions")
+	}
+	// All views must be far above chance on this corpus.
+	for _, r := range rows {
+		if r.Metrics.Accuracy < 0.55 {
+			t.Errorf("%s accuracy %.2f", r.View, r.Metrics.Accuracy)
+		}
+	}
+	if !strings.Contains(FormatFlowComparison(rows), "netflow-60s") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestExtensionUserInteractions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiment is slow")
+	}
+	s := tinySuite()
+	rows, err := s.ExtensionUserInteractions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Metrics.Accuracy < 0.5 {
+			t.Errorf("%s accuracy %.2f", r.Scenario, r.Metrics.Accuracy)
+		}
+	}
+	if !strings.Contains(FormatUserInteractions(rows), "interactive") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestExtensionCrossService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiment is slow")
+	}
+	s := tinySuite()
+	rows, err := s.ExtensionCrossService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 3x3", len(rows))
+	}
+	// Within-service controls must be present and above chance.
+	diag := 0
+	for _, r := range rows {
+		if r.TrainOn == r.TestOn {
+			diag++
+			if r.Metrics.Accuracy < 0.5 {
+				t.Errorf("control %s accuracy %.2f", r.TrainOn, r.Metrics.Accuracy)
+			}
+		}
+	}
+	if diag != 3 {
+		t.Errorf("%d diagonal cells", diag)
+	}
+	if !strings.Contains(FormatCrossService(rows), "Svc2") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestExtensionCrossNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiment is slow")
+	}
+	s := tinySuite()
+	rows, err := s.ExtensionCrossNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no transfer cells (classes too small?)")
+	}
+	for _, r := range rows {
+		if r.TrainOn == r.TestOn {
+			t.Errorf("diagonal cell %s leaked into transfer matrix", r.TrainOn)
+		}
+	}
+	if !strings.Contains(FormatCrossNetwork(rows), "train") {
+		t.Error("format missing rows")
+	}
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"droppackets/internal/dataset"
+	"droppackets/internal/features"
+	"droppackets/internal/ml/eval"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+	"droppackets/internal/stats"
+	"droppackets/internal/trace"
+)
+
+// Span is a [Start, End] interval used in transaction timelines.
+type Span struct{ Start, End float64 }
+
+// Fig2Result reproduces Figure 2: TLS transactions and the HTTP
+// transactions they contain within the first seconds of a Svc1 session,
+// plus the corpus-wide coarse-graining factor (paper: 12.1 HTTP
+// transactions per TLS transaction on Svc1).
+type Fig2Result struct {
+	SessionID      int
+	WindowSec      float64
+	TLSSpans       []Span
+	HTTPSpans      []Span
+	MeanHTTPPerTLS float64
+}
+
+// Fig2 selects a representative session (several TLS transactions open
+// within the window) and extracts the timelines.
+func (s *Suite) Fig2() (*Fig2Result, error) {
+	c, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	const window = 5.0
+	res := &Fig2Result{WindowSec: window, MeanHTTPPerTLS: c.MeanHTTPPerTLS(), SessionID: -1}
+	for _, r := range c.Records {
+		inWindow := 0
+		for _, t := range r.Capture.TLS {
+			if t.Start <= window {
+				inWindow++
+			}
+		}
+		if inWindow < 3 {
+			continue
+		}
+		res.SessionID = r.Capture.ID
+		for _, t := range r.Capture.TLS {
+			if t.Start <= window {
+				res.TLSSpans = append(res.TLSSpans, Span{t.Start, minFloat(t.End, window)})
+			}
+		}
+		for _, h := range r.Capture.HTTP {
+			if h.Start <= window {
+				res.HTTPSpans = append(res.HTTPSpans, Span{h.Start, minFloat(h.End, window)})
+			}
+		}
+		break
+	}
+	if res.SessionID < 0 {
+		return nil, fmt.Errorf("experiments: no Svc1 session with >=3 TLS transactions in the first %gs", window)
+	}
+	return res, nil
+}
+
+// Format renders the timelines as text rows with a Gantt strip per
+// transaction, mirroring the paper's plot.
+func (r *Fig2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: Svc1 session %d, first %.0f s\n", r.SessionID, r.WindowSec)
+	const cols = 50
+	bar := func(sp Span, mark byte) string {
+		cells := []byte(strings.Repeat(".", cols))
+		lo := int(sp.Start / r.WindowSec * cols)
+		hi := int(sp.End / r.WindowSec * cols)
+		if hi >= cols {
+			hi = cols - 1
+		}
+		for i := lo; i <= hi && i >= 0; i++ {
+			cells[i] = mark
+		}
+		return string(cells)
+	}
+	for i, sp := range r.TLSSpans {
+		fmt.Fprintf(&b, "  TLS  txn %d |%s| %5.2fs..%5.2fs\n", i+1, bar(sp, '='), sp.Start, sp.End)
+	}
+	for i, sp := range r.HTTPSpans {
+		fmt.Fprintf(&b, "  HTTP txn %d |%s| %5.2fs..%5.2fs\n", i+1, bar(sp, '-'), sp.Start, sp.End)
+	}
+	fmt.Fprintf(&b, "  corpus mean HTTP transactions per TLS transaction: %.1f (paper: 12.1)\n", r.MeanHTTPPerTLS)
+	return b.String()
+}
+
+// Fig3Result reproduces Figure 3: the bandwidth-trace statistics.
+type Fig3Result struct {
+	Stats      trace.Stats
+	PoolSize   int
+	CDFPctiles map[int]float64 // percentile -> avg bandwidth kbps
+}
+
+// Fig3 regenerates the trace pool the corpora draw from and summarises
+// it.
+func (s *Suite) Fig3() (*Fig3Result, error) {
+	n := s.cfg.Sessions
+	if n <= 0 {
+		n = dataset.MaxPaperSessions()
+	}
+	pool := trace.GeneratePool(trace.GenConfig{Seed: s.cfg.Seed}, n, trace.DefaultClassMix)
+	st := trace.ComputeStats(pool)
+	res := &Fig3Result{Stats: st, PoolSize: n, CDFPctiles: map[int]float64{}}
+	avgs := make([]float64, 0, len(pool.Traces))
+	for _, t := range pool.Traces {
+		avgs = append(avgs, t.AverageKbps())
+	}
+	for _, p := range []int{10, 25, 50, 75, 90} {
+		res.CDFPctiles[p] = stats.Percentile(avgs, float64(p))
+	}
+	return res, nil
+}
+
+// Format renders Figure 3 as text, with a sparkline of the CDF shape
+// on a log-bandwidth axis.
+func (r *Fig3Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3a: average bandwidth CDF over %d traces\n", r.PoolSize)
+	for _, p := range []int{10, 25, 50, 75, 90} {
+		fmt.Fprintf(&b, "  p%-3d %8.0f kbps\n", p, r.CDFPctiles[p])
+	}
+	// Sample the CDF at log-spaced bandwidths from 100 kbps to 100 Mbps,
+	// matching the paper's log-scale x axis.
+	var ys []float64
+	for exp := 2.0; exp <= 5.0; exp += 0.125 {
+		ys = append(ys, stats.CDFAt(r.Stats.AvgBandwidthCDF, math.Pow(10, exp)))
+	}
+	fmt.Fprintf(&b, "  CDF 10^2..10^5 kbps: %s\n", stats.Sparkline(ys))
+	b.WriteString("Figure 3b: session duration mix\n")
+	labels := []string{"0-1", "1-2", "2-5", "5-20"}
+	for i, share := range r.Stats.DurationShares {
+		fmt.Fprintf(&b, "  %-5s min  %5.1f%%\n", labels[i], share*100)
+	}
+	return b.String()
+}
+
+// Fig4Row is one service's ground-truth distribution for one metric.
+type Fig4Row struct {
+	Service string
+	Metric  qoe.MetricKind
+	// Shares are per-class fractions, class 0 (problem) first.
+	Shares []float64
+	Counts []int
+}
+
+// Fig4 computes the ground-truth QoE distributions (Figure 4) across
+// all services and metrics.
+func (s *Suite) Fig4() ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, svc := range Services() {
+		c, err := s.Corpus(svc)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metricList {
+			counts := c.LabelDistribution(m)
+			rows = append(rows, Fig4Row{
+				Service: svc,
+				Metric:  m,
+				Counts:  counts,
+				Shares:  stats.Proportions(counts),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig4 renders the distribution rows.
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: ground-truth QoE distribution per service\n")
+	for _, r := range rows {
+		names := classNamesFor(r.Metric)
+		fmt.Fprintf(&b, "  %s %-13s", r.Service, r.Metric)
+		for i, share := range r.Shares {
+			fmt.Fprintf(&b, "  %s=%4.1f%%", names[i], share*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func classNamesFor(m qoe.MetricKind) []string {
+	if m == qoe.MetricRebuffer {
+		return []string{"high", "mild", "zero"}
+	}
+	return []string{"low", "med", "high"}
+}
+
+// Fig5Row is accuracy/recall/precision for one (service, metric) pair.
+type Fig5Row struct {
+	Service string
+	Metric  qoe.MetricKind
+	Metrics eval.Metrics
+}
+
+// Fig5 runs the paper's headline evaluation: 5-fold CV Random Forest
+// per service and QoE metric on the 38 TLS features (Figure 5 plus the
+// Svc3 numbers quoted in the text).
+func (s *Suite) Fig5() ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, svc := range Services() {
+		c, err := s.Corpus(svc)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metricList {
+			ds, err := c.MLDataset(m)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.crossValidate(ds)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5 %s/%s: %w", svc, m, err)
+			}
+			rows = append(rows, Fig5Row{Service: svc, Metric: m, Metrics: res.Metrics()})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig5 renders the accuracy rows.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: accuracy / recall / precision (problem class) per QoE metric\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s %-13s A=%4.0f%% R=%4.0f%% P=%4.0f%%\n",
+			r.Service, r.Metric, r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100)
+	}
+	return b.String()
+}
+
+// Fig6Row is one service's top-10 feature importances.
+type Fig6Row struct {
+	Service string
+	Top     []forest.Importance
+}
+
+// Fig6 trains one forest per service on the full corpus (combined QoE)
+// and reports mean-decrease-in-impurity importances (Figure 6).
+func (s *Suite) Fig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, svc := range Services() {
+		c, err := s.Corpus(svc)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := c.MLDataset(qoe.MetricCombined)
+		if err != nil {
+			return nil, err
+		}
+		f := forest.New(s.forestConfig())
+		if err := f.Fit(ds); err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s: %w", svc, err)
+		}
+		rows = append(rows, Fig6Row{Service: svc, Top: f.TopImportances(features.TLSNames, 10)})
+	}
+	return rows, nil
+}
+
+// FormatFig6 renders the importance rankings.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: top-10 feature importances (combined QoE)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s:\n", r.Service)
+		for i, imp := range r.Top {
+			fmt.Fprintf(&b, "    %2d. %-16s %.3f\n", i+1, imp.Feature, imp.Importance)
+		}
+	}
+	return b.String()
+}
+
+// Fig7Result reproduces Figure 7: distributions of a discriminative
+// feature for sessions matched on session-level features, split by
+// combined-QoE class.
+type Fig7Result struct {
+	Service     string
+	Feature     string
+	DurationMin [2]float64 // minutes
+	SDRKbps     [2]float64
+	Boxes       []stats.BoxPlot // indexed by combined-QoE class
+}
+
+// Fig7 computes both panels: CUM_DL_60s on Svc1 (duration 2–3 min,
+// SDR_DL 1400–1600 kbps in the paper) and D2U_med on Svc2 (duration
+// 2–3 min, SDR_DL 1000–1200 kbps). Bands can be widened with
+// widenFactor > 1 when the simulated corpus is sparse in the paper's
+// exact bands.
+func (s *Suite) Fig7(widenFactor float64) ([]Fig7Result, error) {
+	if widenFactor < 1 {
+		widenFactor = 1
+	}
+	panels := []Fig7Result{
+		{Service: "Svc1", Feature: "CUM_DL_60s", DurationMin: [2]float64{2, 3}, SDRKbps: [2]float64{1400, 1600}},
+		{Service: "Svc2", Feature: "D2U_med", DurationMin: [2]float64{2, 3}, SDRKbps: [2]float64{1000, 1200}},
+	}
+	for i := range panels {
+		p := &panels[i]
+		mid := (p.SDRKbps[0] + p.SDRKbps[1]) / 2
+		half := (p.SDRKbps[1] - p.SDRKbps[0]) / 2 * widenFactor
+		p.SDRKbps = [2]float64{mid - half, mid + half}
+
+		c, err := s.Corpus(p.Service)
+		if err != nil {
+			return nil, err
+		}
+		fi := features.TLSIndex(p.Feature)
+		durIdx := features.TLSIndex("SES_DUR")
+		sdrIdx := features.TLSIndex("SDR_DL")
+		if fi < 0 || durIdx < 0 || sdrIdx < 0 {
+			return nil, fmt.Errorf("experiments: fig7 feature lookup failed for %s", p.Feature)
+		}
+		perClass := make([][]float64, qoe.NumCategories)
+		for _, r := range c.Records {
+			durMin := r.TLSFeatures[durIdx] / 60
+			sdr := r.TLSFeatures[sdrIdx]
+			if durMin < p.DurationMin[0] || durMin > p.DurationMin[1] {
+				continue
+			}
+			if sdr < p.SDRKbps[0] || sdr > p.SDRKbps[1] {
+				continue
+			}
+			class := r.QoE.Label(qoe.MetricCombined)
+			perClass[class] = append(perClass[class], r.TLSFeatures[fi])
+		}
+		p.Boxes = make([]stats.BoxPlot, qoe.NumCategories)
+		for class, vals := range perClass {
+			p.Boxes[class] = stats.Box(vals)
+		}
+	}
+	return panels, nil
+}
+
+// FormatFig7 renders the box plots as five-number summaries.
+func FormatFig7(panels []Fig7Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: matched-session feature distributions by combined QoE\n")
+	names := []string{"low", "med", "high"}
+	for _, p := range panels {
+		fmt.Fprintf(&b, "  %s %s (duration %.0f-%.0f min, SDR_DL %.0f-%.0f kbps)\n",
+			p.Service, p.Feature, p.DurationMin[0], p.DurationMin[1], p.SDRKbps[0], p.SDRKbps[1])
+		for class, box := range p.Boxes {
+			fmt.Fprintf(&b, "    %-4s n=%-4d min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g\n",
+				names[class], box.N, box.Min, box.Q1, box.Median, box.Q3, box.Max)
+		}
+	}
+	return b.String()
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"droppackets/internal/features"
+	"droppackets/internal/qoe"
+)
+
+// tinySuite is cheaper than smallSuite for structural checks.
+func tinySuite() *Suite {
+	return NewSuite(Config{Seed: 3, Sessions: 120, Folds: 4, Trees: 15})
+}
+
+func TestFig2Structure(t *testing.T) {
+	s := tinySuite()
+	r, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TLSSpans) < 3 {
+		t.Errorf("only %d TLS spans in the window", len(r.TLSSpans))
+	}
+	if len(r.HTTPSpans) < len(r.TLSSpans) {
+		t.Errorf("HTTP spans (%d) should outnumber TLS spans (%d)", len(r.HTTPSpans), len(r.TLSSpans))
+	}
+	if r.MeanHTTPPerTLS <= 1 {
+		t.Errorf("coarse-graining factor %.2f should exceed 1", r.MeanHTTPPerTLS)
+	}
+	for _, sp := range append(append([]Span(nil), r.TLSSpans...), r.HTTPSpans...) {
+		if sp.Start < 0 || sp.End > r.WindowSec+1e-9 || sp.End < sp.Start {
+			t.Fatalf("span %+v outside window", sp)
+		}
+	}
+	if !strings.Contains(r.Format(), "Figure 2") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	s := tinySuite()
+	r, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CDFPctiles[10] > r.CDFPctiles[50] || r.CDFPctiles[50] > r.CDFPctiles[90] {
+		t.Errorf("percentiles not monotone: %v", r.CDFPctiles)
+	}
+	var total float64
+	for _, share := range r.Stats.DurationShares {
+		total += share
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("duration shares sum to %g", total)
+	}
+	if !strings.Contains(r.Format(), "Figure 3") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	s := tinySuite()
+	rows, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // 3 services x 3 metrics
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		var sum float64
+		for _, share := range r.Shares {
+			sum += share
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s/%s shares sum to %g", r.Service, r.Metric, sum)
+		}
+	}
+	// The paper's Figure 4 contrast: Svc1 has (far) fewer high-rebuffer
+	// sessions than Svc2, and Svc2/Svc3 fewer low-quality than Svc1? —
+	// at minimum, Svc2's high-rebuffer share must exceed Svc1's.
+	shares := map[string][]float64{}
+	for _, r := range rows {
+		if r.Metric == qoe.MetricRebuffer {
+			shares[r.Service] = r.Shares
+		}
+	}
+	if shares["Svc2"][0] <= shares["Svc1"][0] {
+		t.Errorf("Svc2 high-rebuffer share %.3f should exceed Svc1's %.3f (§4.1)",
+			shares["Svc2"][0], shares["Svc1"][0])
+	}
+	out := FormatFig4(rows)
+	if !strings.Contains(out, "Svc3") {
+		t.Error("Format missing Svc3")
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	s := tinySuite()
+	rows, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d services", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Top) != 10 {
+			t.Errorf("%s: top-%d, want top-10", r.Service, len(r.Top))
+		}
+		for i := 1; i < len(r.Top); i++ {
+			if r.Top[i].Importance > r.Top[i-1].Importance {
+				t.Errorf("%s: importances not descending at %d", r.Service, i)
+			}
+		}
+		valid := map[string]bool{}
+		for _, n := range features.TLSNames {
+			valid[n] = true
+		}
+		for _, imp := range r.Top {
+			if !valid[imp.Feature] {
+				t.Errorf("%s: unknown feature %q", r.Service, imp.Feature)
+			}
+		}
+	}
+	if !strings.Contains(FormatFig6(rows), "Figure 6") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestFig7Structure(t *testing.T) {
+	s := tinySuite()
+	panels, err := s.Fig7(6) // widen heavily: tiny corpus
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	if panels[0].Feature != "CUM_DL_60s" || panels[1].Feature != "D2U_med" {
+		t.Errorf("panel features %s/%s", panels[0].Feature, panels[1].Feature)
+	}
+	for _, p := range panels {
+		if len(p.Boxes) != qoe.NumCategories {
+			t.Fatalf("%s: %d boxes", p.Service, len(p.Boxes))
+		}
+	}
+	if !strings.Contains(FormatFig7(panels), "Figure 7") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"SDR_DL", "D2U", "CUM_DL_XXs", "38"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable3Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep is slow")
+	}
+	s := tinySuite()
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	// The paper's Table 3 finding: adding transaction stats and
+	// temporal features should not hurt; the full set should be at
+	// least as accurate as session-level only (allow small noise).
+	acc := map[string]map[features.Subset]float64{}
+	for _, r := range rows {
+		if acc[r.Service] == nil {
+			acc[r.Service] = map[features.Subset]float64{}
+		}
+		acc[r.Service][r.Subset] = r.Metrics.Accuracy
+	}
+	for svc, m := range acc {
+		if m[features.AllFeatures]+0.05 < m[features.SessionLevelOnly] {
+			t.Errorf("%s: full set (%.2f) clearly below session-level only (%.2f)",
+				svc, m[features.AllFeatures], m[features.SessionLevelOnly])
+		}
+	}
+	if !strings.Contains(FormatTable3(rows), "Table 3") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestSuiteCorpusCache(t *testing.T) {
+	s := tinySuite()
+	a, err := s.Corpus("Svc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Corpus("Svc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("corpus not cached")
+	}
+	if _, err := s.Corpus("SvcX"); err == nil {
+		t.Error("unknown service accepted")
+	}
+}
+
+func TestServicesOrder(t *testing.T) {
+	got := Services()
+	if len(got) != 3 || got[0] != "Svc1" || got[2] != "Svc3" {
+		t.Errorf("Services() = %v", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := NewSuite(Config{Seed: 1})
+	cfg := s.Config()
+	if cfg.Folds != 5 || cfg.Trees != 100 {
+		t.Errorf("defaults %+v", cfg)
+	}
+}

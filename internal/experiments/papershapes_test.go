@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"droppackets/internal/features"
+	"droppackets/internal/qoe"
+)
+
+// TestPaperShapes is the consolidated reproduction check: the
+// directional findings of the paper's evaluation must hold on a
+// moderate corpus. Absolute numbers differ from the paper (the
+// substrate is a simulator — see EXPERIMENTS.md); the *shapes* below
+// are the reproduction contract.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shape check is slow")
+	}
+	s := NewSuite(Config{Seed: 42, Sessions: 420, Folds: 5, Trees: 40})
+
+	// §4.1 / Figure 4: Svc1 degrades via quality (few stalls thanks to
+	// its 240 s buffer); Svc2 stalls the most.
+	fig4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebufferHigh := map[string]float64{}
+	qualityLow := map[string]float64{}
+	for _, r := range fig4 {
+		switch r.Metric {
+		case qoe.MetricRebuffer:
+			rebufferHigh[r.Service] = r.Shares[0]
+		case qoe.MetricQuality:
+			qualityLow[r.Service] = r.Shares[0]
+		}
+	}
+	if !(rebufferHigh["Svc2"] > rebufferHigh["Svc3"] && rebufferHigh["Svc3"] > rebufferHigh["Svc1"]) {
+		t.Errorf("rebuffering ordering violated: Svc1=%.2f Svc2=%.2f Svc3=%.2f",
+			rebufferHigh["Svc1"], rebufferHigh["Svc2"], rebufferHigh["Svc3"])
+	}
+	if rebufferHigh["Svc1"] > 0.15 {
+		t.Errorf("Svc1 high-rebuffer share %.2f; its 240s buffer should keep this low", rebufferHigh["Svc1"])
+	}
+
+	// Figure 5: the metric that degrades in a service is the one its
+	// classifier detects best (recall), and combined-QoE recall is
+	// strong everywhere (paper: 73-85%).
+	fig5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := map[string]map[qoe.MetricKind]float64{}
+	for _, r := range fig5 {
+		if recall[r.Service] == nil {
+			recall[r.Service] = map[qoe.MetricKind]float64{}
+		}
+		recall[r.Service][r.Metric] = r.Metrics.Recall
+	}
+	if recall["Svc1"][qoe.MetricQuality] <= recall["Svc1"][qoe.MetricRebuffer] {
+		t.Errorf("Svc1: quality recall %.2f should beat rebuffer recall %.2f (quality is what degrades)",
+			recall["Svc1"][qoe.MetricQuality], recall["Svc1"][qoe.MetricRebuffer])
+	}
+	for _, svc := range Services() {
+		if r := recall[svc][qoe.MetricCombined]; r < 0.7 {
+			t.Errorf("%s combined recall %.2f below 0.7", svc, r)
+		}
+	}
+
+	// Table 2: misclassification concentrates between neighbouring
+	// classes; low->high confusion is rare, and medium is the hardest.
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := t2.Confusion.RowPercents()
+	if pct[0][2] > pct[0][1] {
+		t.Errorf("low misclassified as high (%.0f%%) more than as med (%.0f%%)", pct[0][2], pct[0][1])
+	}
+	if !(t2.Confusion.Recall(1) < t2.Confusion.Recall(0) && t2.Confusion.Recall(1) < t2.Confusion.Recall(2)) {
+		t.Errorf("medium should be the hardest class: recalls %.2f/%.2f/%.2f",
+			t2.Confusion.Recall(0), t2.Confusion.Recall(1), t2.Confusion.Recall(2))
+	}
+
+	// Table 3: features help in the paper's order (small slack for CV
+	// noise).
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]map[features.Subset]float64{}
+	for _, r := range t3 {
+		if acc[r.Service] == nil {
+			acc[r.Service] = map[features.Subset]float64{}
+		}
+		acc[r.Service][r.Subset] = r.Metrics.Accuracy
+	}
+	for svc, m := range acc {
+		if m[features.AllFeatures]+0.03 < m[features.SessionLevelOnly] {
+			t.Errorf("%s: full feature set (%.2f) clearly below SL-only (%.2f)",
+				svc, m[features.AllFeatures], m[features.SessionLevelOnly])
+		}
+	}
+
+	// Table 4: packet traces never lose to TLS by more than noise, and
+	// the data-volume gap is orders of magnitude.
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range t4 {
+		if r.Packet.Accuracy+0.03 < r.TLS.Accuracy {
+			t.Errorf("%s: packet accuracy %.2f clearly below TLS %.2f", r.Service, r.Packet.Accuracy, r.TLS.Accuracy)
+		}
+		if r.RecordRatio() < 1000 {
+			t.Errorf("%s: record ratio %.0f below 3 orders of magnitude", r.Service, r.RecordRatio())
+		}
+		if r.TimeRatio() < 10 {
+			t.Errorf("%s: extraction-time ratio %.0f below 10x", r.Service, r.TimeRatio())
+		}
+	}
+
+	// Table 5: most back-to-back session starts are recovered, and
+	// existing transactions are rarely mislabelled (paper: 89% / 98%).
+	t5, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(t5.SessionsCorrect) / float64(t5.SessionsTotal); frac < 0.75 {
+		t.Errorf("session starts recovered %.2f, want >= 0.75", frac)
+	}
+	if rec := t5.Confusion.Recall(0); rec < 0.95 {
+		t.Errorf("existing-transaction accuracy %.2f, want >= 0.95", rec)
+	}
+}

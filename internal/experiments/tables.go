@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/features"
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/eval"
+	"droppackets/internal/qoe"
+	"droppackets/internal/sessionid"
+	"droppackets/internal/stats"
+)
+
+// newMLDataset wraps ml.NewDataset with the QoE class count.
+func newMLDataset(x [][]float64, y []int, names []string) (*ml.Dataset, error) {
+	return ml.NewDataset(x, y, qoe.NumCategories, names)
+}
+
+// Table1 renders the feature summary (Table 1). It is static
+// documentation of the feature set, printed from the live feature
+// registry so it can never drift from the code.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: feature summary\n")
+	b.WriteString("  Session level   (single value): SDR_DL, SDR_UL, SES_DUR, TRANS_PER_SEC\n")
+	b.WriteString("  Transaction     (min/med/max) : DL_SIZE, UL_SIZE, DUR, TDR, D2U, IAT\n")
+	var ivs []string
+	for _, iv := range features.TemporalIntervals {
+		ivs = append(ivs, fmt.Sprintf("%d", int(iv)))
+	}
+	fmt.Fprintf(&b, "  Temporal        (interval)    : CUM_DL_XXs, CUM_UL_XXs, XX in {%s}\n", strings.Join(ivs, ","))
+	fmt.Fprintf(&b, "  Total features: %d\n", features.NumTLSFeatures)
+	return b.String()
+}
+
+// Table2Result is the confusion matrix of the combined-QoE classifier
+// on Svc1 (Table 2).
+type Table2Result struct {
+	Service   string
+	Confusion *eval.Confusion
+}
+
+// Table2 runs 5-fold CV on Svc1 combined QoE and pools the confusion
+// matrix.
+func (s *Suite) Table2() (*Table2Result, error) {
+	c, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.crossValidate(ds)
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{Service: "Svc1", Confusion: res.Confusion}, nil
+}
+
+// Format renders the matrix as row percentages like the paper.
+func (r *Table2Result) Format() string {
+	return fmt.Sprintf("Table 2: confusion matrix, %s combined QoE\n%s",
+		r.Service, r.Confusion.Format([]string{"low", "med", "high"}))
+}
+
+// Table3Row is one (feature subset, service) ablation cell.
+type Table3Row struct {
+	Subset  features.Subset
+	Service string
+	Metrics eval.Metrics
+}
+
+// Table3 reproduces the feature ablation: CV accuracy/recall/precision
+// for combined QoE as transaction statistics and temporal features are
+// added to the session-level baseline.
+func (s *Suite) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, subset := range []features.Subset{features.SessionLevelOnly, features.WithTransactionStats, features.AllFeatures} {
+		for _, svc := range Services() {
+			c, err := s.Corpus(svc)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := c.MLDataset(qoe.MetricCombined)
+			if err != nil {
+				return nil, err
+			}
+			sub := ds.SelectFeatures(features.SubsetIndices(subset))
+			res, err := s.crossValidate(sub)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table3 %s/%v: %w", svc, subset, err)
+			}
+			rows = append(rows, Table3Row{Subset: subset, Service: svc, Metrics: res.Metrics()})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the ablation grid.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: accuracy (A), recall (R), precision (P) by feature set, combined QoE\n")
+	var last features.Subset
+	for _, r := range rows {
+		if r.Subset != last {
+			fmt.Fprintf(&b, "  %s\n", r.Subset)
+			last = r.Subset
+		}
+		fmt.Fprintf(&b, "    %s  A=%3.0f%% R=%3.0f%% P=%3.0f%%\n",
+			r.Service, r.Metrics.Accuracy*100, r.Metrics.Recall*100, r.Metrics.Precision*100)
+	}
+	return b.String()
+}
+
+// Table4Row compares TLS-based estimation against the ML16 packet
+// baseline for one service, with the overhead accounting of §4.2.
+type Table4Row struct {
+	Service string
+	TLS     eval.Metrics
+	Packet  eval.Metrics
+	// Overheads: mean record counts per session and total feature
+	// extraction times over the corpus.
+	MeanTLSPerSession     float64
+	MeanPacketsPerSession float64
+	TLSExtractTime        time.Duration
+	PacketExtractTime     time.Duration
+}
+
+// RecordRatio is packets-per-session over TLS-transactions-per-session
+// (the paper's 1400x memory-overhead factor).
+func (r Table4Row) RecordRatio() float64 {
+	if r.MeanTLSPerSession == 0 {
+		return 0
+	}
+	return r.MeanPacketsPerSession / r.MeanTLSPerSession
+}
+
+// TimeRatio is packet-feature extraction time over TLS extraction time
+// (the paper's 60x computation factor).
+func (r Table4Row) TimeRatio() float64 {
+	if r.TLSExtractTime <= 0 {
+		return 0
+	}
+	return float64(r.PacketExtractTime) / float64(r.TLSExtractTime)
+}
+
+// Table4 runs the packet-versus-TLS comparison on combined QoE: ML16
+// features from synthesised packet traces against the 38 TLS features,
+// both under the same CV protocol, plus overhead measurements.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, svc := range Services() {
+		c, err := s.Corpus(svc)
+		if err != nil {
+			return nil, err
+		}
+		tlsDS, err := c.MLDataset(qoe.MetricCombined)
+		if err != nil {
+			return nil, err
+		}
+		tlsRes, err := s.crossValidate(tlsDS)
+		if err != nil {
+			return nil, err
+		}
+		// Time TLS feature extraction over the whole corpus.
+		tlsStart := time.Now()
+		for _, sess := range tlsSessions(c) {
+			_ = features.FromTLS(sess)
+		}
+		tlsTime := time.Since(tlsStart)
+
+		// Packet pipeline: synthesise traces per session, timing the
+		// feature extraction separately from synthesis.
+		var pktTime time.Duration
+		x := make([][]float64, len(c.Records))
+		y := make([]int, len(c.Records))
+		for i, rec := range c.Records {
+			pkts, err := rec.Capture.Packetize(stats.SplitRNG(s.cfg.Seed+77, int64(i)))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table4 %s: %w", svc, err)
+			}
+			t0 := time.Now()
+			x[i] = features.FromPackets(pkts)
+			pktTime += time.Since(t0)
+			y[i] = rec.QoE.Label(qoe.MetricCombined)
+		}
+		pktDS, err := newMLDataset(x, y, features.ML16Names)
+		if err != nil {
+			return nil, err
+		}
+		pktRes, err := s.crossValidate(pktDS)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{
+			Service:               svc,
+			TLS:                   tlsRes.Metrics(),
+			Packet:                pktRes.Metrics(),
+			MeanTLSPerSession:     c.MeanTLSPerSession(),
+			MeanPacketsPerSession: c.MeanPacketsPerSession(),
+			TLSExtractTime:        tlsTime,
+			PacketExtractTime:     pktTime,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the comparison with paper-style gains.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: packet traces (ML16) vs TLS transactions, combined QoE\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s packet: A=%3.0f%% (%+.0f%%) R=%3.0f%% (%+.0f%%) P=%3.0f%% (%+.0f%%)\n",
+			r.Service,
+			r.Packet.Accuracy*100, (r.Packet.Accuracy-r.TLS.Accuracy)*100,
+			r.Packet.Recall*100, (r.Packet.Recall-r.TLS.Recall)*100,
+			r.Packet.Precision*100, (r.Packet.Precision-r.TLS.Precision)*100)
+		fmt.Fprintf(&b, "       overhead: %.1f TLS txns vs %.0f packets per session (%.0fx records); feature extraction %v vs %v (%.0fx time)\n",
+			r.MeanTLSPerSession, r.MeanPacketsPerSession, r.RecordRatio(),
+			r.TLSExtractTime.Round(time.Millisecond), r.PacketExtractTime.Round(time.Millisecond), r.TimeRatio())
+	}
+	return b.String()
+}
+
+// Table5Result is the session-identification confusion matrix.
+type Table5Result struct {
+	Confusion         *eval.Confusion
+	SessionsCorrect   int
+	SessionsTotal     int
+	Params            sessionid.Params
+	ChainsEvaluated   int
+	SessionsPerChain  int
+	TransactionsTotal int
+	// TimeoutCorrect counts the starts the timeout baseline (30 s gap)
+	// recovers — the paper's argument for needing the heuristic at all.
+	TimeoutCorrect int
+}
+
+// Table5 evaluates the heuristic on back-to-back Svc1 session chains:
+// the corpus is split into consecutive groups streamed back-to-back, as
+// in the paper's extreme all-back-to-back setting.
+func (s *Suite) Table5() (*Table5Result, error) {
+	c, err := s.Corpus("Svc1")
+	if err != nil {
+		return nil, err
+	}
+	const perChain = 8
+	res := &Table5Result{
+		Confusion:        eval.NewConfusion(2),
+		Params:           sessionid.PaperParams,
+		SessionsPerChain: perChain,
+	}
+	for start := 0; start+perChain <= len(c.Records); start += perChain {
+		group := c.Records[start : start+perChain]
+		sessions := make([][]capture.TLSTransaction, len(group))
+		durations := make([]float64, len(group))
+		for i, rec := range group {
+			sessions[i] = rec.Capture.TLS
+			durations[i] = rec.DurationSec
+		}
+		stream := sessionid.Concat(sessions, durations)
+		conf := sessionid.Evaluate(stream, res.Params)
+		for a := 0; a < 2; a++ {
+			for p := 0; p < 2; p++ {
+				res.Confusion.M[a][p] += conf.M[a][p]
+			}
+		}
+		correct, total := sessionid.SessionsRecovered(stream, res.Params)
+		res.SessionsCorrect += correct
+		res.SessionsTotal += total
+		tc, _ := sessionid.TimeoutRecovered(stream, 30)
+		res.TimeoutCorrect += tc
+		res.ChainsEvaluated++
+		res.TransactionsTotal += len(stream)
+	}
+	return res, nil
+}
+
+// Format renders Table 5.
+func (r *Table5Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: session identification (W=%gs, Nmin=%d, dmin=%g) over %d chains of %d back-to-back sessions\n",
+		r.Params.WindowSec, r.Params.MinCount, r.Params.MinNewFrac, r.ChainsEvaluated, r.SessionsPerChain)
+	b.WriteString(r.Confusion.Format(sessionid.ClassNames))
+	fmt.Fprintf(&b, "  session starts recovered: %d/%d (%.0f%%, paper: 89%%)\n",
+		r.SessionsCorrect, r.SessionsTotal, float64(r.SessionsCorrect)/float64(maxInt(r.SessionsTotal, 1))*100)
+	fmt.Fprintf(&b, "  timeout baseline (30s gap): %d/%d (%.0f%%) — why §2.2 rules it out\n",
+		r.TimeoutCorrect, r.SessionsTotal, float64(r.TimeoutCorrect)/float64(maxInt(r.SessionsTotal, 1))*100)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

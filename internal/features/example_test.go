@@ -1,0 +1,27 @@
+package features_test
+
+import (
+	"fmt"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/features"
+)
+
+// Two TLS transactions — all a transparent proxy exports — become the
+// paper's 38-feature vector.
+func ExampleFromTLS() {
+	txns := []capture.TLSTransaction{
+		{SNI: "cdn-01.svc.example", Start: 0, End: 60, DownBytes: 15_000_000, UpBytes: 60_000},
+		{SNI: "api.svc.example", Start: 0.2, End: 20, DownBytes: 90_000, UpBytes: 9_000},
+	}
+	v := features.FromTLS(txns)
+	fmt.Printf("%d features\n", len(v))
+	fmt.Printf("SDR_DL  = %.0f kbps\n", v[features.TLSIndex("SDR_DL")])
+	fmt.Printf("SES_DUR = %.0f s\n", v[features.TLSIndex("SES_DUR")])
+	fmt.Printf("D2U_max = %.0f\n", v[features.TLSIndex("D2U_max")])
+	// Output:
+	// 38 features
+	// SDR_DL  = 2012 kbps
+	// SES_DUR = 60 s
+	// D2U_max = 250
+}

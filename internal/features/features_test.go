@@ -1,0 +1,318 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"droppackets/internal/capture"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// twoTxns is a hand-checkable session: txn A [0, 10] 1 MB down / 10 kB
+// up; txn B [20, 30] 2 MB down / 20 kB up.
+func twoTxns() []capture.TLSTransaction {
+	return []capture.TLSTransaction{
+		{SNI: "a", Start: 0, End: 10, DownBytes: 1_000_000, UpBytes: 10_000},
+		{SNI: "b", Start: 20, End: 30, DownBytes: 2_000_000, UpBytes: 20_000},
+	}
+}
+
+func feat(t *testing.T, txns []capture.TLSTransaction, name string) float64 {
+	t.Helper()
+	i := TLSIndex(name)
+	if i < 0 {
+		t.Fatalf("unknown feature %q", name)
+	}
+	return FromTLS(txns)[i]
+}
+
+func TestSessionLevelFeatures(t *testing.T) {
+	txns := twoTxns()
+	// Session spans [0, 30]: 3 MB down over 30 s = 800 kbps.
+	if got := feat(t, txns, "SDR_DL"); !almost(got, 800) {
+		t.Errorf("SDR_DL = %g, want 800", got)
+	}
+	if got := feat(t, txns, "SDR_UL"); !almost(got, 8) {
+		t.Errorf("SDR_UL = %g, want 8", got)
+	}
+	if got := feat(t, txns, "SES_DUR"); !almost(got, 30) {
+		t.Errorf("SES_DUR = %g, want 30", got)
+	}
+	if got := feat(t, txns, "TRANS_PER_SEC"); !almost(got, 2.0/30) {
+		t.Errorf("TRANS_PER_SEC = %g, want %g", got, 2.0/30)
+	}
+}
+
+func TestTransactionStatFeatures(t *testing.T) {
+	txns := twoTxns()
+	if got := feat(t, txns, "DL_SIZE_min"); !almost(got, 1_000_000) {
+		t.Errorf("DL_SIZE_min = %g", got)
+	}
+	if got := feat(t, txns, "DL_SIZE_max"); !almost(got, 2_000_000) {
+		t.Errorf("DL_SIZE_max = %g", got)
+	}
+	// Median of two values interpolates between them.
+	if got := feat(t, txns, "DL_SIZE_med"); !almost(got, 1_500_000) {
+		t.Errorf("DL_SIZE_med = %g", got)
+	}
+	// TDR of txn A: 1 MB over 10 s = 800 kbps; txn B: 1600 kbps.
+	if got := feat(t, txns, "TDR_min"); !almost(got, 800) {
+		t.Errorf("TDR_min = %g, want 800", got)
+	}
+	if got := feat(t, txns, "TDR_max"); !almost(got, 1600) {
+		t.Errorf("TDR_max = %g, want 1600", got)
+	}
+	// D2U: both are 100.
+	if got := feat(t, txns, "D2U_med"); !almost(got, 100) {
+		t.Errorf("D2U_med = %g, want 100", got)
+	}
+	// IAT: single gap of 20 s.
+	for _, s := range []string{"IAT_min", "IAT_med", "IAT_max"} {
+		if got := feat(t, txns, s); !almost(got, 20) {
+			t.Errorf("%s = %g, want 20", s, got)
+		}
+	}
+	if got := feat(t, txns, "DUR_max"); !almost(got, 10) {
+		t.Errorf("DUR_max = %g, want 10", got)
+	}
+}
+
+func TestTemporalFeaturesOverlapShares(t *testing.T) {
+	txns := twoTxns()
+	// Window [0, 30]: txn A fully inside (1 MB), txn B fully inside
+	// (2 MB).
+	if got := feat(t, txns, "CUM_DL_30s"); !almost(got, 3_000_000) {
+		t.Errorf("CUM_DL_30s = %g, want 3e6", got)
+	}
+	// Custom grid: window [0, 25] covers A fully and half of B.
+	v := FromTLSWithIntervals(txns, []float64{25})
+	if got := v[22]; !almost(got, 1_000_000+1_000_000) {
+		t.Errorf("CUM_DL_25s = %g, want 2e6 (A + half of B)", got)
+	}
+	if got := v[23]; !almost(got, 10_000+10_000) {
+		t.Errorf("CUM_UL_25s = %g, want 2e4", got)
+	}
+	// Windows beyond the session saturate at the total.
+	if got := feat(t, txns, "CUM_DL_1200s"); !almost(got, 3_000_000) {
+		t.Errorf("CUM_DL_1200s = %g, want total", got)
+	}
+}
+
+func TestTemporalWindowsRelativeToSessionStart(t *testing.T) {
+	// Shift the whole session by 1000 s: temporal features must not
+	// change because windows anchor at the first transaction.
+	base := twoTxns()
+	shifted := twoTxns()
+	for i := range shifted {
+		shifted[i].Start += 1000
+		shifted[i].End += 1000
+	}
+	a, b := FromTLS(base), FromTLS(shifted)
+	for i := range a {
+		if !almost(a[i], b[i]) {
+			t.Errorf("feature %s changed under time shift: %g vs %g", TLSNames[i], a[i], b[i])
+		}
+	}
+}
+
+func TestFromTLSEmptyAndSingle(t *testing.T) {
+	v := FromTLS(nil)
+	if len(v) != NumTLSFeatures {
+		t.Fatalf("empty vector has %d entries", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("empty session feature %s = %g", TLSNames[i], x)
+		}
+	}
+	// Single transaction: IAT defaults to 0, no NaNs anywhere.
+	one := []capture.TLSTransaction{{Start: 5, End: 6, DownBytes: 100, UpBytes: 0}}
+	v = FromTLS(one)
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s is %g", TLSNames[i], x)
+		}
+	}
+	if got := v[TLSIndex("IAT_max")]; got != 0 {
+		t.Errorf("single-txn IAT = %g, want 0", got)
+	}
+	// Zero uplink must not divide by zero in D2U.
+	if got := v[TLSIndex("D2U_max")]; got != 100 {
+		t.Errorf("D2U with zero uplink = %g, want 100 (clamped denominator)", got)
+	}
+}
+
+func TestFeatureNamesAndIndices(t *testing.T) {
+	if NumTLSFeatures != 38 {
+		t.Fatalf("feature count %d, want 38 (4 + 18 + 16, §3)", NumTLSFeatures)
+	}
+	if len(TLSNames) != NumTLSFeatures {
+		t.Fatal("names out of sync")
+	}
+	seen := map[string]bool{}
+	for _, n := range TLSNames {
+		if seen[n] {
+			t.Errorf("duplicate feature name %s", n)
+		}
+		seen[n] = true
+	}
+	if TLSIndex("SDR_DL") != 0 || TLSIndex("nope") != -1 {
+		t.Error("TLSIndex misbehaves")
+	}
+	if ML16Index("PKT_TOTAL_DL_BYTES") != 0 || ML16Index("nope") != -1 {
+		t.Error("ML16Index misbehaves")
+	}
+}
+
+func TestSubsetIndices(t *testing.T) {
+	if got := len(SubsetIndices(SessionLevelOnly)); got != 4 {
+		t.Errorf("SL subset has %d features, want 4", got)
+	}
+	if got := len(SubsetIndices(WithTransactionStats)); got != 22 {
+		t.Errorf("SL+TS subset has %d features, want 22", got)
+	}
+	if got := len(SubsetIndices(AllFeatures)); got != 38 {
+		t.Errorf("full subset has %d features, want 38", got)
+	}
+	if got := len(SubsetIndices(Subset(0))); got != 38 {
+		t.Errorf("zero subset should default to all, got %d", got)
+	}
+	for _, s := range []Subset{SessionLevelOnly, WithTransactionStats, AllFeatures} {
+		if s.String() == "" {
+			t.Errorf("subset %d has no name", s)
+		}
+	}
+}
+
+// packets builds a synthetic trace: req(400B) -> 3 data packets ->
+// req -> 2 data packets, with one retransmission.
+func mlPackets() []capture.Packet {
+	return []capture.Packet{
+		{Time: 0.0, Size: 400, Uplink: true},
+		{Time: 0.1, Size: 1460, RTTms: 50},
+		{Time: 0.2, Size: 1460, RTTms: 60},
+		{Time: 0.25, Size: 52, Uplink: true}, // ACK: not a request
+		{Time: 0.3, Size: 1000, RTTms: 55},
+		{Time: 1.0, Size: 400, Uplink: true},
+		{Time: 1.1, Size: 1460, RTTms: 70, Retransmit: true},
+		{Time: 1.2, Size: 500, RTTms: 45},
+	}
+}
+
+func TestFromPacketsChunks(t *testing.T) {
+	v := FromPackets(mlPackets())
+	get := func(name string) float64 { return v[ML16Index(name)] }
+	if got := get("CHUNK_COUNT"); got != 2 {
+		t.Errorf("CHUNK_COUNT = %g, want 2", got)
+	}
+	// Chunk 1: 1460+1460+1000 = 3920; chunk 2: 1460+500 = 1960.
+	if got := get("CHUNK_SIZE_MAX"); got != 3920 {
+		t.Errorf("CHUNK_SIZE_MAX = %g, want 3920", got)
+	}
+	if got := get("CHUNK_SIZE_MIN"); got != 1960 {
+		t.Errorf("CHUNK_SIZE_MIN = %g, want 1960", got)
+	}
+	if got := get("PKT_RETRANS_COUNT"); got != 1 {
+		t.Errorf("PKT_RETRANS_COUNT = %g, want 1", got)
+	}
+	if got := get("PKT_DL_COUNT"); got != 5 {
+		t.Errorf("PKT_DL_COUNT = %g, want 5", got)
+	}
+	if got := get("PKT_UL_COUNT"); got != 3 {
+		t.Errorf("PKT_UL_COUNT = %g, want 3", got)
+	}
+	if got := get("REQ_IAT_MAX"); !almost(got, 1.0) {
+		t.Errorf("REQ_IAT_MAX = %g, want 1.0", got)
+	}
+	if got := get("PKT_RTT_MAX"); got != 70 {
+		t.Errorf("PKT_RTT_MAX = %g, want 70", got)
+	}
+	if got := get("PKT_SES_DUR"); !almost(got, 1.2) {
+		t.Errorf("PKT_SES_DUR = %g, want 1.2", got)
+	}
+}
+
+func TestFromPacketsEmpty(t *testing.T) {
+	v := FromPackets(nil)
+	if len(v) != NumML16Features {
+		t.Fatalf("vector length %d", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("feature %s = %g on empty trace", ML16Names[i], x)
+		}
+	}
+}
+
+func TestFromPacketsNoRequests(t *testing.T) {
+	// Downlink-only trace (no request packets): zero chunks, no NaNs.
+	pkts := []capture.Packet{
+		{Time: 0, Size: 1460, RTTms: 40},
+		{Time: 1, Size: 1460, RTTms: 42},
+	}
+	v := FromPackets(pkts)
+	if got := v[ML16Index("CHUNK_COUNT")]; got != 0 {
+		t.Errorf("CHUNK_COUNT = %g, want 0", got)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s = %g", ML16Names[i], x)
+		}
+	}
+}
+
+// Property: TLS feature vectors are always finite and byte-scale
+// features scale linearly with byte counts.
+func TestQuickFromTLSFinite(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var txns []capture.TLSTransaction
+		tstart := 0.0
+		for _, r := range raw {
+			dur := float64(r%97)/10 + 0.1
+			txns = append(txns, capture.TLSTransaction{
+				Start:     tstart,
+				End:       tstart + dur,
+				DownBytes: int64(r % 1_000_000),
+				UpBytes:   int64(r % 10_000),
+			})
+			tstart += float64(r%13) / 3
+		}
+		v := FromTLS(txns)
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTLSDoubleBytesDoublesVolumes(t *testing.T) {
+	base := twoTxns()
+	doubled := twoTxns()
+	for i := range doubled {
+		doubled[i].DownBytes *= 2
+		doubled[i].UpBytes *= 2
+	}
+	a, b := FromTLS(base), FromTLS(doubled)
+	for _, name := range []string{"SDR_DL", "SDR_UL", "DL_SIZE_med", "UL_SIZE_max", "TDR_med", "CUM_DL_60s", "CUM_UL_120s"} {
+		i := TLSIndex(name)
+		if !almost(b[i], 2*a[i]) {
+			t.Errorf("%s did not double: %g -> %g", name, a[i], b[i])
+		}
+	}
+	// D2U and timing features are scale-invariant.
+	for _, name := range []string{"D2U_med", "SES_DUR", "IAT_max", "TRANS_PER_SEC"} {
+		i := TLSIndex(name)
+		if !almost(b[i], a[i]) {
+			t.Errorf("%s changed under byte scaling: %g -> %g", name, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package features
+
+import (
+	"droppackets/internal/stats"
+
+	"droppackets/internal/capture"
+)
+
+// ML16Names lists the packet-trace features of the ML16 baseline
+// (Dimopoulos et al., "Measuring Video QoE from Encrypted Traffic",
+// IMC'16, as adapted in §4.2): video-segment ("chunk") statistics
+// recovered from request/response packet patterns plus network-health
+// metrics — retransmissions, loss and RTT — that only packet traces
+// expose.
+var ML16Names = []string{
+	// Volume and rate.
+	"PKT_TOTAL_DL_BYTES", "PKT_TOTAL_UL_BYTES", "PKT_SES_DUR", "PKT_AVG_TPUT_KBPS",
+	"PKT_DL_COUNT", "PKT_UL_COUNT",
+	// Network health (unavailable in the TLS view).
+	"PKT_RETRANS_COUNT", "PKT_RETRANS_FRAC", "PKT_RTT_MEAN", "PKT_RTT_MAX", "PKT_RTT_STD",
+	// Segment (chunk) features, fundamental to HAS QoE.
+	"CHUNK_COUNT", "CHUNK_RATE_PER_SEC",
+	"CHUNK_SIZE_MEAN", "CHUNK_SIZE_MED", "CHUNK_SIZE_MIN", "CHUNK_SIZE_MAX", "CHUNK_SIZE_STD",
+	"CHUNK_DUR_MEAN", "CHUNK_DUR_MED", "CHUNK_DUR_MAX",
+	"CHUNK_TPUT_MEAN", "CHUNK_TPUT_MED", "CHUNK_TPUT_MIN",
+	"REQ_IAT_MEAN", "REQ_IAT_MED", "REQ_IAT_MAX",
+}
+
+// NumML16Features is the size of the ML16 feature vector.
+var NumML16Features = len(ML16Names)
+
+// requestThreshold is the uplink packet size above which a packet is
+// treated as an HTTP request (chunk boundary); pure ACKs are far
+// smaller.
+const requestThreshold = 300
+
+// FromPackets computes the ML16 feature vector from a packet trace. The
+// trace must be time-ordered (capture.Packetize guarantees this).
+func FromPackets(pkts []capture.Packet) []float64 {
+	v := make([]float64, NumML16Features)
+	if len(pkts) == 0 {
+		return v
+	}
+	var dlBytes, ulBytes float64
+	var dlCount, ulCount, retrans int
+	var rtts []float64
+	var reqTimes []float64
+
+	// Chunk accumulation state.
+	type chunk struct {
+		bytes      float64
+		start, end float64
+		started    bool
+	}
+	var chunks []chunk
+	var cur chunk
+
+	first, last := pkts[0].Time, pkts[0].Time
+	for _, p := range pkts {
+		if p.Time < first {
+			first = p.Time
+		}
+		if p.Time > last {
+			last = p.Time
+		}
+		if p.Uplink {
+			ulBytes += float64(p.Size)
+			ulCount++
+			if p.Size >= requestThreshold {
+				reqTimes = append(reqTimes, p.Time)
+				if cur.started && cur.bytes > 0 {
+					chunks = append(chunks, cur)
+				}
+				cur = chunk{start: p.Time, started: true}
+			}
+			continue
+		}
+		dlBytes += float64(p.Size)
+		dlCount++
+		if p.Retransmit {
+			retrans++
+		}
+		if p.RTTms > 0 {
+			rtts = append(rtts, p.RTTms)
+		}
+		if cur.started {
+			cur.bytes += float64(p.Size)
+			cur.end = p.Time
+		}
+	}
+	if cur.started && cur.bytes > 0 {
+		chunks = append(chunks, cur)
+	}
+	dur := last - first
+	if dur <= 0 {
+		dur = 1e-9
+	}
+
+	v[0] = dlBytes
+	v[1] = ulBytes
+	v[2] = dur
+	v[3] = dlBytes * 8 / dur / 1000
+	v[4] = float64(dlCount)
+	v[5] = float64(ulCount)
+	v[6] = float64(retrans)
+	if dlCount > 0 {
+		v[7] = float64(retrans) / float64(dlCount)
+	}
+	rs := stats.Summarize(rtts)
+	v[8] = rs.Mean
+	v[9] = rs.Max
+	v[10] = rs.StdDev
+
+	v[11] = float64(len(chunks))
+	v[12] = float64(len(chunks)) / dur
+	sizes := make([]float64, len(chunks))
+	cdurs := make([]float64, len(chunks))
+	tputs := make([]float64, 0, len(chunks))
+	for i, c := range chunks {
+		sizes[i] = c.bytes
+		d := c.end - c.start
+		if d < 1e-6 {
+			d = 1e-6
+		}
+		cdurs[i] = d
+		tputs = append(tputs, c.bytes*8/d/1000)
+	}
+	ss := stats.Summarize(sizes)
+	v[13], v[14], v[15], v[16], v[17] = ss.Mean, ss.Median, ss.Min, ss.Max, ss.StdDev
+	ds := stats.Summarize(cdurs)
+	v[18], v[19], v[20] = ds.Mean, ds.Median, ds.Max
+	ts := stats.Summarize(tputs)
+	v[21], v[22], v[23] = ts.Mean, ts.Median, ts.Min
+
+	var iats []float64
+	for i := 1; i < len(reqTimes); i++ {
+		iats = append(iats, reqTimes[i]-reqTimes[i-1])
+	}
+	is := stats.Summarize(iats)
+	v[24], v[25], v[26] = is.Mean, is.Median, is.Max
+	return v
+}
+
+// ML16Index returns the index of a named ML16 feature, or -1.
+func ML16Index(name string) int {
+	for i, n := range ML16Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}

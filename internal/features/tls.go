@@ -1,0 +1,222 @@
+// Package features turns network observations into the feature vectors
+// the paper's classifiers consume: the 38 TLS-transaction features of
+// §3 (Table 1) and the ML16 packet-trace feature set used as the
+// fine-grained comparison baseline (§4.2, Dimopoulos et al. IMC'16).
+package features
+
+import (
+	"fmt"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/stats"
+)
+
+// TemporalIntervals are the cumulative-interval endpoints in seconds
+// (§3): fine-grained at the session start, where an empty buffer makes
+// QoE most sensitive to network quality, up to the 1200 s maximum
+// session duration.
+var TemporalIntervals = []float64{30, 60, 120, 240, 480, 720, 960, 1200}
+
+// Subset selects one of the Table 3 incremental feature sets. The zero
+// value is treated as AllFeatures by consumers so that configs default
+// to the full model.
+type Subset int
+
+// The incremental feature sets of Table 3.
+const (
+	SessionLevelOnly     Subset = iota + 1 // SL: 4 features
+	WithTransactionStats                   // SL + TS: 22 features
+	AllFeatures                            // SL + TS + Temporal: 38 features
+)
+
+// String names the subset as in Table 3.
+func (s Subset) String() string {
+	switch s {
+	case SessionLevelOnly:
+		return "Only Session-level (SL)"
+	case WithTransactionStats:
+		return "SL + Transaction Stats (TS)"
+	case AllFeatures:
+		return "SL + TS + Temporal Stats"
+	default:
+		return fmt.Sprintf("subset(%d)", int(s))
+	}
+}
+
+// TLSNames lists the 38 feature names in vector order: 4 session-level,
+// 18 transaction summary statistics (min/med/max over six per-
+// transaction metrics) and 16 temporal cumulative counters.
+var TLSNames = buildTLSNames()
+
+func buildTLSNames() []string {
+	names := []string{"SDR_DL", "SDR_UL", "SES_DUR", "TRANS_PER_SEC"}
+	for _, m := range []string{"DL_SIZE", "UL_SIZE", "DUR", "TDR", "D2U", "IAT"} {
+		for _, s := range []string{"min", "med", "max"} {
+			names = append(names, m+"_"+s)
+		}
+	}
+	for _, iv := range TemporalIntervals {
+		names = append(names, fmt.Sprintf("CUM_DL_%ds", int(iv)))
+	}
+	for _, iv := range TemporalIntervals {
+		names = append(names, fmt.Sprintf("CUM_UL_%ds", int(iv)))
+	}
+	return names
+}
+
+// NumTLSFeatures is the full TLS feature count (38 in the paper).
+var NumTLSFeatures = len(TLSNames)
+
+// SubsetIndices returns the vector indices belonging to a Table 3
+// feature subset, in order.
+func SubsetIndices(s Subset) []int {
+	var n int
+	switch s {
+	case SessionLevelOnly:
+		n = 4
+	case WithTransactionStats:
+		n = 4 + 18
+	default:
+		n = NumTLSFeatures
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// FromTLS computes the 38-dimensional feature vector of a session from
+// its TLS transactions (§3). It needs nothing but start/end times and
+// byte counters — exactly the proxy's coarse-grained export.
+func FromTLS(txns []capture.TLSTransaction) []float64 {
+	return FromTLSWithIntervals(txns, TemporalIntervals)
+}
+
+// FromTLSWithIntervals is FromTLS with a custom temporal-interval grid;
+// the paper treats the grid as a model hyperparameter an ISP tunes per
+// service (§3), and the ablation benches sweep it. The result has
+// 22 + 2*len(intervals) entries.
+func FromTLSWithIntervals(txns []capture.TLSTransaction, intervals []float64) []float64 {
+	v := make([]float64, 22+2*len(intervals))
+	if len(txns) == 0 {
+		return v
+	}
+	start := txns[0].Start
+	end := txns[0].End
+	var totalDL, totalUL float64
+	for _, t := range txns {
+		if t.Start < start {
+			start = t.Start
+		}
+		if t.End > end {
+			end = t.End
+		}
+		totalDL += float64(t.DownBytes)
+		totalUL += float64(t.UpBytes)
+	}
+	dur := end - start
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	// Session-level: data rates in kbps, duration in seconds, arrival rate.
+	v[0] = totalDL * 8 / dur / 1000
+	v[1] = totalUL * 8 / dur / 1000
+	v[2] = dur
+	v[3] = float64(len(txns)) / dur
+
+	// Per-transaction metrics.
+	n := len(txns)
+	dlSize := make([]float64, n)
+	ulSize := make([]float64, n)
+	durs := make([]float64, n)
+	tdr := make([]float64, n)
+	d2u := make([]float64, n)
+	for i, t := range txns {
+		dlSize[i] = float64(t.DownBytes)
+		ulSize[i] = float64(t.UpBytes)
+		d := t.Duration()
+		if d <= 0 {
+			d = 1e-9
+		}
+		durs[i] = d
+		tdr[i] = float64(t.DownBytes) * 8 / d / 1000
+		up := float64(t.UpBytes)
+		if up <= 0 {
+			up = 1
+		}
+		d2u[i] = float64(t.DownBytes) / up
+	}
+	var iat []float64
+	for i := 1; i < n; i++ {
+		iat = append(iat, txns[i].Start-txns[i-1].Start)
+	}
+	if len(iat) == 0 {
+		iat = []float64{0}
+	}
+	pos := 4
+	for _, metric := range [][]float64{dlSize, ulSize, durs, tdr, d2u, iat} {
+		s := stats.Summarize(metric)
+		v[pos] = s.Min
+		v[pos+1] = s.Median
+		v[pos+2] = s.Max
+		pos += 3
+	}
+
+	// Temporal: cumulative bytes in [0, X] from session start, sharing a
+	// transaction's bytes proportionally to its overlap with the window
+	// (§3 footnote: an approximation, since the byte timeline inside a
+	// transaction is invisible to the proxy).
+	for k, iv := range intervals {
+		var cdl, cul float64
+		for _, t := range txns {
+			o := overlap(t.Start-start, t.End-start, 0, iv)
+			if o <= 0 {
+				continue
+			}
+			share := o / maxf(t.Duration(), 1e-9)
+			if share > 1 {
+				share = 1
+			}
+			cdl += share * float64(t.DownBytes)
+			cul += share * float64(t.UpBytes)
+		}
+		v[pos+k] = cdl
+		v[pos+len(intervals)+k] = cul
+	}
+	return v
+}
+
+// overlap returns the length of the intersection of [a0,a1] and [b0,b1].
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := maxf(a0, b0)
+	hi := minf(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TLSIndex returns the vector index of a named TLS feature, or -1.
+func TLSIndex(name string) int {
+	for i, n := range TLSNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}

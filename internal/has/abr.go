@@ -1,0 +1,266 @@
+package has
+
+// ABRState is the player state an adaptation algorithm sees when
+// choosing the quality of the next segment.
+type ABRState struct {
+	Ladder         Ladder
+	BufferSec      float64 // current playback buffer occupancy
+	ThroughputKbps float64 // harmonic-mean estimate over recent segments
+	LastLevel      int     // level of the previous video segment
+	SegmentSeconds float64
+	Started        bool // whether playback has begun
+}
+
+// ABR chooses the ladder index for the next video segment. The three
+// implementations embody the service designs the paper observed (§4.1):
+// Svc1 trades quality for buffer, Svc2 trades buffer for quality, Svc3
+// sits in between.
+type ABR interface {
+	ChooseLevel(s ABRState) int
+	Name() string
+}
+
+// BufferFillerABR (Svc1-style) avoids re-buffering by filling its large
+// buffer quickly at low quality. While the buffer is below
+// FillTargetSec it applies the stricter FillSafety factor to the
+// throughput estimate; once the buffer is comfortable it uses Safety.
+type BufferFillerABR struct {
+	Safety        float64 // throughput fraction considered sustainable
+	FillTargetSec float64 // buffer level below which filling dominates
+	FillSafety    float64 // stricter factor while filling
+}
+
+// Name implements ABR.
+func (a *BufferFillerABR) Name() string { return "buffer-filler" }
+
+// ChooseLevel implements ABR.
+func (a *BufferFillerABR) ChooseLevel(s ABRState) int {
+	safety := a.Safety
+	if s.BufferSec < a.FillTargetSec {
+		safety = a.FillSafety
+	}
+	if s.ThroughputKbps <= 0 {
+		// No estimate yet: start at the bottom, as conservative players do.
+		return 0
+	}
+	level := s.Ladder.HighestSustainable(safety * s.ThroughputKbps)
+	if !s.Started {
+		// During startup the estimate is trusted directly so short
+		// sessions converge quickly.
+		return level
+	}
+	// Never step up more than one level at a time; big jumps risk
+	// overshooting and draining the buffer.
+	if level > s.LastLevel+1 {
+		level = s.LastLevel + 1
+	}
+	return level
+}
+
+// QualityKeeperABR (Svc2-style) holds video quality high and reacts to
+// congestion late: it picks levels optimistically from the throughput
+// estimate and only steps down when the buffer falls below
+// PanicBufferSec. Upswitches require a comfortable buffer.
+type QualityKeeperABR struct {
+	Optimism       float64 // multiplier on the throughput estimate
+	PanicBufferSec float64 // downswitch only below this occupancy
+	UpBufferSec    float64 // upswitch only above this occupancy
+}
+
+// Name implements ABR.
+func (a *QualityKeeperABR) Name() string { return "quality-keeper" }
+
+// ChooseLevel implements ABR.
+func (a *QualityKeeperABR) ChooseLevel(s ABRState) int {
+	if s.ThroughputKbps <= 0 {
+		// Optimistic start: begin in the middle of the ladder.
+		return len(s.Ladder) / 2
+	}
+	want := s.Ladder.HighestSustainable(a.Optimism * s.ThroughputKbps)
+	switch {
+	case s.BufferSec < a.PanicBufferSec:
+		// Late reaction: a single-step emergency downswitch.
+		if s.LastLevel > 0 {
+			return s.LastLevel - 1
+		}
+		return 0
+	case want > s.LastLevel && s.BufferSec >= a.UpBufferSec:
+		return s.LastLevel + 1
+	case want >= s.LastLevel:
+		// Hold quality even if the estimate says just barely sustainable.
+		return s.LastLevel
+	default:
+		// The estimate collapsed well below the current level, but the
+		// buffer is still fine: hold, per the service's observed design.
+		return s.LastLevel
+	}
+}
+
+// HybridABR (Svc3-style) mixes both signals: throughput-based choice,
+// clamped down when the buffer is low and allowed up when high.
+type HybridABR struct {
+	Safety        float64
+	LowBufferSec  float64
+	HighBufferSec float64
+}
+
+// Name implements ABR.
+func (a *HybridABR) Name() string { return "hybrid" }
+
+// ChooseLevel implements ABR.
+func (a *HybridABR) ChooseLevel(s ABRState) int {
+	if s.ThroughputKbps <= 0 {
+		return 0
+	}
+	level := s.Ladder.HighestSustainable(a.Safety * s.ThroughputKbps)
+	if !s.Started {
+		return level
+	}
+	if s.BufferSec < a.LowBufferSec && level >= s.LastLevel && s.LastLevel > 0 {
+		// Buffer draining: step down regardless of the estimate.
+		level = s.LastLevel - 1
+	}
+	if level > s.LastLevel+1 {
+		level = s.LastLevel + 1
+	}
+	if level > s.LastLevel && s.BufferSec < a.HighBufferSec && s.Started {
+		// Only upswitch from a healthy buffer.
+		level = s.LastLevel
+	}
+	return level
+}
+
+// BBAABR is the buffer-based algorithm of Huang et al. (SIGCOMM'14,
+// the paper's reference [15]): quality is a pure function of buffer
+// occupancy — lowest rate below the reservoir, highest above
+// reservoir+cushion, linear in between — ignoring throughput estimates
+// entirely once playback runs. Included for the ABR-design ablation.
+type BBAABR struct {
+	ReservoirSec float64
+	CushionSec   float64
+}
+
+// Name implements ABR.
+func (a *BBAABR) Name() string { return "bba" }
+
+// ChooseLevel implements ABR.
+func (a *BBAABR) ChooseLevel(s ABRState) int {
+	if !s.Started {
+		// BBA's startup phase is throughput-informed.
+		if s.ThroughputKbps <= 0 {
+			return 0
+		}
+		return s.Ladder.HighestSustainable(0.8 * s.ThroughputKbps)
+	}
+	f := (s.BufferSec - a.ReservoirSec) / a.CushionSec
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	level := int(f * float64(len(s.Ladder)-1))
+	// One-step rate limiting, as the original suggests for stability.
+	if level > s.LastLevel+1 {
+		level = s.LastLevel + 1
+	}
+	if level < s.LastLevel-1 {
+		level = s.LastLevel - 1
+	}
+	return level
+}
+
+// MPCABR is a model-predictive-control adaptation in the style of Yin
+// et al. (SIGCOMM'15, the paper's reference [36]): it enumerates
+// quality sequences over a short lookahead horizon, simulates the
+// buffer under a discounted throughput prediction, and picks the first
+// step of the sequence maximizing a bitrate-minus-penalties utility.
+type MPCABR struct {
+	// Horizon is the lookahead length in segments (default 3).
+	Horizon int
+	// RebufferPenalty is utility lost per predicted stall second
+	// (default 8).
+	RebufferPenalty float64
+	// SwitchPenalty is utility lost per Mbps of quality change between
+	// consecutive segments (default 1).
+	SwitchPenalty float64
+	// Discount scales the throughput estimate for robustness
+	// (default 0.85).
+	Discount float64
+}
+
+// Name implements ABR.
+func (a *MPCABR) Name() string { return "mpc" }
+
+func (a *MPCABR) params() (h int, rp, sp, disc float64) {
+	h = a.Horizon
+	if h <= 0 {
+		h = 3
+	}
+	rp = a.RebufferPenalty
+	if rp <= 0 {
+		rp = 8
+	}
+	sp = a.SwitchPenalty
+	if sp <= 0 {
+		sp = 1
+	}
+	disc = a.Discount
+	if disc <= 0 || disc > 1 {
+		disc = 0.85
+	}
+	return h, rp, sp, disc
+}
+
+// ChooseLevel implements ABR.
+func (a *MPCABR) ChooseLevel(s ABRState) int {
+	if s.ThroughputKbps <= 0 {
+		return 0
+	}
+	h, rp, sp, disc := a.params()
+	predicted := disc * s.ThroughputKbps
+	if !s.Started {
+		return s.Ladder.HighestSustainable(predicted)
+	}
+	mbps := func(level int) float64 { return s.Ladder[level].Kbps / 1000 }
+
+	bestFirst, bestUtil := 0, 0.0
+	first := true
+	// Depth-first enumeration of level sequences over the horizon.
+	var walk func(step, prevLevel, firstLevel int, buffer, utility float64)
+	walk = func(step, prevLevel, firstLevel int, buffer, utility float64) {
+		if step == h {
+			if first || utility > bestUtil {
+				bestFirst, bestUtil, first = firstLevel, utility, false
+			}
+			return
+		}
+		for level := range s.Ladder {
+			dl := s.Ladder[level].Kbps * s.SegmentSeconds / predicted
+			b := buffer
+			stall := 0.0
+			if dl > b {
+				stall = dl - b
+				b = 0
+			} else {
+				b -= dl
+			}
+			b += s.SegmentSeconds
+			u := utility + mbps(level) - rp*stall - sp*absf(mbps(level)-mbps(prevLevel))
+			fl := firstLevel
+			if step == 0 {
+				fl = level
+			}
+			walk(step+1, level, fl, b, u)
+		}
+	}
+	walk(0, s.LastLevel, 0, s.BufferSec, 0)
+	return bestFirst
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,417 @@
+package has
+
+import (
+	"fmt"
+	"math/rand"
+
+	"droppackets/internal/netem"
+	"droppackets/internal/qoe"
+)
+
+// DownloadKind distinguishes the HTTP objects a session fetches.
+type DownloadKind int
+
+// The object kinds a HAS session downloads.
+const (
+	Manifest DownloadKind = iota
+	InitSegment
+	VideoSegment
+	AudioSegment
+	Beacon
+	// Auxiliary covers startup side requests (DRM license, player
+	// configuration, thumbnails) that real services issue in parallel on
+	// their own connections the moment a video starts.
+	Auxiliary
+	// Preconnect is a TLS connection opened eagerly to a CDN host at
+	// session start (resource hints); it carries no HTTP transaction but
+	// the proxy still observes a TLS connection, and later segment
+	// requests reuse it.
+	Preconnect
+)
+
+// String names the kind.
+func (k DownloadKind) String() string {
+	switch k {
+	case Manifest:
+		return "manifest"
+	case InitSegment:
+		return "init"
+	case VideoSegment:
+		return "video"
+	case AudioSegment:
+		return "audio"
+	case Beacon:
+		return "beacon"
+	case Auxiliary:
+		return "auxiliary"
+	case Preconnect:
+		return "preconnect"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Download is one HTTP object transfer performed by the player.
+type Download struct {
+	Kind     DownloadKind
+	Index    int // segment index for video/audio, else 0
+	Level    int // ladder index for video segments, else 0
+	Transfer netem.Transfer
+}
+
+// Result is the outcome of simulating one streaming session: the
+// ground-truth playback log, the per-object download schedule (which
+// the capture layer turns into HTTP and TLS transactions) and the
+// derived QoE metrics.
+type Result struct {
+	Profile     *ServiceProfile
+	DurationSec float64
+	Downloads   []Download
+	Log         []qoe.Second
+	SegLevels   []int // quality level of each video segment
+	QoE         qoe.Session
+}
+
+// playback tracks the client-side playout state as simulated time
+// advances. The buffer fills at download-completion events and drains
+// continuously while playing; per-second ground truth is sampled at
+// second midpoints.
+type playback struct {
+	now       float64
+	buffer    float64 // seconds of content buffered
+	played    float64 // seconds of content played
+	started   bool
+	stalled   bool
+	nextLog   int // next integer second to log
+	log       []qoe.Second
+	segLevels []int
+	segSec    float64
+	// User-interaction state: pausedUntil pauses playback until the
+	// given wall time; userWait marks the post-seek refill (excluded
+	// from QoE metrics, like pauses).
+	pausedUntil float64
+	userWait    bool
+}
+
+// levelAt returns the ladder level playing at content position ph.
+func (pb *playback) levelAt(ph float64) int {
+	if len(pb.segLevels) == 0 {
+		return 0
+	}
+	i := int(ph / pb.segSec)
+	if i >= len(pb.segLevels) {
+		i = len(pb.segLevels) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return pb.segLevels[i]
+}
+
+// advance moves wall-clock time to `to`, draining the buffer while
+// playing, transitioning into a stall when it empties, and logging the
+// playback state at each second midpoint crossed.
+func (pb *playback) advance(to float64) {
+	const eps = 1e-9
+	for pb.now < to-eps {
+		paused := pb.now < pb.pausedUntil-eps
+		playing := pb.started && !pb.stalled && !pb.userWait && !paused
+		segEnd := to
+		if paused && pb.pausedUntil < segEnd {
+			segEnd = pb.pausedUntil
+		}
+		if playing {
+			if empty := pb.now + pb.buffer; empty < segEnd {
+				segEnd = empty
+			}
+		}
+		// Log seconds whose midpoint falls in (now, segEnd].
+		for float64(pb.nextLog)+0.5 <= segEnd+eps {
+			mid := float64(pb.nextLog) + 0.5
+			if mid < pb.now-eps {
+				pb.nextLog++
+				continue
+			}
+			ph := pb.played
+			if playing {
+				ph += mid - pb.now
+			}
+			pb.log = append(pb.log, qoe.Second{
+				Started: pb.started,
+				Stalled: pb.stalled && !paused && !pb.userWait,
+				Paused:  paused || pb.userWait,
+				Level:   pb.levelAt(ph),
+			})
+			pb.nextLog++
+		}
+		if playing {
+			dt := segEnd - pb.now
+			pb.buffer -= dt
+			pb.played += dt
+			if pb.buffer <= eps {
+				pb.buffer = 0
+				pb.stalled = true
+			}
+		}
+		pb.now = segEnd
+	}
+	if to > pb.now {
+		pb.now = to
+	}
+}
+
+// addSegment credits one downloaded video segment at the current time
+// and performs the startup / stall-resume transitions.
+func (pb *playback) addSegment(level int, startupSegs, resumeSegs int) {
+	pb.segLevels = append(pb.segLevels, level)
+	pb.buffer += pb.segSec
+	if !pb.started && pb.buffer >= float64(startupSegs)*pb.segSec {
+		pb.started = true
+	}
+	if pb.stalled && pb.buffer >= float64(resumeSegs)*pb.segSec {
+		pb.stalled = false
+	}
+	if pb.userWait && pb.buffer >= float64(resumeSegs)*pb.segSec {
+		pb.userWait = false
+	}
+}
+
+// Interactions configures simulated user behaviour (§4.3 lists this as
+// future work): spontaneous pauses and forward seeks, both of which
+// perturb the traffic pattern without counting against QoE.
+type Interactions struct {
+	// PausesPerMinute is the rate of pause events.
+	PausesPerMinute float64
+	// PauseMeanSec is the mean pause length (exponentially distributed).
+	PauseMeanSec float64
+	// SeeksPerMinute is the rate of forward seeks; a seek flushes the
+	// buffer and forces a refill burst.
+	SeeksPerMinute float64
+}
+
+// smallFetch approximates a small parallel HTTP exchange on its own
+// connection: two RTTs of setup plus transmission at the link's
+// currently offered bandwidth. It does not contend with the serialized
+// segment path (consistent with the link model, which has no cross-
+// connection contention).
+func smallFetch(link *netem.Link, start float64, bytes, up int64) netem.Transfer {
+	rtt := link.BaseRTTms / 1000
+	avail := link.Trace.BandwidthAt(start)
+	if avail < 16 {
+		avail = 16
+	}
+	dur := 2*rtt + float64(bytes)*8/(avail*1000) + 0.01
+	return netem.Transfer{
+		Start:       start,
+		End:         start + dur,
+		Bytes:       bytes,
+		UplinkBytes: up,
+		MeanRTTms:   link.BaseRTTms,
+		MaxRTTms:    link.BaseRTTms,
+		Segments:    []netem.RateSegment{{Start: start + 2*rtt, End: start + dur, Bytes: bytes}},
+	}
+}
+
+// Simulate streams one session of the given profile over the link for
+// durationSec wall-clock seconds (the user closes the player at the
+// end), returning the ground truth and download schedule. rng drives
+// segment-size variability and request sizes only; all network
+// randomness lives in the link.
+func Simulate(p *ServiceProfile, link *netem.Link, durationSec float64, rng *rand.Rand) (*Result, error) {
+	return SimulateWithInteractions(p, link, durationSec, rng, nil)
+}
+
+// SimulateWithInteractions is Simulate plus simulated user behaviour:
+// pauses suspend playback (downloads continue until the buffer cap),
+// seeks flush the buffer and force a refill burst. Both perturb the
+// observable traffic while their wall-clock time is excluded from the
+// QoE metrics, reproducing the inference challenge §4.3 defers to
+// future work.
+func SimulateWithInteractions(p *ServiceProfile, link *netem.Link, durationSec float64, rng *rand.Rand, inter *Interactions) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := link.Validate(); err != nil {
+		return nil, fmt.Errorf("has: %w", err)
+	}
+	if durationSec <= 0 {
+		return nil, fmt.Errorf("has: non-positive session duration %g", durationSec)
+	}
+	res := &Result{Profile: p, DurationSec: durationSec}
+	pb := &playback{segSec: p.SegmentSeconds}
+
+	// Request sizes vary mostly per session (cookie/auth-token lengths
+	// differ per user and device), with small per-request jitter. This
+	// decorrelates uplink-derived features like D2U from video quality
+	// across sessions, as in real traffic.
+	reqBase := float64(400 + rng.Intn(1400))
+	reqBytes := func() int64 { return int64(reqBase * (0.85 + 0.3*rng.Float64())) }
+
+	// Per-title encoding complexity: the same ladder level costs more
+	// bits for high-motion content than for animation, typically within
+	// a 2–3x band. This decouples byte volume from quality level, as in
+	// real VBR catalogs.
+	complexity := 0.55 + 1.1*rng.Float64()
+	// CDN pacing: segment delivery is throttled at a small multiple of
+	// the encoding rate, so transaction data rates saturate on fast
+	// links instead of tracking them.
+	pacing := 2.5 + 1.5*rng.Float64()
+
+	// Manifest, then init segment(s).
+	t := 0.0
+	man := link.Transfer(t, int64(30000+rng.Intn(50000)), reqBytes())
+	res.Downloads = append(res.Downloads, Download{Kind: Manifest, Transfer: man})
+	t = man.End
+
+	// The player preconnects to its CDN edges while the manifest loads
+	// (resource hints), fires the player-config fetch in parallel, and
+	// requests the DRM license as soon as the manifest is in.
+	rtt := link.BaseRTTms / 1000
+	res.Downloads = append(res.Downloads,
+		Download{Kind: Preconnect, Index: 0, Transfer: netem.Transfer{Start: 0.05, End: 0.05 + 2*rtt}},
+		Download{Kind: Preconnect, Index: 1, Transfer: netem.Transfer{Start: 0.10, End: 0.10 + 2*rtt}},
+	)
+	if rng.Float64() < p.AuxConfigProb {
+		// Player config / static assets are usually cached across
+		// back-to-back videos; only some sessions refetch them.
+		res.Downloads = append(res.Downloads,
+			Download{Kind: Auxiliary, Index: 1, Transfer: smallFetch(link, 0.15, int64(3000+rng.Intn(6000)), reqBytes())})
+	}
+	if p.HasDRMLicense {
+		res.Downloads = append(res.Downloads,
+			Download{Kind: Auxiliary, Index: 0, Transfer: smallFetch(link, man.End, int64(8000+rng.Intn(8000)), reqBytes())})
+	}
+	vinit := link.Transfer(t, int64(30000+rng.Intn(20000)), reqBytes())
+	res.Downloads = append(res.Downloads, Download{Kind: InitSegment, Transfer: vinit})
+	t = vinit.End
+	if p.SeparateAudio {
+		ainit := link.Transfer(t, int64(6000+rng.Intn(4000)), reqBytes())
+		res.Downloads = append(res.Downloads, Download{Kind: InitSegment, Index: 1, Transfer: ainit})
+		t = ainit.End
+	}
+	pb.advance(t)
+
+	// Telemetry beacons ride parallel connections; model them as short
+	// request-heavy exchanges that do not contend for the bottleneck.
+	nextBeacon := p.BeaconIntervalSec
+	emitBeacons := func(upTo float64) {
+		if p.BeaconIntervalSec <= 0 {
+			return
+		}
+		for nextBeacon <= upTo && nextBeacon < durationSec {
+			rtt := link.BaseRTTms / 1000
+			dl := int64(150 + rng.Intn(500))
+			ul := int64(1200 + rng.Intn(2500))
+			tr := netem.Transfer{
+				Start:       nextBeacon,
+				End:         nextBeacon + 2*rtt + 0.05,
+				Bytes:       dl,
+				UplinkBytes: ul,
+				MeanRTTms:   link.BaseRTTms,
+				MaxRTTms:    link.BaseRTTms,
+				Segments:    []netem.RateSegment{{Start: nextBeacon + 2*rtt, End: nextBeacon + 2*rtt + 0.05, Bytes: dl}},
+			}
+			res.Downloads = append(res.Downloads, Download{Kind: Beacon, Transfer: tr})
+			nextBeacon += p.BeaconIntervalSec
+		}
+	}
+
+	var recent []netem.Transfer
+	segIdx := 0
+	lastLevel := 0
+	if _, ok := p.ABR.(*QualityKeeperABR); ok {
+		lastLevel = len(p.Ladder) / 2
+	}
+	for t < durationSec {
+		emitBeacons(t)
+		// User interactions, sampled per segment slot.
+		if inter != nil && pb.started {
+			perSeg := p.SegmentSeconds / 60
+			if inter.PausesPerMinute > 0 && rng.Float64() < inter.PausesPerMinute*perSeg {
+				pauseFor := inter.PauseMeanSec * rng.ExpFloat64()
+				if until := t + pauseFor; until > pb.pausedUntil {
+					pb.pausedUntil = until
+				}
+			}
+			if inter.SeeksPerMinute > 0 && rng.Float64() < inter.SeeksPerMinute*perSeg {
+				// Forward seek: buffered content is discarded and the
+				// player refills before resuming.
+				pb.buffer = 0
+				pb.userWait = true
+			}
+		}
+		// Respect the buffer cap: hold requests until a segment fits.
+		// While paused the buffer does not drain, so this can consume
+		// the rest of the session.
+		for pb.buffer+p.SegmentSeconds > p.BufferCapSec && t < durationSec {
+			wait := pb.buffer - (p.BufferCapSec - p.SegmentSeconds)
+			if wait < 0.25 {
+				wait = 0.25
+			}
+			pb.advance(t + wait)
+			t += wait
+		}
+		if t >= durationSec {
+			break
+		}
+		state := ABRState{
+			Ladder:         p.Ladder,
+			BufferSec:      pb.buffer,
+			ThroughputKbps: netem.MeanThroughputKbps(recent),
+			LastLevel:      lastLevel,
+			SegmentSeconds: p.SegmentSeconds,
+			Started:        pb.started,
+		}
+		level := p.ABR.ChooseLevel(state)
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(p.Ladder) {
+			level = len(p.Ladder) - 1
+		}
+		// Per-segment encoded size varies around the nominal bitrate,
+		// scaled by the title's encoding complexity.
+		scale := complexity * (0.8 + 0.4*rng.Float64())
+		bytes := int64(p.Ladder[level].Kbps * p.SegmentSeconds / 8 * 1000 * scale)
+		// Pacing is applied relative to the *nominal* ladder rate (what
+		// the CDN knows from the manifest), not the actual encoded size.
+		// CDNs burst-serve the first segments and low-buffer refills
+		// unthrottled, so startup throughput estimates reflect the link.
+		pace := pacing * p.Ladder[level].Kbps
+		if segIdx < 6 || pb.buffer < 30 {
+			pace = 0
+		}
+		tr := link.TransferPaced(t, bytes, reqBytes(), pace)
+		res.Downloads = append(res.Downloads, Download{Kind: VideoSegment, Index: segIdx, Level: level, Transfer: tr})
+		end := tr.End
+		if p.SeparateAudio && end < durationSec {
+			// The matching audio segment is only requested while the
+			// player is still open.
+			abytes := int64(p.AudioKbps * p.SegmentSeconds / 8 * 1000)
+			atr := link.Transfer(end, abytes, reqBytes())
+			res.Downloads = append(res.Downloads, Download{Kind: AudioSegment, Index: segIdx, Transfer: atr})
+			end = atr.End
+		}
+		pb.advance(end)
+		t = end
+		pb.addSegment(level, p.StartupSegments, p.ResumeSegments)
+		lastLevel = level
+		segIdx++
+		recent = append(recent, tr)
+		if len(recent) > 5 {
+			recent = recent[1:]
+		}
+	}
+	emitBeacons(durationSec)
+	pb.advance(durationSec)
+
+	// Truncate ground truth to the session duration (the user closed the
+	// player), then derive the QoE metrics.
+	if n := int(durationSec); len(pb.log) > n+1 {
+		pb.log = pb.log[:n+1]
+	}
+	res.Log = pb.log
+	res.SegLevels = pb.segLevels
+	res.QoE = qoe.Compute(res.Log, p.LevelCategory)
+	return res, nil
+}

@@ -1,0 +1,328 @@
+// Package eval provides the paper's evaluation protocol (§4.2):
+// stratified k-fold cross-validation with overall accuracy, per-class
+// precision/recall and confusion matrices. The paper reports accuracy
+// plus precision and recall of the "problem" class (low QoE), with
+// recall emphasised because ISPs must find true low-QoE sessions.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"droppackets/internal/ml"
+)
+
+// Confusion is a numClasses x numClasses confusion matrix with rows as
+// actual classes and columns as predicted classes.
+type Confusion struct {
+	M          [][]int
+	NumClasses int
+}
+
+// NewConfusion allocates an empty matrix.
+func NewConfusion(numClasses int) *Confusion {
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	return &Confusion{M: m, NumClasses: numClasses}
+}
+
+// Add records one (actual, predicted) observation.
+func (c *Confusion) Add(actual, predicted int) { c.M[actual][predicted]++ }
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.M {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns overall accuracy.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := range c.M {
+		diag += c.M[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// Recall returns recall of one class (0 when the class never occurs).
+func (c *Confusion) Recall(class int) float64 {
+	var row int
+	for _, v := range c.M[class] {
+		row += v
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(c.M[class][class]) / float64(row)
+}
+
+// Precision returns precision of one class (0 when never predicted).
+func (c *Confusion) Precision(class int) float64 {
+	var col int
+	for i := range c.M {
+		col += c.M[i][class]
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(c.M[class][class]) / float64(col)
+}
+
+// ActualCounts returns the per-class row totals (# sessions column of
+// Table 2).
+func (c *Confusion) ActualCounts() []int {
+	out := make([]int, c.NumClasses)
+	for i, row := range c.M {
+		for _, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// RowPercents renders each row as percentages of its total, as the
+// paper prints Table 2 and Table 5.
+func (c *Confusion) RowPercents() [][]float64 {
+	out := make([][]float64, c.NumClasses)
+	for i, row := range c.M {
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		out[i] = make([]float64, c.NumClasses)
+		if total == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[i][j] = float64(v) / float64(total) * 100
+		}
+	}
+	return out
+}
+
+// Format renders the matrix with class names, one row per actual class.
+func (c *Confusion) Format(classNames []string) string {
+	var b strings.Builder
+	pct := c.RowPercents()
+	counts := c.ActualCounts()
+	fmt.Fprintf(&b, "%-10s %10s", "actual", "#sessions")
+	for j := 0; j < c.NumClasses; j++ {
+		fmt.Fprintf(&b, " %9s", name(classNames, j))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < c.NumClasses; i++ {
+		fmt.Fprintf(&b, "%-10s %10d", name(classNames, i), counts[i])
+		for j := 0; j < c.NumClasses; j++ {
+			fmt.Fprintf(&b, " %8.0f%%", pct[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func name(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("class%d", i)
+}
+
+// Metrics bundles the three headline numbers the paper reports per
+// experiment: overall accuracy and precision/recall of the problem
+// class (class 0: low quality / high re-buffering / low combined QoE).
+type Metrics struct {
+	Accuracy  float64
+	Recall    float64 // of class 0
+	Precision float64 // of class 0
+}
+
+// MetricsFor extracts Metrics from a confusion matrix.
+func MetricsFor(c *Confusion) Metrics {
+	return Metrics{Accuracy: c.Accuracy(), Recall: c.Recall(0), Precision: c.Precision(0)}
+}
+
+// String renders the metrics as the paper's A/R/P percentages.
+func (m Metrics) String() string {
+	return fmt.Sprintf("A=%.0f%% R=%.0f%% P=%.0f%%", m.Accuracy*100, m.Recall*100, m.Precision*100)
+}
+
+// StratifiedFolds partitions row indices into k folds preserving class
+// proportions: rows of each class are shuffled then dealt round-robin.
+func StratifiedFolds(y []int, numClasses, k int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]int, numClasses)
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	folds := make([][]int, k)
+	next := 0
+	for _, rows := range byClass {
+		rng.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+		for _, r := range rows {
+			folds[next%k] = append(folds[next%k], r)
+			next++
+		}
+	}
+	return folds
+}
+
+// CVResult is the outcome of one cross-validation run.
+type CVResult struct {
+	Confusion *Confusion
+	// FoldAccuracies holds the per-fold test accuracy.
+	FoldAccuracies []float64
+}
+
+// Metrics returns the pooled accuracy/recall/precision.
+func (r *CVResult) Metrics() Metrics { return MetricsFor(r.Confusion) }
+
+// CrossValidate runs k-fold stratified cross-validation: for each fold
+// it trains a fresh classifier from factory on the remaining folds and
+// evaluates on the held-out one, pooling all test predictions into a
+// single confusion matrix (the paper's protocol: 5-fold CV, §4.2).
+func CrossValidate(factory func() ml.Classifier, ds *ml.Dataset, k int, seed int64) (*CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need k >= 2 folds, got %d", k)
+	}
+	if ds.Len() < k {
+		return nil, fmt.Errorf("eval: %d rows cannot fill %d folds", ds.Len(), k)
+	}
+	folds := StratifiedFolds(ds.Y, ds.NumClasses, k, seed)
+	res := &CVResult{Confusion: NewConfusion(ds.NumClasses)}
+	for f := 0; f < k; f++ {
+		var trainRows []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				trainRows = append(trainRows, folds[g]...)
+			}
+		}
+		clf := factory()
+		if err := clf.Fit(ds.Subset(trainRows)); err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
+		}
+		foldConf := NewConfusion(ds.NumClasses)
+		for _, r := range folds[f] {
+			pred := clf.Predict(ds.X[r])
+			res.Confusion.Add(ds.Y[r], pred)
+			foldConf.Add(ds.Y[r], pred)
+		}
+		res.FoldAccuracies = append(res.FoldAccuracies, foldConf.Accuracy())
+	}
+	return res, nil
+}
+
+// TrainTestSplit returns shuffled train/test row indices with the given
+// test fraction, stratified by class.
+func TrainTestSplit(y []int, numClasses int, testFraction float64, seed int64) (train, test []int) {
+	if testFraction <= 0 || testFraction >= 1 {
+		testFraction = 0.2
+	}
+	k := int(1 / testFraction)
+	if k < 2 {
+		k = 2
+	}
+	folds := StratifiedFolds(y, numClasses, k, seed)
+	test = folds[0]
+	for _, f := range folds[1:] {
+		train = append(train, f...)
+	}
+	return train, test
+}
+
+// F1 returns the F1 score of one class (harmonic mean of precision and
+// recall; 0 when both are 0).
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over all classes, weighting rare classes equally
+// with common ones — a sterner summary than accuracy on imbalanced QoE
+// corpora.
+func (c *Confusion) MacroF1() float64 {
+	var sum float64
+	for k := 0; k < c.NumClasses; k++ {
+		sum += c.F1(k)
+	}
+	return sum / float64(c.NumClasses)
+}
+
+// CohenKappa measures agreement beyond chance: 0 for a classifier no
+// better than the label marginals, 1 for perfect agreement.
+func (c *Confusion) CohenKappa() float64 {
+	total := float64(c.Total())
+	if total == 0 {
+		return 0
+	}
+	var observed float64
+	for k := 0; k < c.NumClasses; k++ {
+		observed += float64(c.M[k][k])
+	}
+	observed /= total
+	var expected float64
+	for k := 0; k < c.NumClasses; k++ {
+		var row, col float64
+		for j := 0; j < c.NumClasses; j++ {
+			row += float64(c.M[k][j])
+			col += float64(c.M[j][k])
+		}
+		expected += (row / total) * (col / total)
+	}
+	if expected >= 1 {
+		return 0
+	}
+	return (observed - expected) / (1 - expected)
+}
+
+// GridPoint is one hyperparameter candidate in a grid search: a label
+// for reporting and a factory building the classifier it denotes.
+type GridPoint struct {
+	Label   string
+	Factory func() ml.Classifier
+}
+
+// GridResult pairs a candidate with its cross-validated outcome.
+type GridResult struct {
+	Label   string
+	Metrics Metrics
+	Result  *CVResult
+}
+
+// GridSearch cross-validates every candidate on the dataset and
+// returns results ordered as given, plus the index of the candidate
+// with the highest accuracy (ties keep the earlier candidate). This is
+// the protocol behind the paper's "we tested different ML models and
+// hyperparameters" sweeps.
+func GridSearch(points []GridPoint, ds *ml.Dataset, k int, seed int64) ([]GridResult, int, error) {
+	if len(points) == 0 {
+		return nil, -1, fmt.Errorf("eval: empty grid")
+	}
+	out := make([]GridResult, 0, len(points))
+	best := 0
+	for i, p := range points {
+		res, err := CrossValidate(p.Factory, ds, k, seed)
+		if err != nil {
+			return nil, -1, fmt.Errorf("eval: grid point %q: %w", p.Label, err)
+		}
+		out = append(out, GridResult{Label: p.Label, Metrics: res.Metrics(), Result: res})
+		if out[i].Metrics.Accuracy > out[best].Metrics.Accuracy {
+			best = i
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,248 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/mltest"
+	"droppackets/internal/ml/tree"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := NewConfusion(2)
+	// actual 0: 8 right, 2 wrong; actual 1: 3 wrong, 7 right.
+	for i := 0; i < 8; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(1, 0)
+	}
+	for i := 0; i < 7; i++ {
+		c.Add(1, 1)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("accuracy %g, want 0.75", got)
+	}
+	if got := c.Recall(0); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("recall(0) %g, want 0.8", got)
+	}
+	if got := c.Precision(0); math.Abs(got-8.0/11) > 1e-12 {
+		t.Errorf("precision(0) %g, want %g", got, 8.0/11)
+	}
+	if got := c.Total(); got != 20 {
+		t.Errorf("total %d, want 20", got)
+	}
+	counts := c.ActualCounts()
+	if counts[0] != 10 || counts[1] != 10 {
+		t.Errorf("actual counts %v", counts)
+	}
+	pct := c.RowPercents()
+	if math.Abs(pct[0][0]-80) > 1e-9 || math.Abs(pct[1][1]-70) > 1e-9 {
+		t.Errorf("row percents %v", pct)
+	}
+	m := MetricsFor(c)
+	if m.Accuracy != c.Accuracy() || m.Recall != c.Recall(0) || m.Precision != c.Precision(0) {
+		t.Error("MetricsFor mismatch")
+	}
+	if !strings.Contains(m.String(), "A=75%") {
+		t.Errorf("metrics string %q", m.String())
+	}
+	out := c.Format([]string{"low", "high"})
+	if !strings.Contains(out, "low") || !strings.Contains(out, "80%") {
+		t.Errorf("Format output:\n%s", out)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c := NewConfusion(3)
+	if c.Accuracy() != 0 || c.Recall(0) != 0 || c.Precision(0) != 0 {
+		t.Error("empty confusion should score 0 everywhere")
+	}
+	// A class never predicted has precision 0, never occurring recall 0.
+	c.Add(1, 1)
+	if c.Recall(0) != 0 || c.Precision(0) != 0 {
+		t.Error("absent class metrics should be 0")
+	}
+}
+
+func TestStratifiedFoldsPartition(t *testing.T) {
+	y := make([]int, 100)
+	for i := range y {
+		switch {
+		case i < 60:
+			y[i] = 0
+		case i < 90:
+			y[i] = 1
+		default:
+			y[i] = 2
+		}
+	}
+	folds := StratifiedFolds(y, 3, 5, 42)
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		for _, r := range fold {
+			if seen[r] {
+				t.Fatalf("row %d appears in two folds", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("folds cover %d rows, want 100", len(seen))
+	}
+	// Stratification: each fold holds 12 +- 1 of class 0.
+	for i, fold := range folds {
+		c0 := 0
+		for _, r := range fold {
+			if y[r] == 0 {
+				c0++
+			}
+		}
+		if c0 < 11 || c0 > 13 {
+			t.Errorf("fold %d has %d class-0 rows, want 12 +- 1", i, c0)
+		}
+	}
+}
+
+func TestStratifiedFoldsDeterministic(t *testing.T) {
+	y := []int{0, 1, 0, 1, 0, 1, 0, 1, 2, 2}
+	a := StratifiedFolds(y, 3, 3, 7)
+	b := StratifiedFolds(y, 3, 3, 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("same-seed folds differ")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same-seed folds differ")
+			}
+		}
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := mltest.Blobs(40, 3, 0.15, 1)
+	res, err := CrossValidate(func() ml.Classifier { return &tree.Classifier{} }, ds, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != ds.Len() {
+		t.Errorf("pooled predictions %d, want %d", res.Confusion.Total(), ds.Len())
+	}
+	if len(res.FoldAccuracies) != 5 {
+		t.Errorf("%d fold accuracies", len(res.FoldAccuracies))
+	}
+	if m := res.Metrics(); m.Accuracy < 0.9 {
+		t.Errorf("CV accuracy %.3f on easy blobs", m.Accuracy)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	ds := mltest.Blobs(5, 2, 0.2, 3)
+	if _, err := CrossValidate(func() ml.Classifier { return &tree.Classifier{} }, ds, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	tiny := ds.Subset([]int{0, 1})
+	if _, err := CrossValidate(func() ml.Classifier { return &tree.Classifier{} }, tiny, 5, 1); err == nil {
+		t.Error("2 rows over 5 folds accepted")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	y := make([]int, 50)
+	for i := range y {
+		y[i] = i % 2
+	}
+	train, test := TrainTestSplit(y, 2, 0.2, 9)
+	if len(train)+len(test) != 50 {
+		t.Errorf("split sizes %d + %d != 50", len(train), len(test))
+	}
+	if len(test) < 8 || len(test) > 12 {
+		t.Errorf("test size %d, want ~10", len(test))
+	}
+	// Invalid fraction falls back to 0.2.
+	_, test = TrainTestSplit(y, 2, 0, 9)
+	if len(test) < 8 || len(test) > 12 {
+		t.Errorf("fallback test size %d", len(test))
+	}
+}
+
+func TestF1AndMacroF1(t *testing.T) {
+	c := NewConfusion(2)
+	// Class 0: precision 8/11, recall 8/10.
+	for i := 0; i < 8; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(1, 0)
+	}
+	for i := 0; i < 7; i++ {
+		c.Add(1, 1)
+	}
+	p, r := 8.0/11, 0.8
+	want := 2 * p * r / (p + r)
+	if got := c.F1(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1(0) = %g, want %g", got, want)
+	}
+	macro := (c.F1(0) + c.F1(1)) / 2
+	if got := c.MacroF1(); math.Abs(got-macro) > 1e-12 {
+		t.Errorf("MacroF1 = %g, want %g", got, macro)
+	}
+	if NewConfusion(2).F1(0) != 0 {
+		t.Error("empty F1 should be 0")
+	}
+}
+
+func TestCohenKappa(t *testing.T) {
+	// Perfect agreement: kappa 1.
+	perfect := NewConfusion(2)
+	perfect.Add(0, 0)
+	perfect.Add(1, 1)
+	if got := perfect.CohenKappa(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect kappa %g", got)
+	}
+	// Majority-guessing on a balanced set: kappa 0.
+	chance := NewConfusion(2)
+	for i := 0; i < 5; i++ {
+		chance.Add(0, 0)
+		chance.Add(1, 0)
+	}
+	if got := chance.CohenKappa(); math.Abs(got) > 1e-12 {
+		t.Errorf("chance kappa %g, want 0", got)
+	}
+	if NewConfusion(3).CohenKappa() != 0 {
+		t.Error("empty kappa should be 0")
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	ds := mltest.Blobs(60, 3, 0.35, 5)
+	points := []GridPoint{
+		{Label: "stump", Factory: func() ml.Classifier { return &tree.Classifier{Config: tree.Config{MaxDepth: 1}} }},
+		{Label: "deep", Factory: func() ml.Classifier { return &tree.Classifier{} }},
+	}
+	results, best, err := GridSearch(points, ds, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[best].Label != "deep" {
+		t.Errorf("best candidate %q; a depth-1 stump cannot separate 3 blobs", results[best].Label)
+	}
+	if _, _, err := GridSearch(nil, ds, 4, 6); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

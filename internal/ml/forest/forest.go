@@ -1,0 +1,189 @@
+// Package forest implements a Random Forest classifier — the model the
+// paper reports all results with (§4.2) — with bootstrap sampling,
+// per-node feature subsampling and mean-decrease-in-impurity feature
+// importances (used for Figure 6).
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/tree"
+)
+
+// Config controls the ensemble.
+type Config struct {
+	// NumTrees is the ensemble size (default 100).
+	NumTrees int
+	// MaxDepth limits each tree; <= 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// MaxFeatures is per-split feature candidates; <= 0 uses
+	// round(sqrt(width)).
+	MaxFeatures int
+	// Seed drives bootstrapping and feature subsampling.
+	Seed int64
+}
+
+func (c Config) withDefaults(width int) Config {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.MaxFeatures <= 0 {
+		c.MaxFeatures = int(math.Round(math.Sqrt(float64(width))))
+		if c.MaxFeatures < 1 {
+			c.MaxFeatures = 1
+		}
+	}
+	return c
+}
+
+// Classifier is a fitted Random Forest.
+type Classifier struct {
+	Config Config
+
+	trees       []*tree.Classifier
+	numClasses  int
+	importances []float64
+}
+
+// New returns an unfitted forest with the given configuration.
+func New(cfg Config) *Classifier { return &Classifier{Config: cfg} }
+
+// Name implements ml.Classifier.
+func (f *Classifier) Name() string { return "random-forest" }
+
+// Fit implements ml.Classifier: it grows Config.NumTrees CART trees on
+// bootstrap resamples of the dataset.
+func (f *Classifier) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("forest: empty dataset")
+	}
+	cfg := f.Config.withDefaults(ds.NumFeatures())
+	f.numClasses = ds.NumClasses
+	f.trees = make([]*tree.Classifier, cfg.NumTrees)
+	f.importances = make([]float64, ds.NumFeatures())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := ds.Len()
+
+	// Draw all bootstraps and tree seeds up front so training stays
+	// deterministic regardless of goroutine scheduling.
+	bootstraps := make([][]int, cfg.NumTrees)
+	for i := range bootstraps {
+		rows := make([]int, n)
+		for j := range rows {
+			rows[j] = rng.Intn(n)
+		}
+		bootstraps[i] = rows
+		f.trees[i] = &tree.Classifier{
+			Config: tree.Config{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MaxFeatures: cfg.MaxFeatures},
+			Seed:   rng.Int63(),
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+	errs := make([]error, cfg.NumTrees)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = f.trees[i].FitRows(ds, bootstraps[i])
+			}
+		}()
+	}
+	for i := 0; i < cfg.NumTrees; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+	}
+	for _, t := range f.trees {
+		for j, imp := range t.Importances() {
+			f.importances[j] += imp
+		}
+	}
+	// Normalise MDI importances to sum to 1 (scikit-learn convention).
+	var sum float64
+	for _, v := range f.importances {
+		sum += v
+	}
+	if sum > 0 {
+		for j := range f.importances {
+			f.importances[j] /= sum
+		}
+	}
+	return nil
+}
+
+// PredictProba averages leaf class distributions over the ensemble.
+func (f *Classifier) PredictProba(x []float64) []float64 {
+	probs := make([]float64, f.numClasses)
+	for _, t := range f.trees {
+		for c, p := range t.PredictProba(x) {
+			probs[c] += p
+		}
+	}
+	n := float64(len(f.trees))
+	for c := range probs {
+		probs[c] /= n
+	}
+	return probs
+}
+
+// Predict implements ml.Classifier.
+func (f *Classifier) Predict(x []float64) int { return ml.Argmax(f.PredictProba(x)) }
+
+// Importances returns normalised mean-decrease-in-impurity feature
+// importances (summing to 1).
+func (f *Classifier) Importances() []float64 {
+	out := make([]float64, len(f.importances))
+	copy(out, f.importances)
+	return out
+}
+
+// Importance pairs a feature name with its importance score.
+type Importance struct {
+	Feature    string
+	Importance float64
+}
+
+// TopImportances returns the k most important features in descending
+// order, resolving names from the provided list (Figure 6).
+func (f *Classifier) TopImportances(names []string, k int) []Importance {
+	out := make([]Importance, 0, len(f.importances))
+	for i, imp := range f.importances {
+		name := fmt.Sprintf("f%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, Importance{Feature: name, Importance: imp})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Importance != out[b].Importance {
+			return out[a].Importance > out[b].Importance
+		}
+		return out[a].Feature < out[b].Feature
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package gbdt implements multiclass gradient-boosted decision trees
+// with a softmax objective (an XGBoost-style model, one of the families
+// the paper evaluated, §4.2): each boosting round fits one shallow
+// regression tree per class to the softmax residuals.
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/tree"
+)
+
+// Config controls boosting.
+type Config struct {
+	// Rounds is the number of boosting iterations (default 60).
+	Rounds int
+	// LearningRate shrinks each tree's contribution (default 0.1).
+	LearningRate float64
+	// MaxDepth limits each regression tree (default 3).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 5).
+	MinLeaf int
+	// Subsample is the per-round row sampling fraction (default 0.8).
+	Subsample float64
+	// Seed drives row subsampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 60
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 0.8
+	}
+	return c
+}
+
+// Classifier is a fitted boosted ensemble.
+type Classifier struct {
+	Config Config
+
+	numClasses int
+	base       []float64           // initial log-odds per class
+	rounds     [][]*tree.Regressor // rounds[r][class]
+}
+
+// New returns an unfitted booster.
+func New(cfg Config) *Classifier { return &Classifier{Config: cfg} }
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "gbdt" }
+
+// Fit implements ml.Classifier.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("gbdt: empty dataset")
+	}
+	cfg := c.Config.withDefaults()
+	c.Config = cfg
+	c.numClasses = ds.NumClasses
+	n := ds.Len()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initial scores: class log-priors.
+	counts := ds.ClassCounts()
+	c.base = make([]float64, c.numClasses)
+	for k, cnt := range counts {
+		p := float64(cnt) / float64(n)
+		if p < 1e-9 {
+			p = 1e-9
+		}
+		c.base[k] = math.Log(p)
+	}
+	// scores[i][k] is the current margin of row i for class k.
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = append([]float64(nil), c.base...)
+	}
+	residual := make([]float64, n)
+	c.rounds = make([][]*tree.Regressor, 0, cfg.Rounds)
+	for r := 0; r < cfg.Rounds; r++ {
+		// Row subsample for this round.
+		sample := rng.Perm(n)[:int(float64(n)*cfg.Subsample)]
+		if len(sample) == 0 {
+			sample = []int{rng.Intn(n)}
+		}
+		xs := make([][]float64, len(sample))
+		for i, row := range sample {
+			xs[i] = ds.X[row]
+		}
+		perClass := make([]*tree.Regressor, c.numClasses)
+		for k := 0; k < c.numClasses; k++ {
+			for i, row := range sample {
+				p := softmaxAt(scores[row], k)
+				target := 0.0
+				if ds.Y[row] == k {
+					target = 1
+				}
+				residual[i] = target - p
+			}
+			reg := &tree.Regressor{
+				Config: tree.Config{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf},
+				Seed:   rng.Int63(),
+			}
+			if err := reg.FitXY(xs, residual[:len(sample)]); err != nil {
+				return fmt.Errorf("gbdt: round %d class %d: %w", r, k, err)
+			}
+			perClass[k] = reg
+		}
+		// Update all rows' scores with the shrunken tree outputs.
+		for i := 0; i < n; i++ {
+			for k := 0; k < c.numClasses; k++ {
+				scores[i][k] += cfg.LearningRate * perClass[k].Predict(ds.X[i])
+			}
+		}
+		c.rounds = append(c.rounds, perClass)
+	}
+	return nil
+}
+
+// softmaxAt returns softmax(scores)[k], computed stably.
+func softmaxAt(scores []float64, k int) float64 {
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for _, s := range scores {
+		z += math.Exp(s - maxS)
+	}
+	return math.Exp(scores[k]-maxS) / z
+}
+
+// Predict implements ml.Classifier.
+func (c *Classifier) Predict(x []float64) int {
+	scores := append([]float64(nil), c.base...)
+	for _, perClass := range c.rounds {
+		for k, reg := range perClass {
+			scores[k] += c.Config.LearningRate * reg.Predict(x)
+		}
+	}
+	return ml.Argmax(scores)
+}

@@ -1,0 +1,102 @@
+package gbdt
+
+import (
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/mltest"
+)
+
+func TestGBDTSeparatesBlobs(t *testing.T) {
+	ds := mltest.Blobs(60, 3, 0.15, 1)
+	acc, err := mltest.HoldoutAccuracy(New(Config{Rounds: 30, Seed: 1}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f on easy blobs", acc)
+	}
+}
+
+func TestGBDTSolvesXOR(t *testing.T) {
+	ds := mltest.XOR(60, 0.15, 2)
+	acc, err := mltest.HoldoutAccuracy(New(Config{Rounds: 40, Seed: 2}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f on XOR", acc)
+	}
+}
+
+func TestGBDTMoreRoundsHelpOnHardData(t *testing.T) {
+	ds := mltest.Blobs(100, 3, 0.5, 3)
+	weak, err := mltest.HoldoutAccuracy(New(Config{Rounds: 2, Seed: 3}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := mltest.HoldoutAccuracy(New(Config{Rounds: 60, Seed: 3}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong+0.02 < weak {
+		t.Errorf("60 rounds (%.3f) clearly worse than 2 rounds (%.3f)", strong, weak)
+	}
+}
+
+func TestGBDTDeterministic(t *testing.T) {
+	ds := mltest.Blobs(40, 2, 0.3, 4)
+	a, b := New(Config{Rounds: 10, Seed: 5}), New(Config{Rounds: 10, Seed: 5})
+	if err := a.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same-seed boosters disagree")
+		}
+	}
+}
+
+func TestGBDTDefaultsAndErrors(t *testing.T) {
+	c := New(Config{})
+	ds := mltest.Blobs(20, 2, 0.2, 6)
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Rounds != 60 || c.Config.LearningRate != 0.1 || c.Config.MaxDepth != 3 {
+		t.Errorf("defaults not applied: %+v", c.Config)
+	}
+	if err := New(Config{}).Fit(&ml.Dataset{NumClasses: 2}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if c.Name() != "gbdt" {
+		t.Error("unexpected name")
+	}
+}
+
+func TestGBDTPredictsPriorOnZeroSignal(t *testing.T) {
+	// All-identical features: the booster can only learn the prior, and
+	// must predict the majority class.
+	x := make([][]float64, 30)
+	y := make([]int, 30)
+	for i := range x {
+		x[i] = []float64{1, 1}
+		if i < 20 {
+			y[i] = 1
+		}
+	}
+	ds, err := ml.NewDataset(x, y, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Rounds: 5, Seed: 7})
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{1, 1}); got != 1 {
+		t.Errorf("majority prediction %d, want 1", got)
+	}
+}

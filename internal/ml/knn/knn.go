@@ -1,0 +1,74 @@
+// Package knn implements a k-nearest-neighbours classifier over
+// standardised features with Euclidean distance — one of the model
+// families the paper evaluated before settling on Random Forest (§4.2).
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"droppackets/internal/ml"
+)
+
+// Classifier is a fitted k-NN model.
+type Classifier struct {
+	// K is the neighbourhood size (default 5).
+	K int
+
+	scaler     *ml.Scaler
+	x          [][]float64
+	y          []int
+	numClasses int
+}
+
+// New returns an unfitted classifier with neighbourhood size k.
+func New(k int) *Classifier { return &Classifier{K: k} }
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "knn" }
+
+// Fit implements ml.Classifier: it memorises the standardised training
+// set.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("knn: empty dataset")
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	c.scaler = ml.FitScaler(ds)
+	c.x = c.scaler.TransformAll(ds.X)
+	c.y = append([]int(nil), ds.Y...)
+	c.numClasses = ds.NumClasses
+	return nil
+}
+
+// Predict implements ml.Classifier: majority vote over the K nearest
+// training rows, distance-weighted to break ties.
+func (c *Classifier) Predict(x []float64) int {
+	q := c.scaler.Transform(x)
+	type neighbour struct {
+		dist  float64
+		label int
+	}
+	nb := make([]neighbour, len(c.x))
+	for i, row := range c.x {
+		var d float64
+		for j := range row {
+			diff := row[j] - q[j]
+			d += diff * diff
+		}
+		nb[i] = neighbour{dist: d, label: c.y[i]}
+	}
+	sort.Slice(nb, func(a, b int) bool { return nb[a].dist < nb[b].dist })
+	k := c.K
+	if k > len(nb) {
+		k = len(nb)
+	}
+	votes := make([]float64, c.numClasses)
+	for _, n := range nb[:k] {
+		votes[n.label] += 1 / (math.Sqrt(n.dist) + 1e-9)
+	}
+	return ml.Argmax(votes)
+}

@@ -1,0 +1,97 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/mltest"
+)
+
+func TestKNNSeparatesBlobs(t *testing.T) {
+	ds := mltest.Blobs(60, 3, 0.1, 1)
+	acc, err := mltest.HoldoutAccuracy(New(5), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("holdout accuracy %.3f on easy blobs", acc)
+	}
+}
+
+func TestKNNSolvesXOR(t *testing.T) {
+	// k-NN is local, so XOR is easy for it.
+	ds := mltest.XOR(50, 0.2, 2)
+	acc, err := mltest.HoldoutAccuracy(New(7), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f on XOR", acc)
+	}
+}
+
+func TestKNNStandardizationMatters(t *testing.T) {
+	// Feature 1 carries the signal at scale 1; feature 0 is noise at
+	// scale 1000. Without standardization the noise dominates distance.
+	x := make([][]float64, 0, 200)
+	y := make([]int, 0, 200)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		x = append(x, []float64{1000 * r.NormFloat64(), float64(label) + 0.1*r.NormFloat64()})
+		y = append(y, label)
+	}
+	ds, err := ml.NewDataset(x, y, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mltest.HoldoutAccuracy(New(5), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f; standardization should neutralise the scale mismatch", acc)
+	}
+}
+
+func TestKNNK1MemorizesTraining(t *testing.T) {
+	ds := mltest.Blobs(30, 2, 0.5, 3)
+	c := New(1)
+	acc, err := mltest.TrainAccuracy(c, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("1-NN train accuracy %.3f, want 1.0", acc)
+	}
+}
+
+func TestKNNDefaultsAndErrors(t *testing.T) {
+	c := New(0)
+	ds := mltest.Blobs(10, 2, 0.2, 4)
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 5 {
+		t.Errorf("K defaulted to %d, want 5", c.K)
+	}
+	if err := New(3).Fit(&ml.Dataset{NumClasses: 2}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if c.Name() != "knn" {
+		t.Error("unexpected name")
+	}
+}
+
+func TestKNNKLargerThanDataset(t *testing.T) {
+	ds := mltest.Blobs(3, 2, 0.05, 5)
+	c := New(100)
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic; predicts from all points.
+	if got := c.Predict(ds.X[0]); got < 0 || got > 1 {
+		t.Errorf("prediction %d out of range", got)
+	}
+}

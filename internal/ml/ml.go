@@ -1,0 +1,180 @@
+// Package ml is a small, dependency-free supervised-learning toolkit:
+// the paper trains scikit-learn models (§4.2); this package provides
+// from-scratch Go equivalents of the families it evaluates — Random
+// Forest (the reported model), k-NN, gradient-boosted trees, a linear
+// SVM and a multilayer perceptron — behind one Classifier interface.
+//
+// Everything is deterministic given a seed and uses only the standard
+// library.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is a design matrix with integer class labels in
+// [0, NumClasses).
+type Dataset struct {
+	X            [][]float64
+	Y            []int
+	NumClasses   int
+	FeatureNames []string
+}
+
+// NewDataset validates and wraps feature rows and labels.
+func NewDataset(x [][]float64, y []int, numClasses int, names []string) (*Dataset, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("ml: %d rows but %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	width := len(x[0])
+	for i, row := range x {
+		if len(row) != width {
+			return nil, fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), width)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("ml: row %d feature %d is %g", i, j, v)
+			}
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= numClasses {
+			return nil, fmt.Errorf("ml: label %d of row %d outside [0,%d)", label, i, numClasses)
+		}
+	}
+	if names != nil && len(names) != width {
+		return nil, fmt.Errorf("ml: %d feature names for %d features", len(names), width)
+	}
+	return &Dataset{X: x, Y: y, NumClasses: numClasses, FeatureNames: names}, nil
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the design-matrix width.
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Subset returns a view containing the given rows (shared backing
+// arrays, new index slices).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	x := make([][]float64, len(rows))
+	y := make([]int, len(rows))
+	for i, r := range rows {
+		x[i] = d.X[r]
+		y[i] = d.Y[r]
+	}
+	return &Dataset{X: x, Y: y, NumClasses: d.NumClasses, FeatureNames: d.FeatureNames}
+}
+
+// SelectFeatures returns a copy of the dataset restricted to the given
+// feature columns (used by the Table 3 ablation).
+func (d *Dataset) SelectFeatures(cols []int) *Dataset {
+	x := make([][]float64, len(d.X))
+	for i, row := range d.X {
+		nr := make([]float64, len(cols))
+		for j, c := range cols {
+			nr[j] = row[c]
+		}
+		x[i] = nr
+	}
+	var names []string
+	if d.FeatureNames != nil {
+		names = make([]string, len(cols))
+		for j, c := range cols {
+			names[j] = d.FeatureNames[c]
+		}
+	}
+	return &Dataset{X: x, Y: d.Y, NumClasses: d.NumClasses, FeatureNames: names}
+}
+
+// ClassCounts tallies the labels.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Classifier is the common training/prediction contract.
+type Classifier interface {
+	// Fit trains on the dataset, replacing any previous state.
+	Fit(ds *Dataset) error
+	// Predict returns the class label for one feature row.
+	Predict(x []float64) int
+	// Name identifies the model family for reports.
+	Name() string
+}
+
+// Scaler standardises features to zero mean and unit variance, fitted
+// on training data only; distance- and gradient-based models (k-NN,
+// SVM, MLP) need it, tree models do not.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler learns per-feature moments from the dataset.
+func FitScaler(ds *Dataset) *Scaler {
+	w := ds.NumFeatures()
+	s := &Scaler{Mean: make([]float64, w), Std: make([]float64, w)}
+	n := float64(ds.Len())
+	for _, row := range ds.X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range ds.X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns the standardised copy of one row.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardises every row.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// Argmax returns the index of the largest element (first on ties).
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDatasetValidation(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	if _, err := NewDataset(x, y, 2, []string{"a", "b"}); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		x     [][]float64
+		y     []int
+		k     int
+		names []string
+	}{
+		{"row/label mismatch", x, []int{0}, 2, nil},
+		{"empty", nil, nil, 2, nil},
+		{"ragged", [][]float64{{1, 2}, {3}}, y, 2, nil},
+		{"nan", [][]float64{{1, math.NaN()}, {3, 4}}, y, 2, nil},
+		{"inf", [][]float64{{1, math.Inf(1)}, {3, 4}}, y, 2, nil},
+		{"label out of range", x, []int{0, 2}, 2, nil},
+		{"negative label", x, []int{0, -1}, 2, nil},
+		{"name count", x, y, 2, []string{"a"}},
+	}
+	for _, c := range cases {
+		if _, err := NewDataset(c.x, c.y, c.k, c.names); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSubsetAndSelectFeatures(t *testing.T) {
+	ds, err := NewDataset([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, []int{0, 1, 0}, 2, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := ds.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.X[0][0] != 7 || sub.Y[1] != 0 {
+		t.Errorf("Subset wrong: %+v", sub)
+	}
+	sel := ds.SelectFeatures([]int{2, 1})
+	if sel.NumFeatures() != 2 || sel.X[0][0] != 3 || sel.X[0][1] != 2 {
+		t.Errorf("SelectFeatures wrong: %+v", sel.X)
+	}
+	if sel.FeatureNames[0] != "c" || sel.FeatureNames[1] != "b" {
+		t.Errorf("names not projected: %v", sel.FeatureNames)
+	}
+	// Original untouched.
+	if ds.NumFeatures() != 3 {
+		t.Error("SelectFeatures mutated the source")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	ds, _ := NewDataset([][]float64{{1}, {2}, {3}}, []int{0, 2, 2}, 3, nil)
+	counts := ds.ClassCounts()
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
+		t.Errorf("ClassCounts = %v", counts)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	ds, _ := NewDataset([][]float64{{0, 10}, {2, 10}, {4, 10}}, []int{0, 0, 0}, 1, nil)
+	s := FitScaler(ds)
+	if math.Abs(s.Mean[0]-2) > 1e-12 {
+		t.Errorf("mean = %g, want 2", s.Mean[0])
+	}
+	// Constant feature: std clamps to 1 to avoid division by zero.
+	if s.Std[1] != 1 {
+		t.Errorf("constant-feature std = %g, want 1", s.Std[1])
+	}
+	out := s.TransformAll(ds.X)
+	var mean, variance float64
+	for _, row := range out {
+		mean += row[0]
+	}
+	mean /= 3
+	for _, row := range out {
+		variance += (row[0] - mean) * (row[0] - mean)
+	}
+	variance /= 3
+	if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-12 {
+		t.Errorf("standardised moments: mean=%g var=%g", mean, variance)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Error("Argmax wrong")
+	}
+	if Argmax([]float64{5, 5, 5}) != 0 {
+		t.Error("Argmax tie should pick first")
+	}
+}

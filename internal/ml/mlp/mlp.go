@@ -1,0 +1,219 @@
+// Package mlp implements a multilayer perceptron (one ReLU hidden
+// layer, softmax output) trained with minibatch SGD and momentum — one
+// of the model families the paper evaluated (§4.2).
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"droppackets/internal/ml"
+)
+
+// Config controls architecture and training.
+type Config struct {
+	// Hidden is the hidden-layer width (default 32).
+	Hidden int
+	// Epochs is the number of passes over the data (default 60).
+	Epochs int
+	// LearningRate is the SGD step (default 0.01).
+	LearningRate float64
+	// Momentum is the classical momentum coefficient (default 0.9).
+	Momentum float64
+	// BatchSize is the minibatch size (default 32).
+	BatchSize int
+	// L2 is the weight decay (default 1e-4).
+	L2 float64
+	// Seed drives initialisation and shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.L2 <= 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Classifier is a fitted MLP.
+type Classifier struct {
+	Config Config
+
+	scaler *ml.Scaler
+	// w1[h][j], b1[h]: input -> hidden; w2[c][h], b2[c]: hidden -> output.
+	w1, w2 [][]float64
+	b1, b2 []float64
+}
+
+// New returns an unfitted MLP.
+func New(cfg Config) *Classifier { return &Classifier{Config: cfg} }
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "mlp" }
+
+// Fit implements ml.Classifier.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("mlp: empty dataset")
+	}
+	cfg := c.Config.withDefaults()
+	c.Config = cfg
+	c.scaler = ml.FitScaler(ds)
+	x := c.scaler.TransformAll(ds.X)
+	in := ds.NumFeatures()
+	hid, out := cfg.Hidden, ds.NumClasses
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	c.w1 = glorot(rng, hid, in)
+	c.w2 = glorot(rng, out, hid)
+	c.b1 = make([]float64, hid)
+	c.b2 = make([]float64, out)
+	vw1 := zeros(hid, in)
+	vw2 := zeros(out, hid)
+	vb1 := make([]float64, hid)
+	vb2 := make([]float64, out)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(x))
+		for batchStart := 0; batchStart < len(perm); batchStart += cfg.BatchSize {
+			endIdx := batchStart + cfg.BatchSize
+			if endIdx > len(perm) {
+				endIdx = len(perm)
+			}
+			gw1 := zeros(hid, in)
+			gw2 := zeros(out, hid)
+			gb1 := make([]float64, hid)
+			gb2 := make([]float64, out)
+			for _, i := range perm[batchStart:endIdx] {
+				hpre, hact, probs := c.forward(x[i])
+				// Softmax cross-entropy gradient at the output.
+				dout := make([]float64, out)
+				copy(dout, probs)
+				dout[ds.Y[i]] -= 1
+				for k := 0; k < out; k++ {
+					gb2[k] += dout[k]
+					for h := 0; h < hid; h++ {
+						gw2[k][h] += dout[k] * hact[h]
+					}
+				}
+				for h := 0; h < hid; h++ {
+					if hpre[h] <= 0 {
+						continue
+					}
+					var dh float64
+					for k := 0; k < out; k++ {
+						dh += dout[k] * c.w2[k][h]
+					}
+					gb1[h] += dh
+					for j := 0; j < in; j++ {
+						gw1[h][j] += dh * x[i][j]
+					}
+				}
+			}
+			bs := float64(endIdx - batchStart)
+			step := func(w, v [][]float64, g [][]float64) {
+				for a := range w {
+					for b := range w[a] {
+						grad := g[a][b]/bs + cfg.L2*w[a][b]
+						v[a][b] = cfg.Momentum*v[a][b] - cfg.LearningRate*grad
+						w[a][b] += v[a][b]
+					}
+				}
+			}
+			step(c.w1, vw1, gw1)
+			step(c.w2, vw2, gw2)
+			for h := 0; h < hid; h++ {
+				vb1[h] = cfg.Momentum*vb1[h] - cfg.LearningRate*gb1[h]/bs
+				c.b1[h] += vb1[h]
+			}
+			for k := 0; k < out; k++ {
+				vb2[k] = cfg.Momentum*vb2[k] - cfg.LearningRate*gb2[k]/bs
+				c.b2[k] += vb2[k]
+			}
+		}
+	}
+	return nil
+}
+
+// forward runs one standardised row through the network, returning the
+// hidden pre-activation, hidden activation and softmax probabilities.
+func (c *Classifier) forward(q []float64) (hpre, hact, probs []float64) {
+	hid := len(c.w1)
+	out := len(c.w2)
+	hpre = make([]float64, hid)
+	hact = make([]float64, hid)
+	for h := 0; h < hid; h++ {
+		s := c.b1[h]
+		for j, v := range q {
+			s += c.w1[h][j] * v
+		}
+		hpre[h] = s
+		if s > 0 {
+			hact[h] = s
+		}
+	}
+	logits := make([]float64, out)
+	maxLogit := math.Inf(-1)
+	for k := 0; k < out; k++ {
+		s := c.b2[k]
+		for h := 0; h < hid; h++ {
+			s += c.w2[k][h] * hact[h]
+		}
+		logits[k] = s
+		if s > maxLogit {
+			maxLogit = s
+		}
+	}
+	probs = make([]float64, out)
+	var z float64
+	for k, l := range logits {
+		probs[k] = math.Exp(l - maxLogit)
+		z += probs[k]
+	}
+	for k := range probs {
+		probs[k] /= z
+	}
+	return hpre, hact, probs
+}
+
+// Predict implements ml.Classifier.
+func (c *Classifier) Predict(x []float64) int {
+	_, _, probs := c.forward(c.scaler.Transform(x))
+	return ml.Argmax(probs)
+}
+
+func glorot(rng *rand.Rand, rows, cols int) [][]float64 {
+	scale := math.Sqrt(6 / float64(rows+cols))
+	w := make([][]float64, rows)
+	for i := range w {
+		w[i] = make([]float64, cols)
+		for j := range w[i] {
+			w[i][j] = (2*rng.Float64() - 1) * scale
+		}
+	}
+	return w
+}
+
+func zeros(rows, cols int) [][]float64 {
+	w := make([][]float64, rows)
+	for i := range w {
+		w[i] = make([]float64, cols)
+	}
+	return w
+}

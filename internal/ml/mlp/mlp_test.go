@@ -1,0 +1,86 @@
+package mlp
+
+import (
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/mltest"
+)
+
+func TestMLPSeparatesBlobs(t *testing.T) {
+	ds := mltest.Blobs(80, 3, 0.15, 1)
+	acc, err := mltest.HoldoutAccuracy(New(Config{Seed: 1}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f on easy blobs", acc)
+	}
+}
+
+func TestMLPSolvesXOR(t *testing.T) {
+	// The hidden layer is what lets an MLP solve XOR; this is the
+	// classic non-linearity check.
+	ds := mltest.XOR(80, 0.15, 2)
+	acc, err := mltest.HoldoutAccuracy(New(Config{Seed: 2, Hidden: 16, Epochs: 150}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f on XOR", acc)
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	ds := mltest.Blobs(40, 2, 0.3, 3)
+	a, b := New(Config{Seed: 7, Epochs: 20}), New(Config{Seed: 7, Epochs: 20})
+	if err := a.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same-seed MLPs disagree")
+		}
+	}
+}
+
+func TestMLPDefaultsAndErrors(t *testing.T) {
+	c := New(Config{})
+	ds := mltest.Blobs(20, 2, 0.2, 4)
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Hidden != 32 || c.Config.BatchSize != 32 {
+		t.Errorf("defaults not applied: %+v", c.Config)
+	}
+	if err := New(Config{}).Fit(&ml.Dataset{NumClasses: 2}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if c.Name() != "mlp" {
+		t.Error("unexpected name")
+	}
+}
+
+func TestMLPProbabilitiesValid(t *testing.T) {
+	ds := mltest.Blobs(30, 3, 0.3, 5)
+	c := New(Config{Seed: 5, Epochs: 10})
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		_, _, probs := c.forward(c.scaler.Transform(row))
+		var sum float64
+		for _, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %g outside [0,1]", p)
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("softmax sums to %g", sum)
+		}
+	}
+}

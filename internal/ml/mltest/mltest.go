@@ -1,0 +1,126 @@
+// Package mltest provides shared synthetic datasets and scoring
+// helpers for testing the learning algorithms.
+package mltest
+
+import (
+	"math/rand"
+
+	"droppackets/internal/ml"
+)
+
+// Blobs generates n points per class from 2-D Gaussian blobs with unit
+// spacing between centers and the given spread (standard deviation).
+// Small spreads make the problem trivially separable; spreads near the
+// spacing make it hard.
+func Blobs(nPerClass, numClasses int, spread float64, seed int64) *ml.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []int
+	for c := 0; c < numClasses; c++ {
+		cx := float64(c)
+		cy := float64(c % 2)
+		for i := 0; i < nPerClass; i++ {
+			x = append(x, []float64{
+				cx + spread*r.NormFloat64(),
+				cy + spread*r.NormFloat64(),
+			})
+			y = append(y, c)
+		}
+	}
+	// Shuffle so folds are not class-ordered.
+	r.Shuffle(len(x), func(i, j int) {
+		x[i], x[j] = x[j], x[i]
+		y[i], y[j] = y[j], y[i]
+	})
+	ds, err := ml.NewDataset(x, y, numClasses, []string{"x", "y"})
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// XOR generates the classic non-linearly-separable two-class problem:
+// class = (x > 0) XOR (y > 0), with points at ±1 plus noise.
+func XOR(nPerQuadrant int, noise float64, seed int64) *ml.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []int
+	for q := 0; q < 4; q++ {
+		sx := float64(1 - 2*(q&1))
+		sy := float64(1 - 2*(q>>1&1))
+		label := 0
+		if (sx > 0) != (sy > 0) {
+			label = 1
+		}
+		for i := 0; i < nPerQuadrant; i++ {
+			x = append(x, []float64{sx + noise*r.NormFloat64(), sy + noise*r.NormFloat64()})
+			y = append(y, label)
+		}
+	}
+	r.Shuffle(len(x), func(i, j int) {
+		x[i], x[j] = x[j], x[i]
+		y[i], y[j] = y[j], y[i]
+	})
+	ds, err := ml.NewDataset(x, y, 2, []string{"x", "y"})
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// WithNoiseFeature appends one pure-noise column so importance tests
+// can check it ranks below the informative ones.
+func WithNoiseFeature(ds *ml.Dataset, seed int64) *ml.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	x := make([][]float64, ds.Len())
+	for i, row := range ds.X {
+		nr := append(append([]float64(nil), row...), r.NormFloat64())
+		x[i] = nr
+	}
+	names := append(append([]string(nil), ds.FeatureNames...), "noise")
+	out, err := ml.NewDataset(x, ds.Y, ds.NumClasses, names)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TrainAccuracy fits the classifier and scores it on its own training
+// data.
+func TrainAccuracy(c ml.Classifier, ds *ml.Dataset) (float64, error) {
+	if err := c.Fit(ds); err != nil {
+		return 0, err
+	}
+	return Accuracy(c, ds), nil
+}
+
+// Accuracy scores a fitted classifier on a dataset.
+func Accuracy(c ml.Classifier, ds *ml.Dataset) float64 {
+	correct := 0
+	for i, row := range ds.X {
+		if c.Predict(row) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// HoldoutAccuracy fits on the first 80% and scores the rest.
+func HoldoutAccuracy(c ml.Classifier, ds *ml.Dataset) (float64, error) {
+	cut := ds.Len() * 4 / 5
+	trainRows := make([]int, cut)
+	for i := range trainRows {
+		trainRows[i] = i
+	}
+	if err := c.Fit(ds.Subset(trainRows)); err != nil {
+		return 0, err
+	}
+	correct, total := 0, 0
+	for i := cut; i < ds.Len(); i++ {
+		if c.Predict(ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+		total++
+	}
+	return float64(correct) / float64(total), nil
+}

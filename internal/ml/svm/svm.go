@@ -1,0 +1,129 @@
+// Package svm implements a linear multiclass support-vector machine
+// trained one-vs-rest with the Pegasos stochastic sub-gradient solver —
+// one of the model families the paper evaluated (§4.2).
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"droppackets/internal/ml"
+)
+
+// Config controls training.
+type Config struct {
+	// Lambda is the L2 regularisation strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 30).
+	Epochs int
+	// Seed drives example shuffling.
+	Seed int64
+}
+
+// Classifier is a fitted one-vs-rest linear SVM.
+type Classifier struct {
+	Config Config
+
+	scaler  *ml.Scaler
+	weights [][]float64 // per class: weight vector
+	bias    []float64
+}
+
+// New returns an unfitted SVM.
+func New(cfg Config) *Classifier { return &Classifier{Config: cfg} }
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "linear-svm" }
+
+// Fit implements ml.Classifier.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("svm: empty dataset")
+	}
+	if c.Config.Lambda <= 0 {
+		c.Config.Lambda = 1e-4
+	}
+	if c.Config.Epochs <= 0 {
+		c.Config.Epochs = 30
+	}
+	c.scaler = ml.FitScaler(ds)
+	x := c.scaler.TransformAll(ds.X)
+	w := ds.NumFeatures()
+	c.weights = make([][]float64, ds.NumClasses)
+	c.bias = make([]float64, ds.NumClasses)
+	for class := 0; class < ds.NumClasses; class++ {
+		c.weights[class] = c.trainBinary(x, ds.Y, class, w)
+	}
+	return nil
+}
+
+// trainBinary runs Pegasos for one one-vs-rest problem; the bias is
+// folded in via an un-regularised extra coordinate updated alongside.
+func (c *Classifier) trainBinary(x [][]float64, y []int, positive, width int) []float64 {
+	rng := rand.New(rand.NewSource(c.Config.Seed + int64(positive)*7919))
+	w := make([]float64, width)
+	var b float64
+	lambda := c.Config.Lambda
+	t := 1
+	for epoch := 0; epoch < c.Config.Epochs; epoch++ {
+		for _, i := range rng.Perm(len(x)) {
+			eta := 1 / (lambda * float64(t))
+			t++
+			label := -1.0
+			if y[i] == positive {
+				label = 1
+			}
+			var margin float64
+			for j, v := range x[i] {
+				margin += w[j] * v
+			}
+			margin = label * (margin + b)
+			// Sub-gradient step: shrink, and add the example if it
+			// violates the margin.
+			scale := 1 - eta*lambda
+			if scale < 0 {
+				scale = 0
+			}
+			for j := range w {
+				w[j] *= scale
+			}
+			if margin < 1 {
+				for j, v := range x[i] {
+					w[j] += eta * label * v
+				}
+				b += eta * label * 0.1
+			}
+			// Project onto the ball of radius 1/sqrt(lambda).
+			var norm float64
+			for _, v := range w {
+				norm += v * v
+			}
+			if r := 1 / math.Sqrt(lambda*norm); r < 1 {
+				for j := range w {
+					w[j] *= r
+				}
+			}
+		}
+	}
+	c.bias[positive] = b
+	return w
+}
+
+// decision returns the per-class scores for a standardised row.
+func (c *Classifier) decision(q []float64) []float64 {
+	scores := make([]float64, len(c.weights))
+	for class, w := range c.weights {
+		s := c.bias[class]
+		for j, v := range q {
+			s += w[j] * v
+		}
+		scores[class] = s
+	}
+	return scores
+}
+
+// Predict implements ml.Classifier.
+func (c *Classifier) Predict(x []float64) int {
+	return ml.Argmax(c.decision(c.scaler.Transform(x)))
+}

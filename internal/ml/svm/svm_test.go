@@ -1,0 +1,78 @@
+package svm
+
+import (
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/mltest"
+)
+
+func TestSVMSeparatesBlobs(t *testing.T) {
+	ds := mltest.Blobs(80, 2, 0.15, 1)
+	acc, err := mltest.HoldoutAccuracy(New(Config{Seed: 1}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("holdout accuracy %.3f on linearly separable blobs", acc)
+	}
+}
+
+func TestSVMMulticlass(t *testing.T) {
+	// Three blobs along a line are pairwise linearly separable, so
+	// one-vs-rest handles them.
+	ds := mltest.Blobs(80, 3, 0.12, 2)
+	acc, err := mltest.HoldoutAccuracy(New(Config{Seed: 2, Epochs: 40}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("holdout accuracy %.3f on 3-class blobs", acc)
+	}
+}
+
+func TestSVMCannotSolveXOR(t *testing.T) {
+	// A linear model must fail on XOR — this guards against the
+	// implementation accidentally being non-linear.
+	ds := mltest.XOR(60, 0.1, 3)
+	acc, err := mltest.TrainAccuracy(New(Config{Seed: 3}), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 0.75 {
+		t.Errorf("linear SVM reached %.3f on XOR; should be near 0.5", acc)
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	ds := mltest.Blobs(40, 2, 0.3, 4)
+	a, b := New(Config{Seed: 5}), New(Config{Seed: 5})
+	if err := a.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same-seed SVMs disagree")
+		}
+	}
+}
+
+func TestSVMDefaultsAndErrors(t *testing.T) {
+	c := New(Config{})
+	ds := mltest.Blobs(20, 2, 0.2, 6)
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Lambda <= 0 || c.Config.Epochs <= 0 {
+		t.Errorf("defaults not applied: %+v", c.Config)
+	}
+	if err := New(Config{}).Fit(&ml.Dataset{NumClasses: 2}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if c.Name() != "linear-svm" {
+		t.Error("unexpected name")
+	}
+}

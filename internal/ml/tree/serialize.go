@@ -1,0 +1,79 @@
+package tree
+
+import "fmt"
+
+// NodeSpec is the serializable form of one tree node. A fitted tree is
+// a flat array of specs with child indices; Feature == -1 marks leaves.
+type NodeSpec struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t,omitempty"`
+	Left      int       `json:"l,omitempty"`
+	Right     int       `json:"r,omitempty"`
+	Dist      []float64 `json:"d,omitempty"`
+	Value     float64   `json:"v,omitempty"`
+}
+
+// Encode flattens the fitted tree into a spec array (root at index 0).
+func (t *Classifier) Encode() ([]NodeSpec, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("tree: encode before Fit")
+	}
+	var out []NodeSpec
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		idx := len(out)
+		out = append(out, NodeSpec{Feature: n.feature, Threshold: n.threshold, Dist: n.dist, Value: n.value})
+		if n.feature >= 0 {
+			out[idx].Left = walk(n.left)
+			out[idx].Right = walk(n.right)
+		}
+		return idx
+	}
+	walk(t.root)
+	return out, nil
+}
+
+// DecodeClassifier rebuilds a classification tree from a spec array.
+// The decoded tree predicts identically to the encoded one; training
+// state (importances) is not preserved.
+func DecodeClassifier(spec []NodeSpec, numClasses int) (*Classifier, error) {
+	if len(spec) == 0 {
+		return nil, fmt.Errorf("tree: empty spec")
+	}
+	root, err := decodeNode(spec, 0, numClasses, map[int]bool{})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{root: root, numClasses: numClasses}, nil
+}
+
+func decodeNode(spec []NodeSpec, idx, numClasses int, seen map[int]bool) (*node, error) {
+	if idx < 0 || idx >= len(spec) {
+		return nil, fmt.Errorf("tree: node index %d out of range", idx)
+	}
+	if seen[idx] {
+		return nil, fmt.Errorf("tree: cyclic spec at node %d", idx)
+	}
+	seen[idx] = true
+	s := spec[idx]
+	n := &node{feature: s.Feature, threshold: s.Threshold, dist: s.Dist, value: s.Value}
+	if s.Feature < 0 {
+		if len(s.Dist) != 0 && len(s.Dist) != numClasses {
+			return nil, fmt.Errorf("tree: leaf %d has %d-class distribution, want %d", idx, len(s.Dist), numClasses)
+		}
+		if len(s.Dist) == 0 {
+			// Regression leaves have no distribution; synthesise an
+			// empty one so PredictProba never sees nil.
+			n.dist = make([]float64, numClasses)
+		}
+		return n, nil
+	}
+	var err error
+	if n.left, err = decodeNode(spec, s.Left, numClasses, seen); err != nil {
+		return nil, err
+	}
+	if n.right, err = decodeNode(spec, s.Right, numClasses, seen); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

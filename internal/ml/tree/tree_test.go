@@ -1,0 +1,254 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/mltest"
+)
+
+func TestTreeSeparatesBlobs(t *testing.T) {
+	ds := mltest.Blobs(60, 3, 0.05, 1)
+	acc, err := mltest.TrainAccuracy(&Classifier{}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("train accuracy %.3f on trivially separable blobs", acc)
+	}
+}
+
+func TestTreeSolvesXOR(t *testing.T) {
+	ds := mltest.XOR(50, 0.15, 2)
+	acc, err := mltest.HoldoutAccuracy(&Classifier{}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f on XOR; trees should handle it", acc)
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	ds := mltest.XOR(50, 0.1, 3)
+	tr := &Classifier{Config: Config{MaxDepth: 1}}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Depth(); got > 1 {
+		t.Errorf("depth %d with MaxDepth 1", got)
+	}
+	// A depth-1 stump cannot solve XOR.
+	if acc := mltest.Accuracy(tr, ds); acc > 0.8 {
+		t.Errorf("stump accuracy %.3f on XOR is implausibly high", acc)
+	}
+	deep := &Classifier{}
+	if err := deep.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if deep.Depth() < 2 {
+		t.Errorf("unlimited tree depth %d, want >= 2 for XOR", deep.Depth())
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	ds := mltest.Blobs(20, 2, 0.4, 4)
+	tr := &Classifier{Config: Config{MinLeaf: 10}}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf = n/4 the tree is heavily constrained; it must still
+	// predict valid classes.
+	for _, row := range ds.X {
+		if c := tr.Predict(row); c < 0 || c >= 2 {
+			t.Fatalf("prediction %d out of range", c)
+		}
+	}
+}
+
+func TestTreeImportancesPointAtSignal(t *testing.T) {
+	// Class depends only on feature 0; feature 1 and the appended noise
+	// column are junk.
+	base := mltest.Blobs(80, 2, 0.05, 5)
+	ds := mltest.WithNoiseFeature(base, 6)
+	tr := &Classifier{}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importances()
+	if len(imp) != 3 {
+		t.Fatalf("importances length %d", len(imp))
+	}
+	if imp[0] <= imp[2] {
+		t.Errorf("informative feature importance %g <= noise %g", imp[0], imp[2])
+	}
+}
+
+func TestTreePredictProbaSumsToOne(t *testing.T) {
+	ds := mltest.Blobs(40, 3, 0.3, 7)
+	tr := &Classifier{Config: Config{MinLeaf: 5}}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		var sum float64
+		for _, p := range tr.PredictProba(row) {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %g", sum)
+		}
+	}
+}
+
+func TestTreeSingleClass(t *testing.T) {
+	ds, err := ml.NewDataset([][]float64{{1}, {2}, {3}}, []int{1, 1, 1}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Classifier{}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]float64{1.5}) != 1 {
+		t.Error("pure dataset should always predict its class")
+	}
+}
+
+func TestTreeEmptyDataset(t *testing.T) {
+	if err := (&Classifier{}).Fit(&ml.Dataset{NumClasses: 2}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if err := (&Classifier{}).FitRows(&ml.Dataset{NumClasses: 2}, nil); err == nil {
+		t.Error("empty row set accepted")
+	}
+}
+
+func TestTreeDeterministicWithFeatureSubsampling(t *testing.T) {
+	ds := mltest.Blobs(50, 3, 0.3, 8)
+	a := &Classifier{Config: Config{MaxFeatures: 1}, Seed: 99}
+	b := &Classifier{Config: Config{MaxFeatures: 1}, Seed: 99}
+	if err := a.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same-seed trees disagree")
+		}
+	}
+}
+
+func TestRegressorFitsStepFunction(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 5)
+		}
+	}
+	reg := &Regressor{Config: Config{MaxDepth: 2}}
+	if err := reg.FitXY(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Predict([]float64{0.2}); math.Abs(got-1) > 0.01 {
+		t.Errorf("Predict(0.2) = %g, want 1", got)
+	}
+	if got := reg.Predict([]float64{0.9}); math.Abs(got-5) > 0.01 {
+		t.Errorf("Predict(0.9) = %g, want 5", got)
+	}
+}
+
+func TestRegressorMeanLeaf(t *testing.T) {
+	// Depth 0 is impossible (MaxDepth<=0 means unlimited), but MinLeaf
+	// equal to n forces a single leaf holding the mean.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	reg := &Regressor{Config: Config{MinLeaf: 4}}
+	if err := reg.FitXY(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Predict([]float64{99}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("single-leaf prediction %g, want mean 5", got)
+	}
+}
+
+func TestRegressorBadInput(t *testing.T) {
+	if err := (&Regressor{}).FitXY(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := (&Regressor{}).FitXY([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestTreeName(t *testing.T) {
+	if (&Classifier{}).Name() != "decision-tree" {
+		t.Error("unexpected name")
+	}
+}
+
+func TestTreeEncodeDecodeRoundTrip(t *testing.T) {
+	ds := mltest.XOR(40, 0.2, 9)
+	tr := &Classifier{}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeClassifier(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ds.X {
+		if tr.Predict(row) != back.Predict(row) {
+			t.Fatal("decoded tree predicts differently")
+		}
+	}
+}
+
+func TestTreeEncodeBeforeFit(t *testing.T) {
+	if _, err := (&Classifier{}).Encode(); err == nil {
+		t.Error("unfitted tree encoded")
+	}
+}
+
+func TestDecodeClassifierRejectsGarbage(t *testing.T) {
+	cases := [][]NodeSpec{
+		nil,
+		{{Feature: 0, Left: 5, Right: 6}}, // out of range
+		{{Feature: 0, Left: 0, Right: 0}}, // cycle
+		{{Feature: -1, Dist: []float64{0.5, 0.25, 0.25}}}, // wrong class count for 2 classes
+	}
+	for i, spec := range cases {
+		if _, err := DecodeClassifier(spec, 2); err == nil {
+			t.Errorf("garbage spec %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeRegressionLeafGetsDist(t *testing.T) {
+	// A regression-style leaf (no distribution) must still yield a
+	// usable classifier leaf.
+	spec := []NodeSpec{{Feature: -1, Value: 3.5}}
+	c, err := DecodeClassifier(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := c.PredictProba([]float64{1})
+	if len(probs) != 3 {
+		t.Errorf("leaf dist length %d", len(probs))
+	}
+}

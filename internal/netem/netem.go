@@ -1,0 +1,290 @@
+// Package netem emulates the network path between a streaming client and
+// the video CDN. A Link wraps a bandwidth trace with class-appropriate
+// round-trip time and loss, and its Transfer method times an HTTP
+// object download with a TCP-like model: slow-start ramp, congestion
+// back-off on loss, retransmissions and queueing-sensitive RTT samples.
+//
+// Transfers record a piecewise-constant achieved-rate timeline so that
+// packet-level traces (the paper's fine-grained comparison data) can be
+// synthesised lazily, per session, without holding tens of thousands of
+// packet records for the whole corpus in memory.
+package netem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"droppackets/internal/trace"
+)
+
+// MSS is the TCP maximum segment size used to packetise transfers.
+const MSS = 1460
+
+// quantum is the simulation step of the transfer model in seconds.
+const quantum = 0.05
+
+// Link is a unidirectional bottleneck link driven by a bandwidth trace.
+type Link struct {
+	Trace     *trace.Trace
+	BaseRTTms float64 // propagation RTT in milliseconds
+	LossRate  float64 // per-packet loss probability on the downlink
+
+	rng *rand.Rand
+}
+
+// RateSegment records that Bytes of payload were delivered during
+// [Start, End) at a steady rate; the concatenation of a transfer's
+// segments reproduces its byte timeline.
+type RateSegment struct {
+	Start, End float64
+	Bytes      int64
+}
+
+// Transfer is the outcome of downloading one HTTP object over the link.
+type Transfer struct {
+	Start       float64 // request sent (seconds, session clock)
+	End         float64 // last payload byte received
+	Bytes       int64   // downlink payload bytes
+	UplinkBytes int64   // request payload bytes sent upstream
+	// AckBytes is pure TCP ACK traffic: visible to packet capture and
+	// flow counters, but NOT to a payload-relaying proxy — which is why
+	// the TLS view's D2U ratio tracks bytes-per-request (§3) while
+	// NetFlow's does not.
+	AckBytes    int64
+	MeanRTTms   float64 // average of per-quantum RTT samples
+	MaxRTTms    float64 // maximum RTT sample
+	Retransmits int     // retransmitted packets
+	LostPackets int     // packets dropped by the link
+	Segments    []RateSegment
+}
+
+// ThroughputKbps returns the application-level throughput of the
+// transfer in kilobits per second.
+func (t Transfer) ThroughputKbps() float64 {
+	d := t.End - t.Start
+	if d <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) * 8 / d / 1000
+}
+
+// PacketCount returns the number of downlink data packets, including
+// retransmissions, that Packetize will emit for the transfer.
+func (t Transfer) PacketCount() int {
+	n := int((t.Bytes + MSS - 1) / MSS)
+	return n + t.Retransmits
+}
+
+// classRTT returns propagation RTT (ms) and loss rate for a trace class.
+func classRTT(c trace.Class) (rttMs, loss float64) {
+	switch c {
+	case trace.Broadband:
+		return 25, 0.001
+	case trace.ThreeG:
+		return 120, 0.012
+	case trace.LTE:
+		return 55, 0.004
+	default:
+		return 60, 0.005
+	}
+}
+
+// NewLink builds a link over tr with RTT and loss chosen from the
+// trace's network class, with a little per-link jitter drawn from rng so
+// different sessions on the same class are not identical.
+func NewLink(tr *trace.Trace, rng *rand.Rand) *Link {
+	rtt, loss := classRTT(tr.Class)
+	rtt *= 0.8 + 0.4*rng.Float64()
+	loss *= 0.5 + rng.Float64()
+	return &Link{Trace: tr, BaseRTTms: rtt, LossRate: loss, rng: rng}
+}
+
+// Transfer downloads size bytes starting the request at time start.
+// uplinkBytes is the size of the request itself; ACK traffic is added on
+// top. The model is intentionally simple but preserves what matters for
+// the paper's features: downloads take longer when the trace offers less
+// bandwidth, begin with a slow-start ramp, lose rate on packet loss and
+// observe inflated RTTs when the link saturates.
+func (l *Link) Transfer(start float64, size, uplinkBytes int64) Transfer {
+	return l.TransferPaced(start, size, uplinkBytes, 0)
+}
+
+// TransferPaced is Transfer with a server-side rate cap in kbps
+// (<= 0 disables it). Video CDNs commonly pace segment delivery at a
+// small multiple of the encoding rate, which decouples transaction data
+// rates from the access link's capacity on fast links.
+func (l *Link) TransferPaced(start float64, size, uplinkBytes int64, paceKbps float64) Transfer {
+	if size <= 0 {
+		size = 1
+	}
+	rttSec := l.BaseRTTms / 1000
+	// The first payload byte arrives after the request has crossed the
+	// wire: one RTT of setup (connection is typically warm, so no full
+	// handshake) plus half an RTT server think time.
+	t := start + rttSec
+	tr := Transfer{Start: start, Bytes: size, UplinkBytes: uplinkBytes}
+
+	// Slow-start: begin at ~10 segments per RTT (RFC 6928 initial window).
+	rateKbps := 10 * MSS * 8 / rttSec / 1000
+	remaining := float64(size)
+	var rttSum, rttMax float64
+	var rttN int
+	var lastSeg *RateSegment
+	for remaining > 0 {
+		avail := l.Trace.BandwidthAt(t)
+		if avail <= 0 {
+			avail = 16
+		}
+		if paceKbps > 0 && avail > paceKbps {
+			avail = paceKbps
+		}
+		rate := math.Min(rateKbps, avail)
+		moved := rate * 1000 / 8 * quantum
+		if moved > remaining {
+			moved = remaining
+		}
+		// Per-quantum loss: approximate the binomial over packets in this
+		// quantum with a Poisson draw.
+		pkts := moved / MSS
+		lost := poisson(l.rng, pkts*l.LossRate)
+		if lost > 0 {
+			tr.LostPackets += lost
+			tr.Retransmits += lost
+			// Multiplicative back-off per loss event (not per packet).
+			rateKbps = math.Max(rateKbps*0.6, 10*MSS*8/rttSec/1000)
+			// Retransmitted bytes consume capacity: the quantum delivers
+			// correspondingly less fresh payload.
+			redo := float64(lost * MSS)
+			if redo > moved {
+				redo = moved * 0.5
+			}
+			moved -= redo
+		} else if rateKbps < avail {
+			// Exponential growth while below the bottleneck, as in slow
+			// start; quantised to the step length.
+			rateKbps *= math.Pow(2, quantum/rttSec)
+			if rateKbps > avail {
+				rateKbps = avail
+			}
+		}
+		// RTT sample: propagation plus queueing when the sender saturates
+		// the bottleneck.
+		q := 0.0
+		if rate >= avail*0.95 {
+			q = l.BaseRTTms * (0.2 + 0.6*l.rng.Float64())
+		}
+		sample := l.BaseRTTms + q
+		rttSum += sample
+		rttN++
+		if sample > rttMax {
+			rttMax = sample
+		}
+
+		end := t + quantum
+		if moved > 0 {
+			b := int64(math.Round(moved))
+			if b <= 0 {
+				b = 1
+			}
+			if float64(b) > remaining {
+				b = int64(math.Ceil(remaining))
+			}
+			remaining -= float64(b)
+			if lastSeg != nil && lastSeg.End == t {
+				lastSeg.End = end
+				lastSeg.Bytes += b
+			} else {
+				tr.Segments = append(tr.Segments, RateSegment{Start: t, End: end, Bytes: b})
+				lastSeg = &tr.Segments[len(tr.Segments)-1]
+			}
+		}
+		t = end
+		if t-start > 3600 {
+			// Safety valve: a pathological trace cannot stall the
+			// simulation forever; deliver the remainder instantly.
+			tr.Segments = append(tr.Segments, RateSegment{Start: t, End: t + quantum, Bytes: int64(remaining)})
+			t += quantum
+			remaining = 0
+		}
+	}
+	tr.End = t
+	if rttN > 0 {
+		tr.MeanRTTms = rttSum / float64(rttN)
+		tr.MaxRTTms = rttMax
+	} else {
+		tr.MeanRTTms = l.BaseRTTms
+		tr.MaxRTTms = l.BaseRTTms
+	}
+	// ACK traffic: one 52-byte ACK per two data packets.
+	tr.AckBytes = int64(tr.PacketCount()/2) * 52
+	return tr
+}
+
+// poisson draws a Poisson variate with mean lambda; for the tiny means
+// used here Knuth's method is exact and fast.
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation for large means.
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Validate checks link invariants.
+func (l *Link) Validate() error {
+	if l.Trace == nil {
+		return fmt.Errorf("netem: link has no trace")
+	}
+	if l.BaseRTTms <= 0 {
+		return fmt.Errorf("netem: non-positive RTT %g", l.BaseRTTms)
+	}
+	if l.LossRate < 0 || l.LossRate >= 1 {
+		return fmt.Errorf("netem: loss rate %g outside [0,1)", l.LossRate)
+	}
+	return l.Trace.Validate()
+}
+
+// Stats summarises link-level ground truth for diagnostics.
+func (l *Link) Stats() string {
+	return fmt.Sprintf("trace=%s avg=%.0fkbps rtt=%.0fms loss=%.3f%%",
+		l.Trace.Name, l.Trace.AverageKbps(), l.BaseRTTms, l.LossRate*100)
+}
+
+// MeanThroughputKbps is a helper for ABR warm-up: the harmonic mean of
+// recent transfer throughputs, which HAS players commonly use because it
+// is robust to outliers.
+func MeanThroughputKbps(transfers []Transfer) float64 {
+	if len(transfers) == 0 {
+		return 0
+	}
+	var inv float64
+	n := 0
+	for _, t := range transfers {
+		tp := t.ThroughputKbps()
+		if tp > 0 {
+			inv += 1 / tp
+			n++
+		}
+	}
+	if n == 0 || inv == 0 {
+		return 0
+	}
+	return float64(n) / inv
+}

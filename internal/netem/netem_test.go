@@ -1,0 +1,248 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"droppackets/internal/stats"
+	"droppackets/internal/trace"
+)
+
+// flatTrace builds a constant-rate trace for predictable transfers.
+func flatTrace(kbps, dur float64) *trace.Trace {
+	return &trace.Trace{
+		Name:    "flat",
+		Class:   trace.Broadband,
+		Samples: []trace.Sample{{Kbps: kbps, Duration: dur}},
+	}
+}
+
+// quietLink is a loss-free link over a flat trace.
+func quietLink(kbps float64) *Link {
+	return &Link{Trace: flatTrace(kbps, 3600), BaseRTTms: 20, LossRate: 0, rng: stats.NewRNG(1)}
+}
+
+func TestTransferDeliversAllBytes(t *testing.T) {
+	l := quietLink(5000)
+	tr := l.Transfer(0, 1_000_000, 800)
+	var segBytes int64
+	for _, s := range tr.Segments {
+		if s.End <= s.Start {
+			t.Errorf("segment with non-positive span: %+v", s)
+		}
+		segBytes += s.Bytes
+	}
+	if segBytes != tr.Bytes {
+		t.Errorf("segments carry %d bytes, transfer says %d", segBytes, tr.Bytes)
+	}
+	if tr.End <= tr.Start {
+		t.Error("transfer ends before it starts")
+	}
+}
+
+func TestTransferRespectsLinkCapacity(t *testing.T) {
+	const kbps = 2000
+	l := quietLink(kbps)
+	tr := l.Transfer(0, 2_000_000, 800)
+	// 2 MB over a 2 Mbps link needs at least 8 seconds.
+	minDur := 2_000_000 * 8.0 / (kbps * 1000)
+	if got := tr.End - tr.Start; got < minDur {
+		t.Errorf("transfer took %.2fs, physically needs >= %.2fs", got, minDur)
+	}
+	if tp := tr.ThroughputKbps(); tp > kbps*1.02 {
+		t.Errorf("throughput %.0f kbps exceeds link capacity %.0f", tp, float64(kbps))
+	}
+}
+
+func TestTransferSlowStartRamp(t *testing.T) {
+	// On a very fat link, a small transfer is RTT-bound, not
+	// bandwidth-bound: it cannot finish faster than the ramp allows.
+	l := &Link{Trace: flatTrace(1e6, 3600), BaseRTTms: 100, LossRate: 0, rng: stats.NewRNG(2)}
+	tr := l.Transfer(0, 500_000, 800)
+	if got := tr.End - tr.Start; got < 0.2 {
+		t.Errorf("500 kB at RTT 100ms finished in %.3fs; slow start should need several RTTs", got)
+	}
+}
+
+func TestTransferPacedCapsThroughput(t *testing.T) {
+	l := quietLink(100_000) // 100 Mbps link
+	paced := l.TransferPaced(0, 2_000_000, 800, 4000)
+	if tp := paced.ThroughputKbps(); tp > 4200 {
+		t.Errorf("paced throughput %.0f kbps exceeds 4000 kbps cap", tp)
+	}
+	unpaced := l.Transfer(0, 2_000_000, 800)
+	if unpaced.End-unpaced.Start >= paced.End-paced.Start {
+		t.Error("unpaced transfer should finish faster than paced")
+	}
+}
+
+func TestTransferLossCausesRetransmits(t *testing.T) {
+	lossy := &Link{Trace: flatTrace(5000, 3600), BaseRTTms: 50, LossRate: 0.05, rng: stats.NewRNG(3)}
+	tr := lossy.Transfer(0, 2_000_000, 800)
+	if tr.Retransmits == 0 || tr.LostPackets == 0 {
+		t.Errorf("5%% loss produced no retransmits (%d) / losses (%d)", tr.Retransmits, tr.LostPackets)
+	}
+	clean := quietLink(5000).Transfer(0, 2_000_000, 800)
+	if clean.Retransmits != 0 {
+		t.Errorf("loss-free link retransmitted %d packets", clean.Retransmits)
+	}
+	if tr.End-tr.Start <= clean.End-clean.Start {
+		t.Error("lossy transfer should be slower than clean transfer")
+	}
+}
+
+func TestTransferRTTStats(t *testing.T) {
+	l := quietLink(3000)
+	tr := l.Transfer(0, 500_000, 800)
+	if tr.MeanRTTms < l.BaseRTTms*0.99 {
+		t.Errorf("mean RTT %.1f below propagation %g", tr.MeanRTTms, l.BaseRTTms)
+	}
+	if tr.MaxRTTms < tr.MeanRTTms {
+		t.Error("max RTT below mean RTT")
+	}
+}
+
+func TestTransferAckAccounting(t *testing.T) {
+	l := quietLink(5000)
+	tr := l.Transfer(0, 1_460_000, 700) // ~1000 packets
+	if tr.UplinkBytes != 700 {
+		t.Errorf("uplink payload %d, want exactly the 700-byte request", tr.UplinkBytes)
+	}
+	// ~1000 data packets -> ~500 ACKs of 52 bytes.
+	if tr.AckBytes < 20_000 {
+		t.Errorf("ACK bytes %d, want roughly 26000", tr.AckBytes)
+	}
+}
+
+func TestPacketCount(t *testing.T) {
+	tr := Transfer{Bytes: MSS*10 + 1, Retransmits: 3}
+	if got := tr.PacketCount(); got != 11+3 {
+		t.Errorf("PacketCount = %d, want 14", got)
+	}
+}
+
+func TestThroughputKbpsDegenerate(t *testing.T) {
+	if (Transfer{Start: 1, End: 1, Bytes: 100}).ThroughputKbps() != 0 {
+		t.Error("zero-duration transfer should report 0 throughput")
+	}
+}
+
+func TestNewLinkClassParameters(t *testing.T) {
+	rng := stats.NewRNG(4)
+	tg := trace.Generate(trace.GenConfig{Seed: 1}, trace.ThreeG, 30, 0)
+	lte := trace.Generate(trace.GenConfig{Seed: 1}, trace.LTE, 30, 0)
+	l3g := NewLink(tg, rng)
+	llte := NewLink(lte, rng)
+	if l3g.BaseRTTms <= llte.BaseRTTms {
+		t.Errorf("3G RTT %.0f should exceed LTE RTT %.0f", l3g.BaseRTTms, llte.BaseRTTms)
+	}
+	if l3g.LossRate <= llte.LossRate {
+		t.Errorf("3G loss %.4f should exceed LTE loss %.4f", l3g.LossRate, llte.LossRate)
+	}
+	if err := l3g.Validate(); err != nil {
+		t.Errorf("valid link rejected: %v", err)
+	}
+}
+
+func TestLinkValidate(t *testing.T) {
+	bad := []*Link{
+		{BaseRTTms: 10, LossRate: 0},
+		{Trace: flatTrace(100, 10), BaseRTTms: 0},
+		{Trace: flatTrace(100, 10), BaseRTTms: 10, LossRate: 1.5},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad link %d accepted", i)
+		}
+	}
+}
+
+func TestTransferDeterministic(t *testing.T) {
+	a := (&Link{Trace: flatTrace(3000, 3600), BaseRTTms: 40, LossRate: 0.01, rng: stats.NewRNG(9)}).Transfer(0, 800_000, 700)
+	b := (&Link{Trace: flatTrace(3000, 3600), BaseRTTms: 40, LossRate: 0.01, rng: stats.NewRNG(9)}).Transfer(0, 800_000, 700)
+	if a.End != b.End || a.Retransmits != b.Retransmits || len(a.Segments) != len(b.Segments) {
+		t.Error("same-seed transfers differ")
+	}
+}
+
+func TestMeanThroughputHarmonic(t *testing.T) {
+	ts := []Transfer{
+		{Start: 0, End: 1, Bytes: 125_000}, // 1000 kbps
+		{Start: 0, End: 1, Bytes: 500_000}, // 4000 kbps
+	}
+	got := MeanThroughputKbps(ts)
+	want := 2 / (1.0/1000 + 1.0/4000) // harmonic mean = 1600
+	if math.Abs(got-want) > 1 {
+		t.Errorf("harmonic mean = %.1f, want %.1f", got, want)
+	}
+	if MeanThroughputKbps(nil) != 0 {
+		t.Error("empty transfer list should give 0")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := stats.NewRNG(11)
+	if poisson(r, 0) != 0 || poisson(r, -1) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poisson(r, 2.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("poisson(2.5) mean = %.3f", mean)
+	}
+	// Large-lambda normal approximation stays near the mean too.
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += poisson(r, 100)
+	}
+	mean = float64(sum) / n
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("poisson(100) mean = %.2f", mean)
+	}
+}
+
+// Property: for any size and bandwidth, segments account for exactly
+// the transfer's bytes and are time-ordered and non-overlapping.
+func TestQuickSegmentsConsistent(t *testing.T) {
+	f := func(sizeRaw uint32, bwRaw uint16, seed int64) bool {
+		size := int64(sizeRaw%2_000_000) + 1
+		bw := float64(bwRaw%20000) + 50
+		l := &Link{Trace: flatTrace(bw, 3600), BaseRTTms: 30, LossRate: 0.005, rng: stats.NewRNG(seed)}
+		tr := l.Transfer(0, size, 700)
+		var total int64
+		last := tr.Start
+		for _, s := range tr.Segments {
+			if s.Start < last-1e-9 || s.End <= s.Start || s.Bytes <= 0 {
+				return false
+			}
+			last = s.End
+			total += s.Bytes
+		}
+		return total == tr.Bytes && tr.End >= last-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tighter pacing never speeds a transfer up.
+func TestQuickPacingMonotone(t *testing.T) {
+	f := func(sizeRaw uint32, paceRaw uint16) bool {
+		size := int64(sizeRaw%1_000_000) + 10_000
+		pace := float64(paceRaw%8000) + 200
+		fast := (&Link{Trace: flatTrace(50000, 3600), BaseRTTms: 30, rng: stats.NewRNG(1)}).
+			TransferPaced(0, size, 700, 0)
+		slow := (&Link{Trace: flatTrace(50000, 3600), BaseRTTms: 30, rng: stats.NewRNG(1)}).
+			TransferPaced(0, size, 700, pace)
+		return slow.End >= fast.End-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

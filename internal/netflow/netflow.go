@@ -1,0 +1,169 @@
+// Package netflow emulates flow-level monitoring (NetFlow/IPFIX), the
+// alternative coarse data source the paper discusses in §2.2 and
+// defers to future work in §5: per-connection byte counters exported
+// periodically (active timeout) and on idle gaps (inactive timeout).
+//
+// Two differences from TLS-transaction data drive the comparison this
+// package enables: (i) long connections yield several records, giving
+// a finer temporal view; (ii) flow records carry no application-layer
+// identity — video traffic must be recognised by augmenting flows with
+// DNS data (Bermudez et al., IMC'12), which resolves only a fraction
+// of flows. Unresolved flows are lost to the video classifier.
+package netflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"droppackets/internal/capture"
+)
+
+// Record is one exported flow record, bidirectional for simplicity
+// (routers export two unidirectional records; the collector pairs them).
+type Record struct {
+	// Host is the DNS-augmented server name, or "" when the cache had
+	// no mapping for the server address.
+	Host       string
+	Start, End float64
+	DownBytes  int64
+	UpBytes    int64
+}
+
+// Config controls the exporter.
+type Config struct {
+	// ActiveTimeoutSec splits long-lived flows into periodic records
+	// (default 60, a common router default).
+	ActiveTimeoutSec float64
+	// InactiveTimeoutSec expires idle flows (default 15).
+	InactiveTimeoutSec float64
+	// DNSVisibility is the probability that a connection's server is
+	// resolvable from observed DNS traffic (default 0.95).
+	DNSVisibility float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ActiveTimeoutSec <= 0 {
+		c.ActiveTimeoutSec = 60
+	}
+	if c.InactiveTimeoutSec <= 0 {
+		c.InactiveTimeoutSec = 15
+	}
+	if c.DNSVisibility <= 0 {
+		c.DNSVisibility = 0.95
+	}
+	return c
+}
+
+// FromCapture exports the flow records a NetFlow monitor would emit
+// for one session, from the capture layer's per-connection activity
+// timelines. rng drives DNS-cache hits only. Records are returned in
+// start order.
+func FromCapture(sc *capture.SessionCapture, cfg Config, rng *rand.Rand) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	if len(sc.ConnActivity) != len(sc.TLS) {
+		return nil, fmt.Errorf("netflow: capture has no connection activity (%d vs %d TLS txns)",
+			len(sc.ConnActivity), len(sc.TLS))
+	}
+	var out []Record
+	for i, spans := range sc.ConnActivity {
+		host := sc.TLS[i].SNI
+		if rng.Float64() >= cfg.DNSVisibility {
+			host = ""
+		}
+		out = append(out, exportConn(host, spans, cfg)...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out, nil
+}
+
+// exportConn slices one connection's activity into flow records.
+func exportConn(host string, spans []capture.ActivitySpan, cfg Config) []Record {
+	if len(spans) == 0 {
+		return nil
+	}
+	ordered := append([]capture.ActivitySpan(nil), spans...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Start < ordered[b].Start })
+
+	var out []Record
+	var cur *Record
+	lastActivity := 0.0
+	flush := func() {
+		if cur != nil && (cur.DownBytes > 0 || cur.UpBytes > 0) {
+			out = append(out, *cur)
+		}
+		cur = nil
+	}
+	addBytes := func(start, end float64, down, up int64) {
+		if cur == nil {
+			cur = &Record{Host: host, Start: start, End: end}
+		}
+		if end > cur.End {
+			cur.End = end
+		}
+		cur.DownBytes += down
+		cur.UpBytes += up
+	}
+	for _, sp := range ordered {
+		// Idle gap: the router expired the flow; the next packet opens a
+		// new one.
+		if cur != nil && sp.Start-lastActivity > cfg.InactiveTimeoutSec {
+			flush()
+		}
+		// Walk the span, splitting at active-timeout boundaries relative
+		// to the current record's start.
+		s, e := sp.Start, sp.End
+		if e < s {
+			e = s
+		}
+		remainingDown, remainingUp := sp.Down, sp.Up
+		for {
+			if cur == nil {
+				cur = &Record{Host: host, Start: s, End: s}
+			}
+			boundary := cur.Start + cfg.ActiveTimeoutSec
+			if e <= boundary {
+				addBytes(s, e, remainingDown, remainingUp)
+				break
+			}
+			// Prorate bytes to the portion before the boundary.
+			frac := 0.0
+			if e > s {
+				frac = (boundary - s) / (e - s)
+			}
+			d := int64(float64(remainingDown) * frac)
+			u := int64(float64(remainingUp) * frac)
+			addBytes(s, boundary, d, u)
+			flush()
+			remainingDown -= d
+			remainingUp -= u
+			s = boundary
+		}
+		if e > lastActivity {
+			lastActivity = e
+		}
+	}
+	flush()
+	return out
+}
+
+// VideoTransactions converts the DNS-resolved records into the capture
+// layer's transaction type so the paper's 38-feature extractor can run
+// on flow data unchanged. Unresolved records are dropped — the video-
+// identification penalty of flow-level data (§2.2).
+func VideoTransactions(records []Record) []capture.TLSTransaction {
+	out := make([]capture.TLSTransaction, 0, len(records))
+	for _, r := range records {
+		if r.Host == "" {
+			continue
+		}
+		out = append(out, capture.TLSTransaction{
+			SNI:       r.Host,
+			Start:     r.Start,
+			End:       r.End,
+			DownBytes: r.DownBytes,
+			UpBytes:   r.UpBytes,
+		})
+	}
+	return out
+}

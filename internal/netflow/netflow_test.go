@@ -1,0 +1,146 @@
+package netflow
+
+import (
+	"math"
+	"testing"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/stats"
+)
+
+// span is a test shorthand.
+func span(start, end float64, down, up int64) capture.ActivitySpan {
+	return capture.ActivitySpan{Start: start, End: end, Down: down, Up: up}
+}
+
+func TestExportConnSingleShortFlow(t *testing.T) {
+	recs := exportConn("h", []capture.ActivitySpan{
+		span(0, 5, 1000, 100),
+		span(6, 10, 2000, 200),
+	}, Config{}.withDefaults())
+	if len(recs) != 1 {
+		t.Fatalf("%d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.DownBytes != 3000 || r.UpBytes != 300 {
+		t.Errorf("bytes %d/%d, want 3000/300", r.DownBytes, r.UpBytes)
+	}
+	if r.Start != 0 || r.End != 10 {
+		t.Errorf("span [%g,%g], want [0,10]", r.Start, r.End)
+	}
+	if r.Host != "h" {
+		t.Errorf("host %q", r.Host)
+	}
+}
+
+func TestExportConnInactiveTimeoutSplits(t *testing.T) {
+	cfg := Config{InactiveTimeoutSec: 15}.withDefaults()
+	recs := exportConn("h", []capture.ActivitySpan{
+		span(0, 5, 1000, 100),
+		span(40, 45, 2000, 200), // 35 s idle gap > 15 s timeout
+	}, cfg)
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2 (idle split)", len(recs))
+	}
+	if recs[0].DownBytes != 1000 || recs[1].DownBytes != 2000 {
+		t.Errorf("bytes %d/%d", recs[0].DownBytes, recs[1].DownBytes)
+	}
+	if recs[1].Start != 40 {
+		t.Errorf("second record starts at %g", recs[1].Start)
+	}
+}
+
+func TestExportConnActiveTimeoutSlices(t *testing.T) {
+	cfg := Config{ActiveTimeoutSec: 60, InactiveTimeoutSec: 3600}.withDefaults()
+	// One long continuous span of 150 s: expect 3 slices (60+60+30)
+	// with prorated bytes.
+	recs := exportConn("h", []capture.ActivitySpan{span(0, 150, 15000, 1500)}, cfg)
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	var down int64
+	for _, r := range recs {
+		down += r.DownBytes
+		if r.End-r.Start > 60+1e-9 {
+			t.Errorf("record spans %g s, cap 60", r.End-r.Start)
+		}
+	}
+	if down != 15000 {
+		t.Errorf("total down %d, want 15000 (byte conservation)", down)
+	}
+	// First slice covers 60/150 of the span.
+	if math.Abs(float64(recs[0].DownBytes)-6000) > 1 {
+		t.Errorf("first slice %d bytes, want ~6000", recs[0].DownBytes)
+	}
+}
+
+func TestFromCaptureConservesBytes(t *testing.T) {
+	rec, err := dataset.GenerateSession(dataset.Config{Seed: 3}, has.Svc1(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := FromCapture(rec.Capture, Config{DNSVisibility: 1}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) < len(rec.Capture.TLS) {
+		t.Errorf("%d flows for %d connections; slicing can only add records",
+			len(flows), len(rec.Capture.TLS))
+	}
+	var flowDown, tlsDown int64
+	for _, f := range flows {
+		flowDown += f.DownBytes
+		if f.Host == "" {
+			t.Error("unresolved host with DNSVisibility=1")
+		}
+	}
+	for _, txn := range rec.Capture.TLS {
+		tlsDown += txn.DownBytes
+	}
+	diff := flowDown - tlsDown
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.01*float64(tlsDown)+float64(len(flows)) {
+		t.Errorf("flow bytes %d vs TLS bytes %d", flowDown, tlsDown)
+	}
+}
+
+func TestFromCaptureDNSVisibility(t *testing.T) {
+	rec, err := dataset.GenerateSession(dataset.Config{Seed: 4}, has.Svc1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := FromCapture(rec.Capture, Config{DNSVisibility: 0.0001}, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	for _, f := range flows {
+		if f.Host != "" {
+			resolved++
+		}
+	}
+	if resolved > len(flows)/2 {
+		t.Errorf("%d/%d flows resolved at near-zero DNS visibility", resolved, len(flows))
+	}
+	if got := len(VideoTransactions(flows)); got != resolved {
+		t.Errorf("VideoTransactions kept %d, want %d resolved", got, resolved)
+	}
+}
+
+func TestFromCaptureRequiresActivity(t *testing.T) {
+	sc := &capture.SessionCapture{TLS: []capture.TLSTransaction{{SNI: "h"}}}
+	if _, err := FromCapture(sc, Config{}, stats.NewRNG(1)); err == nil {
+		t.Error("capture without activity accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ActiveTimeoutSec != 60 || c.InactiveTimeoutSec != 15 || c.DNSVisibility != 0.95 {
+		t.Errorf("defaults %+v", c)
+	}
+}

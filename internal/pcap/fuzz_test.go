@@ -1,0 +1,42 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"droppackets/internal/capture"
+)
+
+// FuzzReader feeds arbitrary bytes to the pcap reader: it must never
+// panic and never return packets with negative sizes.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, DefaultEndpoints)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.WritePacket(capture.Packet{Time: 1, Size: 100})
+	w.WritePacket(capture.Packet{Time: 2, Size: 1460, Uplink: true})
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:30])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			p, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if p.Size < 0 {
+				t.Fatalf("negative payload %d", p.Size)
+			}
+		}
+	})
+}

@@ -1,0 +1,272 @@
+// Package pcap reads and writes libpcap capture files (the classic
+// pcap format, not pcapng) for the repository's synthetic packet
+// traces: the paper's fine-grained data is tcpdump output, and this
+// package lets the simulator's traces round-trip through the same file
+// format real tooling consumes (tcpdump -r, Wireshark, tshark).
+//
+// Synthetic packets are emitted as minimal Ethernet/IPv4/TCP frames:
+// headers carry direction (via port 443 placement), payload length,
+// and a retransmission-friendly sequence numbering; payload bytes are
+// zeros, as captures truncated with snaplen commonly are.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"droppackets/internal/capture"
+)
+
+// File-format constants (pcap file format, microsecond variant).
+const (
+	magicMicros   = 0xA1B2C3D4
+	versionMajor  = 2
+	versionMinor  = 4
+	linkTypeEther = 1
+	// SnapLen is the capture length we declare; headers only.
+	SnapLen = 96
+)
+
+// Header sizes of the synthesised encapsulation.
+const (
+	etherLen = 14
+	ipv4Len  = 20
+	tcpLen   = 20
+	frameLen = etherLen + ipv4Len + tcpLen
+)
+
+// Endpoints gives the synthetic flow identity used for all packets in
+// a trace; the analysis in this repository is single-session, so one
+// five-tuple suffices.
+type Endpoints struct {
+	ClientIP   [4]byte
+	ServerIP   [4]byte
+	ClientPort uint16
+	ServerPort uint16 // typically 443
+}
+
+// DefaultEndpoints is a documentation-friendly RFC 5737 pair.
+var DefaultEndpoints = Endpoints{
+	ClientIP:   [4]byte{192, 0, 2, 10},
+	ServerIP:   [4]byte{198, 51, 100, 20},
+	ClientPort: 49152,
+	ServerPort: 443,
+}
+
+// Writer emits a pcap file.
+type Writer struct {
+	w     io.Writer
+	ep    Endpoints
+	seqUp uint32
+	seqDn uint32
+	count int
+}
+
+// NewWriter writes the global header and returns a Writer.
+func NewWriter(w io.Writer, ep Endpoints) (*Writer, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone, sigfigs = 0.
+	binary.LittleEndian.PutUint32(hdr[16:], SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeEther)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing file header: %w", err)
+	}
+	return &Writer{w: w, ep: ep, seqUp: 1000, seqDn: 5000}, nil
+}
+
+// Count returns packets written so far.
+func (pw *Writer) Count() int { return pw.count }
+
+// WritePacket appends one synthetic packet.
+func (pw *Writer) WritePacket(p capture.Packet) error {
+	if p.Time < 0 || math.IsNaN(p.Time) || math.IsInf(p.Time, 0) {
+		return fmt.Errorf("pcap: invalid timestamp %g", p.Time)
+	}
+	payload := p.Size
+	if payload < 0 {
+		return fmt.Errorf("pcap: negative payload %d", payload)
+	}
+	origLen := frameLen + payload
+	capLen := origLen
+	if capLen > SnapLen {
+		capLen = SnapLen
+	}
+	var rec [16]byte
+	sec := uint32(p.Time)
+	usec := uint32((p.Time - float64(sec)) * 1e6)
+	binary.LittleEndian.PutUint32(rec[0:], sec)
+	binary.LittleEndian.PutUint32(rec[4:], usec)
+	binary.LittleEndian.PutUint32(rec[8:], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(origLen))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+
+	frame := make([]byte, capLen)
+	// Ethernet: synthetic MACs, EtherType IPv4.
+	copy(frame[0:6], []byte{2, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{2, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:], 0x0800)
+
+	ip := frame[etherLen:]
+	ip[0] = 0x45 // v4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipv4Len+tcpLen+payload))
+	ip[8] = 64 // TTL
+	ip[9] = 6  // TCP
+	src, dst := pw.ep.ClientIP, pw.ep.ServerIP
+	sport, dport := pw.ep.ClientPort, pw.ep.ServerPort
+	if !p.Uplink {
+		src, dst = dst, src
+		sport, dport = dport, sport
+	}
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	putIPChecksum(ip[:ipv4Len])
+
+	tcp := ip[ipv4Len:]
+	binary.BigEndian.PutUint16(tcp[0:], sport)
+	binary.BigEndian.PutUint16(tcp[2:], dport)
+	var seq uint32
+	if p.Uplink {
+		seq = pw.seqUp
+		if !p.Retransmit {
+			pw.seqUp += uint32(payload)
+		}
+	} else {
+		if p.Retransmit {
+			// Retransmissions reuse an earlier sequence number.
+			seq = pw.seqDn - uint32(payload)
+		} else {
+			seq = pw.seqDn
+			pw.seqDn += uint32(payload)
+		}
+	}
+	binary.BigEndian.PutUint32(tcp[4:], seq)
+	tcp[12] = 5 << 4 // data offset
+	tcp[13] = 0x18   // PSH|ACK
+	binary.BigEndian.PutUint16(tcp[14:], 65535)
+
+	if _, err := pw.w.Write(frame); err != nil {
+		return fmt.Errorf("pcap: writing frame: %w", err)
+	}
+	pw.count++
+	return nil
+}
+
+// WriteTrace writes a whole packet trace.
+func (pw *Writer) WriteTrace(pkts []capture.Packet) error {
+	for i, p := range pkts {
+		if err := pw.WritePacket(p); err != nil {
+			return fmt.Errorf("pcap: packet %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// putIPChecksum computes and stores the IPv4 header checksum.
+func putIPChecksum(hdr []byte) {
+	hdr[10], hdr[11] = 0, 0
+	var sum uint32
+	for i := 0; i < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	binary.BigEndian.PutUint16(hdr[10:], ^uint16(sum))
+}
+
+// Reader parses pcap files written by this package (and any other
+// microsecond classic pcap over Ethernet/IPv4/TCP).
+type Reader struct {
+	r       io.Reader
+	swapped bool
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading file header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	pr := &Reader{r: r}
+	switch magic {
+	case magicMicros:
+	case 0xD4C3B2A1:
+		pr.swapped = true
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", magic)
+	}
+	link := pr.u32(hdr[20:])
+	if link != linkTypeEther {
+		return nil, fmt.Errorf("pcap: link type %d unsupported (want Ethernet)", link)
+	}
+	return pr, nil
+}
+
+func (pr *Reader) u32(b []byte) uint32 {
+	if pr.swapped {
+		return binary.BigEndian.Uint32(b)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Next returns the next packet, or io.EOF at end of file. Sequence-
+// number bookkeeping cannot be recovered, so Retransmit detection uses
+// repeated downlink sequence numbers seen so far.
+func (pr *Reader) Next() (capture.Packet, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return capture.Packet{}, io.EOF
+		}
+		return capture.Packet{}, err
+	}
+	sec := pr.u32(rec[0:])
+	usec := pr.u32(rec[4:])
+	capLen := pr.u32(rec[8:])
+	origLen := pr.u32(rec[12:])
+	if capLen > SnapLen || capLen > origLen {
+		return capture.Packet{}, fmt.Errorf("pcap: implausible record (cap %d, orig %d)", capLen, origLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return capture.Packet{}, fmt.Errorf("pcap: truncated frame: %w", err)
+	}
+	if capLen < frameLen {
+		return capture.Packet{}, fmt.Errorf("pcap: frame too short for headers (%d bytes)", capLen)
+	}
+	ip := frame[etherLen:]
+	if ip[0]>>4 != 4 || ip[9] != 6 {
+		return capture.Packet{}, fmt.Errorf("pcap: not IPv4/TCP")
+	}
+	tcp := ip[ipv4Len:]
+	sport := binary.BigEndian.Uint16(tcp[0:])
+	p := capture.Packet{
+		Time:   float64(sec) + float64(usec)/1e6,
+		Size:   int(origLen) - frameLen,
+		Uplink: sport != 443,
+	}
+	return p, nil
+}
+
+// ReadAll drains the file.
+func (pr *Reader) ReadAll() ([]capture.Packet, error) {
+	var out []capture.Packet
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,228 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/stats"
+)
+
+func TestRoundTripHandCrafted(t *testing.T) {
+	pkts := []capture.Packet{
+		{Time: 0.5, Size: 700, Uplink: true},
+		{Time: 0.75, Size: 1460},
+		{Time: 0.750123, Size: 52, Uplink: true},
+		{Time: 1.25, Size: 1460, Retransmit: true},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, DefaultEndpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrace(pkts); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(pkts) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("read %d packets, want %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if got[i].Size != pkts[i].Size {
+			t.Errorf("packet %d size %d, want %d", i, got[i].Size, pkts[i].Size)
+		}
+		if got[i].Uplink != pkts[i].Uplink {
+			t.Errorf("packet %d direction %v, want %v", i, got[i].Uplink, pkts[i].Uplink)
+		}
+		if math.Abs(got[i].Time-pkts[i].Time) > 2e-6 {
+			t.Errorf("packet %d time %g, want %g", i, got[i].Time, pkts[i].Time)
+		}
+	}
+}
+
+func TestRoundTripSimulatedTrace(t *testing.T) {
+	rec, err := dataset.GenerateSession(dataset.Config{Seed: 1, KeepPacketDetail: true}, has.Svc1(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := rec.Capture.Packetize(stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, DefaultEndpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTrace(pkts); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("round trip lost packets: %d vs %d", len(got), len(pkts))
+	}
+	var wantBytes, gotBytes int64
+	for i := range pkts {
+		wantBytes += int64(pkts[i].Size)
+		gotBytes += int64(got[i].Size)
+	}
+	if wantBytes != gotBytes {
+		t.Errorf("payload bytes %d, want %d", gotBytes, wantBytes)
+	}
+}
+
+func TestFileHeaderFields(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, DefaultEndpoints); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header length %d", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicMicros {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint16(hdr[4:]) != 2 || binary.LittleEndian.Uint16(hdr[6:]) != 4 {
+		t.Error("bad version")
+	}
+	if binary.LittleEndian.Uint32(hdr[20:]) != linkTypeEther {
+		t.Error("bad link type")
+	}
+}
+
+func TestIPChecksumValid(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, DefaultEndpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(capture.Packet{Time: 1, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()[24+16:]
+	ip := frame[etherLen : etherLen+ipv4Len]
+	var sum uint32
+	for i := 0; i < len(ip); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	if uint16(sum) != 0xFFFF {
+		t.Errorf("IPv4 checksum does not verify: %#x", sum)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, DefaultEndpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full-size packet: captured length is clamped to SnapLen, but
+	// the original length (and thus the reconstructed payload size)
+	// is preserved.
+	if err := w.WritePacket(capture.Packet{Time: 2, Size: 1460}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size != 1460 {
+		t.Errorf("size %d, want 1460", p.Size)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterRejectsBadPackets(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, DefaultEndpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(capture.Packet{Time: -1, Size: 10}); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+	if err := w.WritePacket(capture.Packet{Time: math.NaN(), Size: 10}); err == nil {
+		t.Error("NaN timestamp accepted")
+	}
+	if err := w.WritePacket(capture.Packet{Time: 1, Size: -5}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, 24)
+	binary.LittleEndian.PutUint32(bad, 0xDEADBEEF)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header, bogus record length.
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, DefaultEndpoints); err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:], 1<<20) // capLen way past SnapLen
+	binary.LittleEndian.PutUint32(rec[12:], 1<<20)
+	buf.Write(rec)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("implausible record accepted")
+	}
+}
+
+func TestReaderBigEndianFile(t *testing.T) {
+	// A big-endian (swapped) header must be understood.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:], magicMicros)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], SnapLen)
+	binary.BigEndian.PutUint32(hdr[20:], linkTypeEther)
+	buf.Write(hdr)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("big-endian header rejected: %v", err)
+	}
+	if !r.swapped {
+		t.Error("swapped flag not set")
+	}
+}

@@ -1,0 +1,42 @@
+package qoe_test
+
+import (
+	"fmt"
+
+	"droppackets/internal/qoe"
+)
+
+// A 100-second session: 5 s of startup, mostly high quality with a
+// short stall in the middle.
+func ExampleCompute() {
+	var log []qoe.Second
+	for i := 0; i < 100; i++ {
+		switch {
+		case i < 5:
+			log = append(log, qoe.Second{}) // still loading
+		case i >= 50 && i < 53:
+			log = append(log, qoe.Second{Started: true, Stalled: true})
+		default:
+			log = append(log, qoe.Second{Started: true, Level: 2})
+		}
+	}
+	category := func(level int) qoe.Category { return qoe.Category(level) }
+	s := qoe.Compute(log, category)
+	fmt.Printf("startup=%.0fs played=%ds stalled=%ds rr=%.3f\n",
+		s.StartupDelay, s.PlayedSeconds, s.StalledSeconds, s.RebufferRatio)
+	fmt.Printf("rebuffer=%s quality=%s combined=%s\n", s.Rebuffer, s.Quality, s.Combined)
+	// Output:
+	// startup=5s played=92s stalled=3s rr=0.033
+	// rebuffer=high quality=high combined=low
+}
+
+func ExampleMOS() {
+	clean := make([]qoe.Second, 120)
+	for i := range clean {
+		clean[i] = qoe.Second{Started: true, Level: 2}
+	}
+	category := func(level int) qoe.Category { return qoe.Category(level) }
+	fmt.Printf("clean high-quality session: MOS %.1f\n", qoe.MOS(clean, category))
+	// Output:
+	// clean high-quality session: MOS 4.5
+}

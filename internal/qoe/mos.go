@@ -1,0 +1,70 @@
+package qoe
+
+import "math"
+
+// MOS maps a per-second playback log onto a 1–5 mean-opinion-score
+// scale, following the shape of bitstream-based models such as ITU-T
+// P.1203 (cited by the paper as [26]): a base audiovisual score from
+// the quality mix, degraded by initial loading and by stalling
+// frequency and ratio. The coefficients are chosen for plausible
+// orderings, not standard compliance — the repository's classifiers
+// never consume MOS; it exists as a convenience for reporting.
+func MOS(log []Second, levelCategory func(level int) Category) float64 {
+	var played [NumCategories]float64
+	var stalled, total float64
+	events := 0
+	inStall := false
+	startup := 0.0
+	started := false
+	for _, sec := range log {
+		if !sec.Started {
+			if !started {
+				startup++
+			}
+			continue
+		}
+		started = true
+		if sec.Paused {
+			inStall = false
+			continue
+		}
+		total++
+		if sec.Stalled {
+			stalled++
+			if !inStall {
+				events++
+				inStall = true
+			}
+			continue
+		}
+		inStall = false
+		played[levelCategory(sec.Level)]++
+	}
+	playedTotal := played[Low] + played[Medium] + played[High]
+	if playedTotal == 0 {
+		return 1
+	}
+	// Base audiovisual quality from the category mix.
+	base := (2.2*played[Low] + 3.6*played[Medium] + 4.5*played[High]) / playedTotal
+
+	// Stalling degradation: frequency and ratio terms, both saturating.
+	minutes := total / 60
+	if minutes < 1.0/60 {
+		minutes = 1.0 / 60
+	}
+	freq := float64(events) / minutes
+	ratio := stalled / total
+	penalty := 0.8*math.Sqrt(freq) + 3.0*math.Sqrt(ratio)
+
+	// Initial loading irritation, mild and saturating.
+	penalty += 0.15 * math.Log1p(startup)
+
+	mos := base - penalty
+	if mos < 1 {
+		mos = 1
+	}
+	if mos > 5 {
+		mos = 5
+	}
+	return mos
+}

@@ -1,0 +1,211 @@
+// Package qoe defines the paper's target Quality-of-Experience metrics
+// (§2.1): categorical per-session video quality, re-buffering ratio and
+// the combined QoE metric, plus the per-second ground-truth log format
+// from which they are derived.
+package qoe
+
+import "fmt"
+
+// Category is a three-way QoE grade. It orders Low < Medium < High so
+// the combined metric can take a minimum.
+type Category int
+
+// QoE categories from worst to best.
+const (
+	Low Category = iota
+	Medium
+	High
+)
+
+// NumCategories is the number of QoE categories; class labels passed to
+// the ML layer are Category values in [0, NumCategories).
+const NumCategories = 3
+
+// String returns the lowercase category name used in the paper's tables.
+func (c Category) String() string {
+	switch c {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// RebufferClass categorises the re-buffering ratio (§2.1): zero if there
+// are no stalls, mild if 0 < rr <= 2%, high otherwise.
+type RebufferClass int
+
+// Re-buffering classes from worst to best. The numeric order matches the
+// Category it maps to under the combined metric (HighRebuffer -> Low).
+const (
+	HighRebuffer RebufferClass = iota
+	MildRebuffer
+	ZeroRebuffer
+)
+
+// String returns the paper's name for the class.
+func (c RebufferClass) String() string {
+	switch c {
+	case ZeroRebuffer:
+		return "zero"
+	case MildRebuffer:
+		return "mild"
+	case HighRebuffer:
+		return "high"
+	default:
+		return fmt.Sprintf("rebufferclass(%d)", int(c))
+	}
+}
+
+// Category maps a re-buffering class onto the shared Low/Medium/High
+// scale so it can participate in the combined metric.
+func (c RebufferClass) Category() Category {
+	switch c {
+	case ZeroRebuffer:
+		return High
+	case MildRebuffer:
+		return Medium
+	default:
+		return Low
+	}
+}
+
+// MildThreshold is the re-buffering ratio boundary between mild and high
+// (§2.1: mild when 0 < rr <= 2%).
+const MildThreshold = 0.02
+
+// ClassifyRebuffer maps a re-buffering ratio to its class.
+func ClassifyRebuffer(rr float64) RebufferClass {
+	switch {
+	case rr <= 0:
+		return ZeroRebuffer
+	case rr <= MildThreshold:
+		return MildRebuffer
+	default:
+		return HighRebuffer
+	}
+}
+
+// Second is one entry of the per-second ground-truth playback log, the
+// stand-in for the paper's injected-JavaScript HTML5 Video API monitor.
+type Second struct {
+	// Started reports whether playback has begun (startup delay has
+	// elapsed). Seconds before startup are excluded from both metrics.
+	Started bool
+	// Stalled reports an empty-buffer stall during this second.
+	Stalled bool
+	// Paused reports user-initiated inactivity (pause, or the refill
+	// after a seek). Paused seconds are excluded from both metrics, as
+	// is conventional: the user chose not to watch (§4.3 discusses user
+	// interactions as future work; the has package can simulate them).
+	Paused bool
+	// Level is the quality-ladder index of the content playing during
+	// this second. Only meaningful when Started && !Stalled && !Paused.
+	Level int
+}
+
+// Session holds the per-session ground-truth QoE metrics.
+type Session struct {
+	RebufferRatio  float64
+	Rebuffer       RebufferClass
+	Quality        Category
+	Combined       Category
+	StartupDelay   float64 // seconds until playback began
+	PlayedSeconds  int     // seconds of content played
+	StalledSeconds int     // seconds stalled after startup
+}
+
+// Compute derives session QoE from a per-second log. levelCategory maps
+// a quality-ladder index to its category (per-service thresholds, §4.1).
+//
+// Re-buffering ratio is stalled time divided by played time (stall
+// severity relative to playback, §2.1). Video quality is the majority
+// category of played seconds, ties resolved to the lower category.
+// Combined QoE is the minimum of the quality category and the category
+// equivalent of the re-buffering class.
+func Compute(log []Second, levelCategory func(level int) Category) Session {
+	var s Session
+	startIdx := -1
+	counts := [NumCategories]int{}
+	for i, sec := range log {
+		if !sec.Started {
+			continue
+		}
+		if startIdx < 0 {
+			startIdx = i
+			s.StartupDelay = float64(i)
+		}
+		if sec.Paused {
+			continue
+		}
+		if sec.Stalled {
+			s.StalledSeconds++
+			continue
+		}
+		s.PlayedSeconds++
+		counts[levelCategory(sec.Level)]++
+	}
+	if s.PlayedSeconds > 0 {
+		s.RebufferRatio = float64(s.StalledSeconds) / float64(s.PlayedSeconds)
+	} else if s.StalledSeconds > 0 {
+		s.RebufferRatio = 1
+	}
+	s.Rebuffer = ClassifyRebuffer(s.RebufferRatio)
+	// Majority category; ties pick the lower category because the loop
+	// below only replaces the argmax on a strictly greater count.
+	best := Low
+	for c := Low; c <= High; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	s.Quality = best
+	s.Combined = s.Quality
+	if rb := s.Rebuffer.Category(); rb < s.Combined {
+		s.Combined = rb
+	}
+	return s
+}
+
+// MetricKind selects which of the three target metrics a classifier is
+// trained to estimate.
+type MetricKind int
+
+// The three per-session targets from §2.1.
+const (
+	MetricRebuffer MetricKind = iota
+	MetricQuality
+	MetricCombined
+)
+
+// String names the metric as in the paper's Figure 5.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricRebuffer:
+		return "re-buffering"
+	case MetricQuality:
+		return "video quality"
+	case MetricCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Label returns the class label in [0, NumCategories) of metric m for
+// session s. For every metric, class 0 is the "problem" class the paper
+// focuses recall on: high re-buffering, low quality, or low combined QoE.
+func (s Session) Label(m MetricKind) int {
+	switch m {
+	case MetricRebuffer:
+		return int(s.Rebuffer)
+	case MetricQuality:
+		return int(s.Quality)
+	default:
+		return int(s.Combined)
+	}
+}

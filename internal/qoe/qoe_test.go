@@ -1,0 +1,269 @@
+package qoe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// identity maps level i directly onto Category(i) for 3-level ladders.
+func identity(level int) Category {
+	if level < 0 {
+		return Low
+	}
+	if level > 2 {
+		return High
+	}
+	return Category(level)
+}
+
+func secs(entries ...Second) []Second { return entries }
+
+func played(level int) Second { return Second{Started: true, Level: level} }
+func stalled() Second         { return Second{Started: true, Stalled: true} }
+func notStarted() Second      { return Second{} }
+func repeat(s Second, n int) []Second {
+	out := make([]Second, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func TestComputeCleanSession(t *testing.T) {
+	log := repeat(played(2), 100)
+	s := Compute(log, identity)
+	if s.RebufferRatio != 0 || s.Rebuffer != ZeroRebuffer {
+		t.Errorf("clean session: rr=%g class=%v", s.RebufferRatio, s.Rebuffer)
+	}
+	if s.Quality != High || s.Combined != High {
+		t.Errorf("clean session: quality=%v combined=%v", s.Quality, s.Combined)
+	}
+	if s.PlayedSeconds != 100 || s.StalledSeconds != 0 {
+		t.Errorf("played=%d stalled=%d", s.PlayedSeconds, s.StalledSeconds)
+	}
+}
+
+func TestComputeStartupDelayExcluded(t *testing.T) {
+	log := append(repeat(notStarted(), 5), repeat(played(2), 50)...)
+	s := Compute(log, identity)
+	if s.StartupDelay != 5 {
+		t.Errorf("startup delay %g, want 5", s.StartupDelay)
+	}
+	if s.Rebuffer != ZeroRebuffer {
+		t.Error("startup must not count as re-buffering")
+	}
+	if s.PlayedSeconds != 50 {
+		t.Errorf("played %d, want 50", s.PlayedSeconds)
+	}
+}
+
+func TestComputeRebufferThresholds(t *testing.T) {
+	// 1 stall second over 99 played: rr just above 1% -> mild.
+	log := append(repeat(played(2), 99), stalled())
+	s := Compute(log, identity)
+	if s.Rebuffer != MildRebuffer {
+		t.Errorf("rr=%g class=%v, want mild", s.RebufferRatio, s.Rebuffer)
+	}
+	// 3 stall seconds over 97 played: rr ~3.1% -> high.
+	log = append(repeat(played(2), 97), repeat(stalled(), 3)...)
+	s = Compute(log, identity)
+	if s.Rebuffer != HighRebuffer {
+		t.Errorf("rr=%g class=%v, want high", s.RebufferRatio, s.Rebuffer)
+	}
+	// Combined drops to Low via re-buffering even at high quality.
+	if s.Combined != Low {
+		t.Errorf("combined=%v, want low (high rebuffer dominates)", s.Combined)
+	}
+}
+
+func TestComputeQualityMajorityAndTie(t *testing.T) {
+	// 30 low, 50 medium, 20 high -> medium.
+	log := append(repeat(played(0), 30), repeat(played(1), 50)...)
+	log = append(log, repeat(played(2), 20)...)
+	if s := Compute(log, identity); s.Quality != Medium {
+		t.Errorf("majority quality = %v, want medium", s.Quality)
+	}
+	// Tie 50/50 between medium and high resolves to the lower category.
+	log = append(repeat(played(1), 50), repeat(played(2), 50)...)
+	if s := Compute(log, identity); s.Quality != Medium {
+		t.Errorf("tie quality = %v, want medium (lower)", s.Quality)
+	}
+}
+
+func TestComputeAllStalledSession(t *testing.T) {
+	log := append(secs(played(2)), repeat(stalled(), 30)...)
+	s := Compute(log, identity)
+	if s.Rebuffer != HighRebuffer {
+		t.Errorf("mostly-stalled session classified %v", s.Rebuffer)
+	}
+	// Degenerate: started but never played.
+	log = repeat(stalled(), 10)
+	s = Compute(log, identity)
+	if s.RebufferRatio != 1 || s.Rebuffer != HighRebuffer {
+		t.Errorf("never-played session: rr=%g class=%v", s.RebufferRatio, s.Rebuffer)
+	}
+}
+
+func TestCombinedIsMinimum(t *testing.T) {
+	cases := []struct {
+		quality  Category
+		rebuffer RebufferClass
+		want     Category
+	}{
+		{High, ZeroRebuffer, High},
+		{High, MildRebuffer, Medium},
+		{High, HighRebuffer, Low},
+		{Low, ZeroRebuffer, Low},
+		{Medium, MildRebuffer, Medium},
+		{Low, HighRebuffer, Low},
+	}
+	for _, c := range cases {
+		// Construct a log realizing the case.
+		var log []Second
+		switch c.quality {
+		case Low:
+			log = repeat(played(0), 100)
+		case Medium:
+			log = repeat(played(1), 100)
+		default:
+			log = repeat(played(2), 100)
+		}
+		switch c.rebuffer {
+		case MildRebuffer:
+			log = append(log, stalled())
+		case HighRebuffer:
+			log = append(log, repeat(stalled(), 10)...)
+		}
+		s := Compute(log, identity)
+		if s.Combined != c.want {
+			t.Errorf("quality=%v rebuffer=%v: combined=%v, want %v", c.quality, c.rebuffer, s.Combined, c.want)
+		}
+	}
+}
+
+func TestClassifyRebuffer(t *testing.T) {
+	cases := []struct {
+		rr   float64
+		want RebufferClass
+	}{
+		{0, ZeroRebuffer}, {-1, ZeroRebuffer},
+		{0.0001, MildRebuffer}, {0.02, MildRebuffer},
+		{0.0201, HighRebuffer}, {1, HighRebuffer},
+	}
+	for _, c := range cases {
+		if got := ClassifyRebuffer(c.rr); got != c.want {
+			t.Errorf("ClassifyRebuffer(%g) = %v, want %v", c.rr, got, c.want)
+		}
+	}
+}
+
+func TestLabelsAndNames(t *testing.T) {
+	s := Session{Rebuffer: HighRebuffer, Quality: Medium, Combined: Low}
+	if s.Label(MetricRebuffer) != 0 {
+		t.Error("high rebuffer should be problem class 0")
+	}
+	if s.Label(MetricQuality) != 1 {
+		t.Error("medium quality should be class 1")
+	}
+	if s.Label(MetricCombined) != 0 {
+		t.Error("low combined should be class 0")
+	}
+	if Low.String() != "low" || High.String() != "high" || Medium.String() != "medium" {
+		t.Error("category names wrong")
+	}
+	if ZeroRebuffer.String() != "zero" || MildRebuffer.String() != "mild" || HighRebuffer.String() != "high" {
+		t.Error("rebuffer class names wrong")
+	}
+	if MetricCombined.String() != "combined" {
+		t.Error("metric name wrong")
+	}
+	if Category(9).String() == "" || RebufferClass(9).String() == "" || MetricKind(9).String() == "" {
+		t.Error("out-of-range enums should still render")
+	}
+}
+
+func TestRebufferClassCategoryMapping(t *testing.T) {
+	if ZeroRebuffer.Category() != High || MildRebuffer.Category() != Medium || HighRebuffer.Category() != Low {
+		t.Error("rebuffer class -> category mapping wrong")
+	}
+}
+
+// Property: labels are always in [0, NumCategories); combined never
+// exceeds quality.
+func TestQuickComputeInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		log := make([]Second, len(raw))
+		for i, b := range raw {
+			log[i] = Second{
+				Started: b&1 == 1 || i > len(raw)/2,
+				Stalled: b&2 == 2,
+				Level:   int(b>>2) % 3,
+			}
+		}
+		s := Compute(log, identity)
+		for _, m := range []MetricKind{MetricRebuffer, MetricQuality, MetricCombined} {
+			if l := s.Label(m); l < 0 || l >= NumCategories {
+				return false
+			}
+		}
+		return s.Combined <= s.Quality && s.RebufferRatio >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOSOrderings(t *testing.T) {
+	cleanHigh := MOS(repeat(played(2), 300), identity)
+	cleanLow := MOS(repeat(played(0), 300), identity)
+	if cleanHigh < 4.2 || cleanHigh > 4.6 {
+		t.Errorf("clean high-quality MOS %g, want ~4.5", cleanHigh)
+	}
+	if cleanLow > 2.5 {
+		t.Errorf("clean low-quality MOS %g, want ~2.2", cleanLow)
+	}
+	if cleanHigh <= cleanLow {
+		t.Error("quality ordering violated")
+	}
+	// One stall hurts; many stalls hurt more.
+	oneStall := append(repeat(played(2), 150), repeat(stalled(), 5)...)
+	oneStall = append(oneStall, repeat(played(2), 145)...)
+	manyStalls := repeat(played(2), 0)
+	for i := 0; i < 10; i++ {
+		manyStalls = append(manyStalls, repeat(played(2), 25)...)
+		manyStalls = append(manyStalls, repeat(stalled(), 5)...)
+	}
+	mosOne := MOS(oneStall, identity)
+	mosMany := MOS(manyStalls, identity)
+	if !(mosMany < mosOne && mosOne < cleanHigh) {
+		t.Errorf("stall ordering violated: many=%g one=%g clean=%g", mosMany, mosOne, cleanHigh)
+	}
+	// Startup delay is a mild penalty.
+	delayed := append(repeat(notStarted(), 10), repeat(played(2), 290)...)
+	if got := MOS(delayed, identity); got >= cleanHigh || got < cleanHigh-0.8 {
+		t.Errorf("startup penalty off: %g vs %g", got, cleanHigh)
+	}
+	// Paused seconds are neutral.
+	pausedLog := append(repeat(played(2), 150), repeat(Second{Started: true, Paused: true}, 30)...)
+	pausedLog = append(pausedLog, repeat(played(2), 120)...)
+	if got := MOS(pausedLog, identity); got < cleanHigh-0.05 {
+		t.Errorf("pauses penalised: %g vs %g", got, cleanHigh)
+	}
+}
+
+func TestMOSBounds(t *testing.T) {
+	if got := MOS(nil, identity); got != 1 {
+		t.Errorf("empty log MOS %g, want 1", got)
+	}
+	if got := MOS(repeat(stalled(), 100), identity); got != 1 {
+		t.Errorf("never-played MOS %g, want 1", got)
+	}
+	// Catastrophic session clamps at 1.
+	horror := repeat(played(0), 0)
+	for i := 0; i < 20; i++ {
+		horror = append(horror, played(0), stalled(), stalled(), stalled())
+	}
+	if got := MOS(horror, identity); got != 1 {
+		t.Errorf("horror MOS %g, want clamped 1", got)
+	}
+}

@@ -1,0 +1,32 @@
+package sessionid_test
+
+import (
+	"fmt"
+
+	"droppackets/internal/sessionid"
+)
+
+// A new video starts at t=120 while the previous session's CDN
+// connection is still lingering: the timeout baseline sees nothing, the
+// heuristic sees the burst of fresh servers.
+func ExampleDetect() {
+	stream := []sessionid.Transaction{
+		{Start: 0, End: 130, SNI: "cdn-03.svc.example"},
+		{Start: 0.4, End: 40, SNI: "api.svc.example"},
+		{Start: 120, End: 180, SNI: "cdn-11.svc.example"},
+		{Start: 120.3, End: 170, SNI: "cdn-07.svc.example"},
+		{Start: 121, End: 160, SNI: "license.svc.example"},
+	}
+	heuristic := sessionid.Detect(stream, sessionid.PaperParams)
+	timeout := sessionid.TimeoutDetect(stream, 30)
+	for i, t := range stream {
+		fmt.Printf("t=%5.1f %-22s heuristic=%-5v timeout=%v\n",
+			t.Start, t.SNI, heuristic[i], timeout[i])
+	}
+	// Output:
+	// t=  0.0 cdn-03.svc.example     heuristic=false timeout=true
+	// t=  0.4 api.svc.example        heuristic=false timeout=false
+	// t=120.0 cdn-11.svc.example     heuristic=true  timeout=false
+	// t=120.3 cdn-07.svc.example     heuristic=false timeout=false
+	// t=121.0 license.svc.example    heuristic=false timeout=false
+}

@@ -1,0 +1,26 @@
+package squidlog
+
+import "testing"
+
+// FuzzParseLine asserts the parser never panics and that accepted
+// entries carry sane fields.
+func FuzzParseLine(f *testing.F) {
+	f.Add(sampleLine)
+	f.Add(sampleLine + " request_bytes=123")
+	f.Add("")
+	f.Add("# comment")
+	f.Add("1 2 3 4 5 CONNECT : - a b")
+	f.Add("x y z")
+	f.Fuzz(func(t *testing.T, line string) {
+		e, ok, err := ParseLine(line)
+		if err != nil || !ok {
+			return
+		}
+		if e.Host == "" {
+			t.Fatal("accepted entry with empty host")
+		}
+		if e.ElapsedSec < 0 {
+			t.Fatalf("negative elapsed %g", e.ElapsedSec)
+		}
+	})
+}

@@ -1,0 +1,268 @@
+// Package stats provides small numeric helpers shared across the
+// droppackets modules: order statistics, summary statistics, empirical
+// CDFs and box-plot five-number summaries.
+//
+// All functions are pure and operate on float64 slices. Functions that
+// need sorted input sort a private copy, so callers never observe their
+// arguments being reordered.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. p outside [0,100] is clamped.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sortedPercentile(sorted, p)
+}
+
+// sortedPercentile computes the percentile of an already-sorted slice.
+func sortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary holds the five summary statistics the paper's feature set uses
+// (minimum, median, maximum) plus mean and standard deviation for
+// diagnostics.
+type Summary struct {
+	Min, Median, Max float64
+	Mean, StdDev     float64
+	N                int
+}
+
+// Summarize computes a Summary over xs in a single sort.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		Min:    sorted[0],
+		Median: sortedPercentile(sorted, 50),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		StdDev: StdDev(sorted),
+		N:      len(sorted),
+	}
+}
+
+// BoxPlot is a five-number summary used to reproduce the paper's
+// Figure 7 box plots.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Box computes the five-number summary of xs.
+func Box(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return BoxPlot{
+		Min:    sorted[0],
+		Q1:     sortedPercentile(sorted, 25),
+		Median: sortedPercentile(sorted, 50),
+		Q3:     sortedPercentile(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+		N:      len(sorted),
+	}
+}
+
+// CDFPoint is a single point on an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the empirical cumulative distribution of xs, one point per
+// distinct value. The result is sorted by X ascending and the final point
+// has P == 1.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values into one point at the run end.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as produced by CDF) at value x,
+// returning the fraction of mass at or below x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range cdf {
+		if pt.X <= x {
+			p = pt.P
+		} else {
+			break
+		}
+	}
+	return p
+}
+
+// Histogram counts xs into the half-open buckets defined by edges:
+// bucket i covers [edges[i], edges[i+1]). Values below edges[0] or at or
+// above the final edge are dropped. len(result) == len(edges)-1.
+func Histogram(xs []float64, edges []float64) []int {
+	if len(edges) < 2 {
+		return nil
+	}
+	counts := make([]int, len(edges)-1)
+	for _, x := range xs {
+		for i := 0; i < len(edges)-1; i++ {
+			if x >= edges[i] && x < edges[i+1] {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// Proportions converts integer counts into fractions of their total.
+// An all-zero count slice yields all-zero proportions.
+func Proportions(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sparkline renders values as a compact unicode bar chart, for
+// terminal-friendly views of distributions. Empty input yields "".
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := Min(values), Max(values)
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		out[i] = ramp[idx]
+	}
+	return string(out)
+}

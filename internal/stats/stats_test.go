@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMinMaxSumMean(t *testing.T) {
+	xs := []float64{3, -1, 4, 1.5, 9, -2.5}
+	if got := Min(xs); got != -2.5 {
+		t.Errorf("Min = %g, want -2.5", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %g, want 9", got)
+	}
+	if got := Sum(xs); !almostEqual(got, 14, 1e-12) {
+		t.Errorf("Sum = %g, want 14", got)
+	}
+	if got := Mean(xs); !almostEqual(got, 14.0/6, 1e-12) {
+		t.Errorf("Mean = %g, want %g", got, 14.0/6)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Min(nil) != 0 || Max(nil) != 0 || Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", s.N)
+	}
+	if b := Box(nil); b.N != 0 {
+		t.Errorf("Box(nil).N = %d", b.N)
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("variance of singleton should be 0")
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5, 10: 1.4}
+	for p, want := range cases {
+		if got := Percentile(xs, p); !almostEqual(got, want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", p, got, want)
+		}
+	}
+	// Clamping outside [0, 100].
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("Percentile(-5) = %g, want 1", got)
+	}
+	if got := Percentile(xs, 150); got != 5 {
+		t.Errorf("Percentile(150) = %g, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 2, 8, 4, 6})
+	if s.Min != 2 || s.Max != 10 || s.Median != 6 || s.N != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almostEqual(s.Mean, 6, 1e-12) {
+		t.Errorf("Mean = %g, want 6", s.Mean)
+	}
+}
+
+func TestBoxOrdering(t *testing.T) {
+	b := Box([]float64{9, 1, 5, 3, 7, 2, 8})
+	if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+		t.Errorf("box not ordered: %+v", b)
+	}
+	if b.N != 7 {
+		t.Errorf("N = %d, want 7", b.N)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	xs := []float64{3, 1, 3, 2, 2, 2}
+	cdf := CDF(xs)
+	if len(cdf) != 3 {
+		t.Fatalf("got %d distinct points, want 3", len(cdf))
+	}
+	if cdf[len(cdf)-1].P != 1 {
+		t.Errorf("final P = %g, want 1", cdf[len(cdf)-1].P)
+	}
+	if got := CDFAt(cdf, 2); !almostEqual(got, 4.0/6, 1e-12) {
+		t.Errorf("CDFAt(2) = %g, want %g", got, 4.0/6)
+	}
+	if got := CDFAt(cdf, 0.5); got != 0 {
+		t.Errorf("CDFAt(0.5) = %g, want 0", got)
+	}
+	if got := CDFAt(cdf, 99); got != 1 {
+		t.Errorf("CDFAt(99) = %g, want 1", got)
+	}
+}
+
+func TestHistogramAndProportions(t *testing.T) {
+	xs := []float64{0.5, 1.5, 1.7, 4, 10, -1, 20}
+	counts := Histogram(xs, []float64{0, 1, 2, 5, 20})
+	want := []int{1, 2, 1, 1} // -1 and 20 fall outside
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	props := Proportions(counts)
+	var sum float64
+	for _, p := range props {
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("proportions sum to %g", sum)
+	}
+	if got := Proportions([]int{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Error("all-zero counts should give zero proportions")
+	}
+	if Histogram(xs, []float64{1}) != nil {
+		t.Error("histogram with one edge should be nil")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		p1 := float64(a) / 255 * 100
+		p2 := float64(b) / 255 * 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 <= v2 && v1 >= Min(xs) && v2 <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is non-decreasing in both X and P, ends at P == 1.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		cdf := CDF(xs)
+		if len(xs) == 0 {
+			return cdf == nil
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X <= cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].P == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize matches a brute-force sorted computation.
+func TestQuickSummarizeAgainstSort(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] && s.N == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("NewRNG(7) streams diverge")
+		}
+	}
+	c, d := SplitRNG(7, 3), SplitRNG(7, 3)
+	if c.Float64() != d.Float64() {
+		t.Error("SplitRNG(7,3) streams diverge")
+	}
+	if SplitRNG(7, 3).Float64() == SplitRNG(7, 4).Float64() {
+		t.Error("adjacent SplitRNG streams start identically (suspicious)")
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if v := LogNormal(r, 0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced %g", v)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20001)
+	for i := range xs {
+		xs[i] = LogNormal(r, math.Log(100), 0.5)
+	}
+	med := Median(xs)
+	if med < 90 || med > 110 {
+		t.Errorf("median of LogNormal(log 100, .5) = %g, want ~100", med)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length %d, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[3] {
+		t.Errorf("ascending data should render ascending bars: %q", s)
+	}
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Errorf("constant data should render flat: %q", string(flat))
+	}
+}

@@ -1,0 +1,208 @@
+package tlsproxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The origin speaks a minimal segment-fetch protocol inside TLS
+// application-data records, standing in for an HTTPS CDN edge: the
+// client sends a request record with a wanted byte count, the origin
+// streams that many bytes back in records. The proxy in the middle
+// never interprets any of it — it only counts bytes, exactly like a
+// real middlebox facing ciphertext.
+
+// requestLen is the fixed request payload: 8-byte size.
+const requestLen = 8
+
+// Origin is a synthetic CDN edge for examples and tests.
+type Origin struct {
+	// PaceBytesPerSec throttles response streaming when > 0, emulating
+	// CDN segment pacing.
+	PaceBytesPerSec int64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	closed    bool
+	served    int64
+}
+
+// NewOrigin returns an origin with optional pacing.
+func NewOrigin(paceBytesPerSec int64) *Origin {
+	return &Origin{PaceBytesPerSec: paceBytesPerSec, listeners: map[net.Listener]struct{}{}}
+}
+
+// BytesServed reports total payload bytes streamed.
+func (o *Origin) BytesServed() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.served
+}
+
+// Serve accepts and serves connections until Close.
+func (o *Origin) Serve(l net.Listener) error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("tlsproxy: origin is closed")
+	}
+	o.listeners[l] = struct{}{}
+	o.mu.Unlock()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			o.mu.Lock()
+			closed := o.closed
+			o.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("tlsproxy: origin accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			o.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops all listeners.
+func (o *Origin) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.closed = true
+	for l := range o.listeners {
+		l.Close()
+	}
+	return nil
+}
+
+// serveConn consumes the ClientHello, answers with a fake ServerHello,
+// then serves size requests until the client goes away.
+func (o *Origin) serveConn(conn net.Conn) {
+	// The client's first record is a handshake (ClientHello); reply with
+	// an opaque handshake record so byte flows resemble a real exchange.
+	typ, _, err := ReadRecord(conn)
+	if err != nil || typ != RecordHandshake {
+		return
+	}
+	serverHello := make([]byte, 3000) // hello + certificate chain, roughly
+	if err := WriteRecord(conn, RecordHandshake, serverHello); err != nil {
+		return
+	}
+	buf := make([]byte, MaxRecordLen)
+	for {
+		typ, payload, err := ReadRecord(conn)
+		if err != nil {
+			return
+		}
+		if typ != RecordApplicationData || len(payload) < requestLen {
+			continue
+		}
+		size := int64(binary.BigEndian.Uint64(payload[:requestLen]))
+		if size <= 0 || size > 1<<31 {
+			continue
+		}
+		if err := o.stream(conn, size, buf); err != nil {
+			return
+		}
+		o.mu.Lock()
+		o.served += size
+		o.mu.Unlock()
+	}
+}
+
+// stream writes size payload bytes in application-data records,
+// honouring the pacing rate.
+func (o *Origin) stream(conn net.Conn, size int64, buf []byte) error {
+	const chunk = 16384
+	start := time.Now()
+	var sent int64
+	for sent < size {
+		n := int64(chunk)
+		if size-sent < n {
+			n = size - sent
+		}
+		if err := WriteRecord(conn, RecordApplicationData, buf[:n]); err != nil {
+			return err
+		}
+		sent += n
+		if o.PaceBytesPerSec > 0 {
+			ahead := time.Duration(float64(sent)/float64(o.PaceBytesPerSec)*float64(time.Second)) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	return nil
+}
+
+// Client fetches objects through a proxy (or directly) using the
+// origin's protocol, emulating one device's video session.
+type Client struct {
+	conn net.Conn
+	br   io.Reader
+}
+
+// Dial connects to addr (usually the proxy) and performs the fake
+// handshake for hostname sni.
+func Dial(addr, sni string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tlsproxy: client dial %s: %w", addr, err)
+	}
+	hello, err := BuildClientHello(sni, [32]byte{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tlsproxy: client hello: %w", err)
+	}
+	// Consume the ServerHello.
+	if typ, _, err := ReadRecord(conn); err != nil || typ != RecordHandshake {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("tlsproxy: unexpected record type %d for server hello", typ)
+		}
+		return nil, err
+	}
+	return &Client{conn: conn, br: conn}, nil
+}
+
+// Fetch requests size bytes and reads the full response, returning the
+// elapsed wall time.
+func (c *Client) Fetch(size int64) (time.Duration, error) {
+	req := make([]byte, requestLen)
+	binary.BigEndian.PutUint64(req, uint64(size))
+	start := time.Now()
+	if err := WriteRecord(c.conn, RecordApplicationData, req); err != nil {
+		return 0, fmt.Errorf("tlsproxy: fetch request: %w", err)
+	}
+	var got int64
+	for got < size {
+		typ, payload, err := ReadRecord(c.br)
+		if err != nil {
+			return 0, fmt.Errorf("tlsproxy: fetch response after %d/%d bytes: %w", got, size, err)
+		}
+		if typ != RecordApplicationData {
+			continue
+		}
+		got += int64(len(payload))
+	}
+	return time.Since(start), nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,316 @@
+package tlsproxy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBuildAndParseClientHello(t *testing.T) {
+	for _, sni := range []string{"cdn-01.svc1.example", "a.b", "x"} {
+		raw, err := BuildClientHello(sni, [32]byte{1, 2, 3})
+		if err != nil {
+			t.Fatalf("BuildClientHello(%q): %v", sni, err)
+		}
+		got, n, err := ParseClientHello(raw)
+		if err != nil {
+			t.Fatalf("ParseClientHello(%q): %v", sni, err)
+		}
+		if got != sni {
+			t.Errorf("SNI round-trip: got %q want %q", got, sni)
+		}
+		if n != len(raw) {
+			t.Errorf("record length: got %d want %d", n, len(raw))
+		}
+	}
+}
+
+func TestParseClientHelloNeedMore(t *testing.T) {
+	raw, err := BuildClientHello("host.example", [32]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 4, 5, 10, len(raw) - 1} {
+		if _, _, err := ParseClientHello(raw[:cut]); !errors.Is(err, ErrNeedMore) {
+			t.Errorf("cut=%d: got %v, want ErrNeedMore", cut, err)
+		}
+	}
+}
+
+func TestParseClientHelloRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"wrong record type": {23, 3, 3, 0, 1, 0},
+		"not client hello":  {22, 3, 1, 0, 4, 2, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, _, err := ParseClientHello(data); err == nil || errors.Is(err, ErrNeedMore) {
+			t.Errorf("%s: expected hard error, got %v", name, err)
+		}
+	}
+}
+
+func TestBuildClientHelloRejectsBadSNI(t *testing.T) {
+	if _, err := BuildClientHello("", [32]byte{}); err == nil {
+		t.Error("empty SNI accepted")
+	}
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := BuildClientHello(string(long), [32]byte{}); err == nil {
+		t.Error("oversized SNI accepted")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello records")
+	if err := WriteRecord(&buf, RecordApplicationData, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != RecordApplicationData || !bytes.Equal(got, payload) {
+		t.Errorf("round trip mismatch: type=%d payload=%q", typ, got)
+	}
+}
+
+func TestWriteRecordRejectsOversize(t *testing.T) {
+	if err := WriteRecord(&bytes.Buffer{}, RecordApplicationData, make([]byte, MaxRecordLen+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+// TestProxyEndToEnd runs origin <- proxy <- client over real sockets
+// and checks the emitted transaction records.
+func TestProxyEndToEnd(t *testing.T) {
+	origin := NewOrigin(0)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go origin.Serve(ol)
+	defer origin.Close()
+
+	var mu sync.Mutex
+	var records []Record
+	proxy, err := New(Config{
+		Resolver: StaticResolver(ol.Addr().String()),
+		OnTransaction: func(r Record) {
+			mu.Lock()
+			records = append(records, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+
+	const sni = "cdn-03.svc1.example"
+	client, err := Dial(pl.Addr().String(), sni)
+	if err != nil {
+		t.Fatalf("Dial through proxy: %v", err)
+	}
+	const fetch = 200_000
+	if _, err := client.Fetch(fetch); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if _, err := client.Fetch(50_000); err != nil {
+		t.Fatalf("second Fetch: %v", err)
+	}
+	client.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(records)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) != 1 {
+		t.Fatalf("got %d transaction records, want 1", len(records))
+	}
+	r := records[0]
+	if r.SNI != sni {
+		t.Errorf("SNI: got %q want %q", r.SNI, sni)
+	}
+	if r.DownBytes < fetch+50_000 {
+		t.Errorf("DownBytes %d below payload total %d", r.DownBytes, fetch+50_000)
+	}
+	if r.UpBytes <= 0 {
+		t.Errorf("UpBytes %d, want > 0", r.UpBytes)
+	}
+	if !r.End.After(r.Start) {
+		t.Error("End not after Start")
+	}
+	if origin.BytesServed() != fetch+50_000 {
+		t.Errorf("origin served %d, want %d", origin.BytesServed(), fetch+50_000)
+	}
+}
+
+// TestProxyRejectsNonTLS ensures garbage connections produce no
+// transaction record.
+func TestProxyRejectsNonTLS(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	proxy, err := New(Config{
+		Resolver: StaticResolver("127.0.0.1:1"),
+		OnTransaction: func(Record) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		},
+		HelloTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+
+	conn, err := net.Dial("tcp", pl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	conn.Read(buf)
+	conn.Close()
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 0 {
+		t.Errorf("got %d transaction records for non-TLS traffic, want 0", count)
+	}
+}
+
+// TestOriginPacing checks the origin's pacing throttle actually slows
+// delivery.
+func TestOriginPacing(t *testing.T) {
+	origin := NewOrigin(1_000_000) // 1 MB/s
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go origin.Serve(ol)
+	defer origin.Close()
+
+	client, err := Dial(ol.Addr().String(), "pace.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	elapsed, err := client.Fetch(500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 300*time.Millisecond {
+		t.Errorf("500kB at 1MB/s took %v, want >= 300ms", elapsed)
+	}
+}
+
+// TestProxyConcurrentClients relays many sessions at once and checks
+// every one produces a record with the right SNI.
+func TestProxyConcurrentClients(t *testing.T) {
+	origin := NewOrigin(0)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go origin.Serve(ol)
+	defer origin.Close()
+
+	var mu sync.Mutex
+	records := map[string]int{}
+	proxy, err := New(Config{
+		Resolver: StaticResolver(ol.Addr().String()),
+		OnTransaction: func(r Record) {
+			mu.Lock()
+			records[r.SNI]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sni := fmt.Sprintf("cdn-%02d.conc.example", i)
+			c, err := Dial(pl.Addr().String(), sni)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Fetch(30_000 + int64(i)*1000); err != nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(records)
+		mu.Unlock()
+		if n == clients || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) != clients {
+		t.Fatalf("%d distinct SNI records, want %d", len(records), clients)
+	}
+	for sni, n := range records {
+		if n != 1 {
+			t.Errorf("%s has %d records", sni, n)
+		}
+	}
+	if got := proxy.TotalConnections(); got != clients {
+		t.Errorf("TotalConnections %d, want %d", got, clients)
+	}
+	if got := proxy.ActiveConnections(); got != 0 {
+		t.Errorf("ActiveConnections %d after teardown", got)
+	}
+}

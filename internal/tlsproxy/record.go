@@ -1,0 +1,245 @@
+// Package tlsproxy implements the paper's data-collection path over
+// real sockets: a transparent TCP proxy that reads the unencrypted TLS
+// ClientHello to learn the SNI hostname, relays bytes without ever
+// decrypting them, and reports one transaction record per connection —
+// start/end time, uplink/downlink byte counts and SNI, exactly the
+// coarse-grained export the paper assumes from a Squid-style proxy
+// (§2.2).
+//
+// The package also provides the TLS record framing and ClientHello
+// construction needed by test clients, and a synthetic origin server so
+// examples can exercise the full path offline.
+package tlsproxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TLS record content types used here.
+const (
+	RecordHandshake       = 22
+	RecordApplicationData = 23
+)
+
+// MaxRecordLen is the TLS maximum plaintext record length plus
+// expansion slack (RFC 8446 allows 2^14 + 256 for protected records).
+const MaxRecordLen = 16384 + 256
+
+// recordHeaderLen is the TLS record header size.
+const recordHeaderLen = 5
+
+// ErrNeedMore reports that a buffer does not yet hold a complete
+// structure; the caller should read more bytes and retry.
+var ErrNeedMore = errors.New("tlsproxy: need more data")
+
+// WriteRecord frames payload as a single TLS record of the given
+// content type. Payloads above MaxRecordLen are rejected; callers split
+// large transfers across records.
+func WriteRecord(w io.Writer, contentType byte, payload []byte) error {
+	if len(payload) > MaxRecordLen {
+		return fmt.Errorf("tlsproxy: record payload %d exceeds %d", len(payload), MaxRecordLen)
+	}
+	hdr := [recordHeaderLen]byte{contentType, 0x03, 0x03}
+	binary.BigEndian.PutUint16(hdr[3:], uint16(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tlsproxy: write record header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("tlsproxy: write record payload: %w", err)
+	}
+	return nil
+}
+
+// ReadRecord reads one TLS record, returning its content type and
+// payload.
+func ReadRecord(r io.Reader) (contentType byte, payload []byte, err error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[3:]))
+	if n > MaxRecordLen {
+		return 0, nil, fmt.Errorf("tlsproxy: record length %d exceeds maximum", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("tlsproxy: read record payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// BuildClientHello constructs a syntactically valid TLS 1.2-style
+// ClientHello record carrying the given SNI hostname, suitable for
+// feeding ParseClientHello or a real middlebox's SNI sniffer. random
+// must be 32 bytes (zeroes are acceptable for tests).
+func BuildClientHello(sni string, random [32]byte) ([]byte, error) {
+	if sni == "" || len(sni) > 255 {
+		return nil, fmt.Errorf("tlsproxy: invalid SNI length %d", len(sni))
+	}
+	// server_name extension (RFC 6066): list of one host_name entry.
+	name := []byte(sni)
+	sniEntry := make([]byte, 0, 3+len(name))
+	sniEntry = append(sniEntry, 0) // name_type host_name
+	sniEntry = append16(sniEntry, len(name))
+	sniEntry = append(sniEntry, name...)
+	sniList := append16(nil, len(sniEntry))
+	sniList = append(sniList, sniEntry...)
+	ext := append16(nil, 0) // extension type server_name(0)
+	ext = append16(ext, len(sniList))
+	ext = append(ext, sniList...)
+	// Add a supported_versions extension for realism.
+	sv := []byte{0x00, 0x2b, 0x00, 0x03, 0x02, 0x03, 0x04}
+	exts := append16(nil, len(ext)+len(sv))
+	exts = append(exts, ext...)
+	exts = append(exts, sv...)
+
+	body := make([]byte, 0, 128+len(exts))
+	body = append(body, 0x03, 0x03) // client_version TLS 1.2
+	body = append(body, random[:]...)
+	body = append(body, 0) // empty session_id
+	// Two plausible cipher suites.
+	body = append16(body, 4)
+	body = append(body, 0x13, 0x01, 0x13, 0x02)
+	body = append(body, 1, 0) // compression: null only
+	body = append(body, exts...)
+
+	// Handshake header: msg_type client_hello(1) + uint24 length.
+	hs := make([]byte, 0, 4+len(body))
+	hs = append(hs, 1, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	hs = append(hs, body...)
+
+	rec := make([]byte, 0, recordHeaderLen+len(hs))
+	rec = append(rec, RecordHandshake, 0x03, 0x01)
+	rec = append16(rec, len(hs))
+	rec = append(rec, hs...)
+	return rec, nil
+}
+
+func append16(b []byte, v int) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// ParseClientHello extracts the SNI hostname from a buffer beginning at
+// a TLS handshake record containing a ClientHello. It returns the SNI
+// ("" when the extension is absent) and the number of bytes the record
+// occupies. ErrNeedMore is returned when the buffer is too short to
+// hold the complete record.
+func ParseClientHello(data []byte) (sni string, recordLen int, err error) {
+	if len(data) < recordHeaderLen {
+		return "", 0, ErrNeedMore
+	}
+	if data[0] != RecordHandshake {
+		return "", 0, fmt.Errorf("tlsproxy: record type %d is not handshake", data[0])
+	}
+	n := int(binary.BigEndian.Uint16(data[3:5]))
+	if n > MaxRecordLen {
+		return "", 0, fmt.Errorf("tlsproxy: handshake record length %d exceeds maximum", n)
+	}
+	if len(data) < recordHeaderLen+n {
+		return "", 0, ErrNeedMore
+	}
+	recordLen = recordHeaderLen + n
+	hs := data[recordHeaderLen:recordLen]
+	// Handshake header.
+	if len(hs) < 4 {
+		return "", 0, fmt.Errorf("tlsproxy: truncated handshake header")
+	}
+	if hs[0] != 1 {
+		return "", 0, fmt.Errorf("tlsproxy: handshake type %d is not client_hello", hs[0])
+	}
+	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	body := hs[4:]
+	if bodyLen > len(body) {
+		// ClientHello fragmented across records: unsupported (and rare).
+		return "", 0, fmt.Errorf("tlsproxy: fragmented client_hello (%d > %d bytes)", bodyLen, len(body))
+	}
+	body = body[:bodyLen]
+	sni, err = parseHelloBody(body)
+	if err != nil {
+		return "", 0, err
+	}
+	return sni, recordLen, nil
+}
+
+// parseHelloBody walks the ClientHello structure to the extensions and
+// pulls out server_name.
+func parseHelloBody(b []byte) (string, error) {
+	// client_version(2) + random(32)
+	if len(b) < 35 {
+		return "", fmt.Errorf("tlsproxy: client_hello too short")
+	}
+	b = b[34:]
+	// session_id
+	sidLen := int(b[0])
+	if len(b) < 1+sidLen {
+		return "", fmt.Errorf("tlsproxy: truncated session_id")
+	}
+	b = b[1+sidLen:]
+	// cipher_suites
+	if len(b) < 2 {
+		return "", fmt.Errorf("tlsproxy: truncated cipher_suites length")
+	}
+	csLen := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+csLen {
+		return "", fmt.Errorf("tlsproxy: truncated cipher_suites")
+	}
+	b = b[2+csLen:]
+	// compression_methods
+	if len(b) < 1 {
+		return "", fmt.Errorf("tlsproxy: truncated compression_methods length")
+	}
+	cmLen := int(b[0])
+	if len(b) < 1+cmLen {
+		return "", fmt.Errorf("tlsproxy: truncated compression_methods")
+	}
+	b = b[1+cmLen:]
+	if len(b) == 0 {
+		return "", nil // no extensions: no SNI
+	}
+	if len(b) < 2 {
+		return "", fmt.Errorf("tlsproxy: truncated extensions length")
+	}
+	extLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < extLen {
+		return "", fmt.Errorf("tlsproxy: truncated extensions")
+	}
+	b = b[:extLen]
+	for len(b) >= 4 {
+		typ := binary.BigEndian.Uint16(b)
+		l := int(binary.BigEndian.Uint16(b[2:]))
+		if len(b) < 4+l {
+			return "", fmt.Errorf("tlsproxy: truncated extension %d", typ)
+		}
+		val := b[4 : 4+l]
+		b = b[4+l:]
+		if typ != 0 {
+			continue
+		}
+		// server_name extension: ServerNameList.
+		if len(val) < 2 {
+			return "", fmt.Errorf("tlsproxy: truncated server_name list")
+		}
+		listLen := int(binary.BigEndian.Uint16(val))
+		val = val[2:]
+		if len(val) < listLen {
+			return "", fmt.Errorf("tlsproxy: truncated server_name entries")
+		}
+		val = val[:listLen]
+		for len(val) >= 3 {
+			nameType := val[0]
+			nameLen := int(binary.BigEndian.Uint16(val[1:]))
+			if len(val) < 3+nameLen {
+				return "", fmt.Errorf("tlsproxy: truncated host_name")
+			}
+			if nameType == 0 {
+				return string(val[3 : 3+nameLen]), nil
+			}
+			val = val[3+nameLen:]
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,377 @@
+// Package trace models time-varying bandwidth traces of the kind the
+// paper uses to emulate network conditions (publicly available fixed
+// broadband, 3G and LTE traces — FCC MBA, Riiser et al., van der Hooft
+// et al.). Those corpora are not redistributable here, so this package
+// generates synthetic traces whose aggregate statistics match the
+// paper's Figure 3: average bandwidths spanning roughly 10^2–10^5 kbps
+// and session durations of 10–1200 seconds.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"droppackets/internal/stats"
+)
+
+// Sample is one step of a bandwidth trace: the link offers Kbps of
+// capacity for Duration seconds.
+type Sample struct {
+	Kbps     float64
+	Duration float64 // seconds
+}
+
+// Trace is a piecewise-constant bandwidth timeline with an identifying
+// name and the network class it was generated from.
+type Trace struct {
+	Name    string
+	Class   Class
+	Samples []Sample
+}
+
+// Class labels the network environment a trace models.
+type Class int
+
+// Network environment classes, mirroring the trace corpora cited by the
+// paper (§4.1): fixed broadband (FCC), 3G (Riiser et al.) and LTE
+// (van der Hooft et al.).
+const (
+	Broadband Class = iota
+	ThreeG
+	LTE
+)
+
+// String returns the conventional short name of the class.
+func (c Class) String() string {
+	switch c {
+	case Broadband:
+		return "broadband"
+	case ThreeG:
+		return "3g"
+	case LTE:
+		return "lte"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Duration returns the total duration of the trace in seconds.
+func (t *Trace) Duration() float64 {
+	var d float64
+	for _, s := range t.Samples {
+		d += s.Duration
+	}
+	return d
+}
+
+// AverageKbps returns the time-weighted mean bandwidth of the trace.
+func (t *Trace) AverageKbps() float64 {
+	var bits, dur float64
+	for _, s := range t.Samples {
+		bits += s.Kbps * s.Duration
+		dur += s.Duration
+	}
+	if dur == 0 {
+		return 0
+	}
+	return bits / dur
+}
+
+// BandwidthAt returns the offered bandwidth in kbps at time ts seconds
+// from the start of the trace. Times beyond the trace end repeat the
+// final sample, so a trace can drive sessions longer than itself.
+func (t *Trace) BandwidthAt(ts float64) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var elapsed float64
+	for _, s := range t.Samples {
+		elapsed += s.Duration
+		if ts < elapsed {
+			return s.Kbps
+		}
+	}
+	return t.Samples[len(t.Samples)-1].Kbps
+}
+
+// Validate checks structural invariants: at least one sample, strictly
+// positive durations and non-negative bandwidths.
+func (t *Trace) Validate() error {
+	if len(t.Samples) == 0 {
+		return fmt.Errorf("trace %q: no samples", t.Name)
+	}
+	for i, s := range t.Samples {
+		if s.Duration <= 0 {
+			return fmt.Errorf("trace %q: sample %d has non-positive duration %g", t.Name, i, s.Duration)
+		}
+		if s.Kbps < 0 || math.IsNaN(s.Kbps) || math.IsInf(s.Kbps, 0) {
+			return fmt.Errorf("trace %q: sample %d has invalid bandwidth %g", t.Name, i, s.Kbps)
+		}
+	}
+	return nil
+}
+
+// GenConfig parameterises synthetic trace generation.
+type GenConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// StepSeconds is the granularity of bandwidth changes. The public
+	// corpora report roughly 1 s granularity; that is the default when 0.
+	StepSeconds float64
+}
+
+func (c GenConfig) step() float64 {
+	if c.StepSeconds <= 0 {
+		return 1
+	}
+	return c.StepSeconds
+}
+
+// classParams returns the log-normal location/scale of the mean
+// bandwidth (in kbps) and the relative short-term variability for each
+// network class. The parameter choices spread the average-bandwidth CDF
+// over 10^2..10^5 kbps as in the paper's Figure 3a.
+func classParams(c Class) (mu, sigma, vol float64) {
+	switch c {
+	case Broadband:
+		// Fixed broadband: a few to ~100 Mbps, low variability.
+		return math.Log(11000), 0.9, 0.08
+	case ThreeG:
+		// 3G mobility traces: a few hundred kbps to a few Mbps, very bursty.
+		return math.Log(800), 0.6, 0.45
+	case LTE:
+		// 4G/LTE: roughly 1–20 Mbps, moderately bursty.
+		return math.Log(3600), 0.65, 0.30
+	default:
+		return math.Log(2000), 1.0, 0.3
+	}
+}
+
+// Generate produces one synthetic trace of the given class lasting
+// durationSec seconds. The trace follows a mean bandwidth drawn
+// log-normally for the class with an AR(1) multiplicative fluctuation
+// around it, plus occasional deep fades for the mobile classes.
+func Generate(cfg GenConfig, class Class, durationSec float64, id int) *Trace {
+	r := stats.SplitRNG(cfg.Seed, int64(id)*4+int64(class))
+	mu, sigma, vol := classParams(class)
+	mean := stats.LogNormal(r, mu, sigma)
+	step := cfg.step()
+	n := int(math.Ceil(durationSec / step))
+	if n < 1 {
+		n = 1
+	}
+	tr := &Trace{
+		Name:    fmt.Sprintf("%s-%04d", class, id),
+		Class:   class,
+		Samples: make([]Sample, 0, n),
+	}
+	// AR(1) log-fluctuation around the mean.
+	const phi = 0.85
+	x := 0.0
+	fade := 0 // remaining steps of a deep fade
+	for i := 0; i < n; i++ {
+		x = phi*x + vol*r.NormFloat64()
+		bw := mean * math.Exp(x)
+		if class != Broadband {
+			if fade == 0 && r.Float64() < 0.01 {
+				fade = 2 + r.Intn(8) // 2–9 s outage-like fade
+				if r.Float64() < 0.12 {
+					fade *= 4 // occasional long outage (tunnel, handover)
+				}
+			}
+			if fade > 0 {
+				bw *= 0.05
+				fade--
+			}
+		}
+		// Floor at a minimal trickle so transfers always make progress.
+		if bw < 16 {
+			bw = 16
+		}
+		d := step
+		if rem := durationSec - float64(i)*step; rem < step {
+			d = rem
+		}
+		if d <= 0 {
+			break
+		}
+		tr.Samples = append(tr.Samples, Sample{Kbps: bw, Duration: d})
+	}
+	return tr
+}
+
+// DurationMix describes the paper's Figure 3b histogram: the fraction of
+// sessions in each duration bucket (minutes). Buckets are half-open
+// [Lo, Hi) in minutes except the last, which includes Hi.
+type DurationBucket struct {
+	LoMin, HiMin float64
+	Fraction     float64
+}
+
+// PaperDurationMix is the session-duration mix used to regenerate
+// Figure 3b: sessions between 10 s and 20 min, weighted toward the 2–5
+// and 5–20 minute buckets as in the paper's plot.
+var PaperDurationMix = []DurationBucket{
+	{LoMin: 1.0 / 6.0, HiMin: 1, Fraction: 0.30},
+	{LoMin: 1, HiMin: 2, Fraction: 0.25},
+	{LoMin: 2, HiMin: 5, Fraction: 0.25},
+	{LoMin: 5, HiMin: 20, Fraction: 0.20},
+}
+
+// SampleDuration draws a session duration in seconds from the mix,
+// uniform inside the chosen bucket. The maximum is clamped to 1200 s,
+// matching the paper's maximum session duration.
+func SampleDuration(r *rand.Rand, mix []DurationBucket) float64 {
+	if len(mix) == 0 {
+		return 60
+	}
+	u := r.Float64()
+	var acc float64
+	b := mix[len(mix)-1]
+	for _, bucket := range mix {
+		acc += bucket.Fraction
+		if u < acc {
+			b = bucket
+			break
+		}
+	}
+	lo, hi := b.LoMin*60, b.HiMin*60
+	d := lo + r.Float64()*(hi-lo)
+	return stats.Clamp(d, 10, 1200)
+}
+
+// Pool is a collection of traces sampled across the three network
+// classes, the synthetic stand-in for the paper's trace corpus.
+type Pool struct {
+	Traces []*Trace
+}
+
+// ClassMix is the share of each class in a generated pool. The default
+// mirrors a mobile-heavy corpus: the paper's motivation is cellular ISPs.
+type ClassMix struct {
+	Broadband, ThreeG, LTE float64
+}
+
+// DefaultClassMix weights 3G and LTE traces more heavily than fixed
+// broadband, reflecting the cited trace corpora.
+var DefaultClassMix = ClassMix{Broadband: 0.30, ThreeG: 0.25, LTE: 0.45}
+
+// GeneratePool creates n traces with the given class mix and the paper's
+// duration mix. Trace i is generated deterministically from cfg.Seed.
+func GeneratePool(cfg GenConfig, n int, mix ClassMix) *Pool {
+	total := mix.Broadband + mix.ThreeG + mix.LTE
+	if total <= 0 {
+		mix = DefaultClassMix
+		total = 1
+	}
+	p := &Pool{Traces: make([]*Trace, 0, n)}
+	r := stats.SplitRNG(cfg.Seed, -1)
+	for i := 0; i < n; i++ {
+		u := r.Float64() * total
+		var class Class
+		switch {
+		case u < mix.Broadband:
+			class = Broadband
+		case u < mix.Broadband+mix.ThreeG:
+			class = ThreeG
+		default:
+			class = LTE
+		}
+		dur := SampleDuration(r, PaperDurationMix)
+		p.Traces = append(p.Traces, Generate(cfg, class, dur, i))
+	}
+	return p
+}
+
+// Stats aggregates pool-level statistics for Figure 3.
+type Stats struct {
+	// AvgBandwidthCDF is the CDF of per-trace average bandwidth (kbps).
+	AvgBandwidthCDF []stats.CDFPoint
+	// DurationCounts are histogram counts in the Figure 3b buckets
+	// 0–1, 1–2, 2–5 and 5–20 minutes.
+	DurationCounts []int
+	// DurationShares are DurationCounts as fractions.
+	DurationShares []float64
+}
+
+// ComputeStats derives the Figure 3 statistics from a pool.
+func ComputeStats(p *Pool) Stats {
+	avg := make([]float64, 0, len(p.Traces))
+	durMin := make([]float64, 0, len(p.Traces))
+	for _, t := range p.Traces {
+		avg = append(avg, t.AverageKbps())
+		durMin = append(durMin, t.Duration()/60)
+	}
+	edges := []float64{0, 1, 2, 5, 20.0001}
+	counts := stats.Histogram(durMin, edges)
+	return Stats{
+		AvgBandwidthCDF: stats.CDF(avg),
+		DurationCounts:  counts,
+		DurationShares:  stats.Proportions(counts),
+	}
+}
+
+// ReadCSV loads traces from the long-format CSV produced by
+// cmd/tracegen (trace,class,sample_start,duration,kbps). It is the
+// ingestion path for real trace corpora (FCC MBA, Riiser et al.)
+// converted to that layout: each distinct trace name becomes one
+// Trace, samples in file order. Unknown class names map to LTE.
+func ReadCSV(r io.Reader) ([]*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	start := 0
+	if rows[0][0] == "trace" {
+		start = 1
+	}
+	byName := map[string]*Trace{}
+	var order []*Trace
+	for i, row := range rows[start:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("trace: csv row %d has %d columns, want 5", i+start+1, len(row))
+		}
+		name := row[0]
+		tr := byName[name]
+		if tr == nil {
+			tr = &Trace{Name: name, Class: classFromString(row[1])}
+			byName[name] = tr
+			order = append(order, tr)
+		}
+		dur, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d duration: %w", i+start+1, err)
+		}
+		kbps, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d kbps: %w", i+start+1, err)
+		}
+		tr.Samples = append(tr.Samples, Sample{Kbps: kbps, Duration: dur})
+	}
+	for _, tr := range order {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// classFromString parses the Class names String produces.
+func classFromString(s string) Class {
+	switch s {
+	case "broadband":
+		return Broadband
+	case "3g":
+		return ThreeG
+	default:
+		return LTE
+	}
+}

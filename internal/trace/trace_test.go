@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"droppackets/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42}
+	a := Generate(cfg, LTE, 120, 7)
+	b := Generate(cfg, LTE, 120, 7)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	c := Generate(cfg, LTE, 120, 8)
+	same := len(a.Samples) == len(c.Samples)
+	if same {
+		same = a.Samples[0] == c.Samples[0] && a.Samples[1] == c.Samples[1]
+	}
+	if same {
+		t.Error("different trace ids produced identical openings")
+	}
+}
+
+func TestGenerateDurationAndValidity(t *testing.T) {
+	for _, class := range []Class{Broadband, ThreeG, LTE} {
+		for _, dur := range []float64{10, 61.5, 1200} {
+			tr := Generate(GenConfig{Seed: 1}, class, dur, 3)
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s/%g: %v", class, dur, err)
+			}
+			if got := tr.Duration(); math.Abs(got-dur) > 1.01 {
+				t.Errorf("%s: duration %g, want ~%g", class, got, dur)
+			}
+		}
+	}
+}
+
+func TestBandwidthAt(t *testing.T) {
+	tr := &Trace{Name: "t", Samples: []Sample{
+		{Kbps: 100, Duration: 2},
+		{Kbps: 200, Duration: 3},
+	}}
+	cases := []struct{ ts, want float64 }{
+		{0, 100}, {1.99, 100}, {2, 200}, {4.9, 200},
+		{5, 200},  // past the end repeats the final sample
+		{99, 200}, // far past the end too
+	}
+	for _, c := range cases {
+		if got := tr.BandwidthAt(c.ts); got != c.want {
+			t.Errorf("BandwidthAt(%g) = %g, want %g", c.ts, got, c.want)
+		}
+	}
+	empty := &Trace{}
+	if empty.BandwidthAt(1) != 0 {
+		t.Error("empty trace should offer 0")
+	}
+}
+
+func TestAverageKbpsWeighting(t *testing.T) {
+	tr := &Trace{Samples: []Sample{
+		{Kbps: 100, Duration: 1},
+		{Kbps: 400, Duration: 3},
+	}}
+	want := (100*1 + 400*3) / 4.0
+	if got := tr.AverageKbps(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AverageKbps = %g, want %g", got, want)
+	}
+	if (&Trace{}).AverageKbps() != 0 {
+		t.Error("empty trace average should be 0")
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	bad := []*Trace{
+		{Name: "empty"},
+		{Name: "zero-dur", Samples: []Sample{{Kbps: 1, Duration: 0}}},
+		{Name: "neg-bw", Samples: []Sample{{Kbps: -1, Duration: 1}}},
+		{Name: "nan-bw", Samples: []Sample{{Kbps: math.NaN(), Duration: 1}}},
+	}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid trace", tr.Name)
+		}
+	}
+}
+
+func TestSampleDurationBounds(t *testing.T) {
+	r := stats.NewRNG(5)
+	for i := 0; i < 2000; i++ {
+		d := SampleDuration(r, PaperDurationMix)
+		if d < 10 || d > 1200 {
+			t.Fatalf("duration %g outside [10, 1200]", d)
+		}
+	}
+	if d := SampleDuration(r, nil); d != 60 {
+		t.Errorf("empty mix should default to 60, got %g", d)
+	}
+}
+
+func TestSampleDurationMixShares(t *testing.T) {
+	r := stats.NewRNG(9)
+	const n = 20000
+	counts := make([]int, len(PaperDurationMix))
+	for i := 0; i < n; i++ {
+		d := SampleDuration(r, PaperDurationMix) / 60
+		for j, b := range PaperDurationMix {
+			if d >= b.LoMin && d < b.HiMin {
+				counts[j]++
+				break
+			}
+		}
+	}
+	for j, b := range PaperDurationMix {
+		got := float64(counts[j]) / n
+		if math.Abs(got-b.Fraction) > 0.02 {
+			t.Errorf("bucket %d share %.3f, want %.3f +- .02", j, got, b.Fraction)
+		}
+	}
+}
+
+func TestGeneratePoolClassesAndStats(t *testing.T) {
+	pool := GeneratePool(GenConfig{Seed: 3}, 300, DefaultClassMix)
+	if len(pool.Traces) != 300 {
+		t.Fatalf("pool size %d, want 300", len(pool.Traces))
+	}
+	classCounts := map[Class]int{}
+	for _, tr := range pool.Traces {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("pool trace invalid: %v", err)
+		}
+		classCounts[tr.Class]++
+	}
+	for _, c := range []Class{Broadband, ThreeG, LTE} {
+		if classCounts[c] < 30 {
+			t.Errorf("class %s underrepresented: %d traces", c, classCounts[c])
+		}
+	}
+	st := ComputeStats(pool)
+	if got := st.AvgBandwidthCDF[len(st.AvgBandwidthCDF)-1].P; got != 1 {
+		t.Errorf("CDF does not end at 1: %g", got)
+	}
+	var total float64
+	for _, s := range st.DurationShares {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("duration shares sum to %g", total)
+	}
+}
+
+// The Figure 3a requirement: average bandwidths span roughly
+// 10^2..10^5 kbps.
+func TestPoolBandwidthSpan(t *testing.T) {
+	pool := GeneratePool(GenConfig{Seed: 8}, 500, DefaultClassMix)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, tr := range pool.Traces {
+		avg := tr.AverageKbps()
+		lo = math.Min(lo, avg)
+		hi = math.Max(hi, avg)
+	}
+	if lo > 1000 {
+		t.Errorf("slowest trace %g kbps; want some below 1000", lo)
+	}
+	if hi < 20000 {
+		t.Errorf("fastest trace %g kbps; want some above 20000", hi)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Broadband.String() != "broadband" || ThreeG.String() != "3g" || LTE.String() != "lte" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+// Property: BandwidthAt never returns a value absent from the samples.
+func TestQuickBandwidthAtMember(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 12}, ThreeG, 60, 0)
+	vals := map[float64]bool{}
+	for _, s := range tr.Samples {
+		vals[s.Kbps] = true
+	}
+	f := func(raw uint16) bool {
+		ts := float64(raw) / 65535 * 120 // half beyond the trace end
+		return vals[tr.BandwidthAt(ts)]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	pool := GeneratePool(GenConfig{Seed: 21}, 4, DefaultClassMix)
+	var sb strings.Builder
+	sb.WriteString("trace,class,sample_start,duration,kbps\n")
+	for _, tr := range pool.Traces {
+		ts := 0.0
+		for _, s := range tr.Samples {
+			fmt.Fprintf(&sb, "%s,%s,%.2f,%.2f,%.1f\n", tr.Name, tr.Class, ts, s.Duration, s.Kbps)
+			ts += s.Duration
+		}
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pool.Traces) {
+		t.Fatalf("%d traces, want %d", len(got), len(pool.Traces))
+	}
+	for i, tr := range got {
+		want := pool.Traces[i]
+		if tr.Name != want.Name || tr.Class != want.Class {
+			t.Fatalf("trace %d identity mismatch", i)
+		}
+		if len(tr.Samples) != len(want.Samples) {
+			t.Fatalf("trace %d has %d samples, want %d", i, len(tr.Samples), len(want.Samples))
+		}
+		// The CSV rounds kbps to one decimal; allow that much drift.
+		if math.Abs(tr.AverageKbps()-want.AverageKbps()) > 1 {
+			t.Fatalf("trace %d average drifted: %g vs %g", i, tr.AverageKbps(), want.AverageKbps())
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"trace,class,sample_start,duration,kbps\nx,lte,0\n",
+		"trace,class,sample_start,duration,kbps\nx,lte,0,abc,100\n",
+		"trace,class,sample_start,duration,kbps\nx,lte,0,1,abc\n",
+		"trace,class,sample_start,duration,kbps\nx,lte,0,-1,100\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("bad csv %d accepted", i)
+		}
+	}
+}
+
+func TestClassFromString(t *testing.T) {
+	if classFromString("broadband") != Broadband || classFromString("3g") != ThreeG {
+		t.Error("known classes misparsed")
+	}
+	if classFromString("anything-else") != LTE {
+		t.Error("unknown class should default to LTE")
+	}
+}

@@ -19,7 +19,10 @@ import (
 	"droppackets/internal/experiments"
 	"droppackets/internal/features"
 	"droppackets/internal/has"
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/eval"
 	"droppackets/internal/ml/forest"
+	"droppackets/internal/ml/tree"
 	"droppackets/internal/qoe"
 	"droppackets/internal/sessionid"
 	"droppackets/internal/stats"
@@ -359,10 +362,35 @@ func BenchmarkForestTrain(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := forest.New(forest.Config{NumTrees: 20, MinLeaf: 2, Seed: int64(i)})
 		if err := f.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeFit isolates the presorted-column growth engine: one
+// CART tree per iteration, reusing a Scratch like a forest worker does.
+func BenchmarkTreeFit(b *testing.B) {
+	c := microData(b)
+	ds, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]int, ds.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	ds.SortedColumns()
+	scratch := tree.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := &tree.Classifier{Config: tree.Config{MinLeaf: 2, MaxFeatures: 7}, Seed: int64(i)}
+		if err := t.FitRowsWith(ds, rows, scratch); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -378,9 +406,30 @@ func BenchmarkForestPredict(b *testing.B) {
 	if err := f.Fit(ds); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Predict(ds.X[i%ds.Len()])
+	}
+}
+
+// BenchmarkCrossValidate times the paper's full 5-fold protocol on the
+// micro corpus: fold-parallel training plus batch held-out scoring.
+func BenchmarkCrossValidate(b *testing.B) {
+	c := microData(b)
+	ds, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eval.CrossValidate(func() ml.Classifier {
+			return forest.New(forest.Config{NumTrees: 20, MinLeaf: 2, Seed: 1})
+		}, ds, 5, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

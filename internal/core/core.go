@@ -120,6 +120,20 @@ func (e *Estimator) Classify(txns []capture.TLSTransaction) (int, error) {
 	return e.model.Predict(e.featuresFor(txns)), nil
 }
 
+// ClassifyBatch predicts the QoE class of many sessions in one call,
+// fanning the rows across CPUs via the forest's batch predictor.
+// Results are identical to calling Classify per session.
+func (e *Estimator) ClassifyBatch(sessions [][]capture.TLSTransaction) ([]int, error) {
+	if !e.trained {
+		return nil, fmt.Errorf("core: estimator not trained")
+	}
+	x := make([][]float64, len(sessions))
+	for i, txns := range sessions {
+		x[i] = e.featuresFor(txns)
+	}
+	return e.model.PredictBatch(x), nil
+}
+
 // ClassifyProba returns per-class probabilities for a session.
 func (e *Estimator) ClassifyProba(txns []capture.TLSTransaction) ([]float64, error) {
 	if !e.trained {

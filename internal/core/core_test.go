@@ -57,6 +57,23 @@ func TestEstimatorTrainAndClassify(t *testing.T) {
 	if frac := float64(correct) / float64(len(sessions)); frac < 0.8 {
 		t.Errorf("training-set accuracy %.2f, implausibly low", frac)
 	}
+	txns := make([][]capture.TLSTransaction, len(sessions))
+	for i, s := range sessions {
+		txns[i] = s.TLS
+	}
+	batch, err := est.ClassifyBatch(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions {
+		class, err := est.Classify(s.TLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != class {
+			t.Fatalf("ClassifyBatch[%d] = %d, Classify = %d", i, batch[i], class)
+		}
+	}
 	probs, err := est.ClassifyProba(sessions[0].TLS)
 	if err != nil {
 		t.Fatal(err)

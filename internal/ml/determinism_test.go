@@ -1,0 +1,136 @@
+package ml_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/eval"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/ml/mltest"
+	"droppackets/internal/ml/tree"
+)
+
+// The training engine promises bit-identical models regardless of
+// parallelism, and the presorted-column rewrite promises bit-identical
+// models to the sort-per-node engine it replaced. These tests pin both:
+// the golden strings below were produced by the original engine on the
+// fixed-seed corpus and must never drift.
+
+func goldenCorpus() *ml.Dataset {
+	return mltest.WithNoiseFeature(mltest.Blobs(40, 3, 0.35, 21), 22)
+}
+
+func predictionString(clf ml.Classifier, ds *ml.Dataset) string {
+	var b strings.Builder
+	for _, row := range ds.X {
+		fmt.Fprintf(&b, "%d", clf.Predict(row))
+	}
+	return b.String()
+}
+
+func TestTreeMatchesGolden(t *testing.T) {
+	ds := goldenCorpus()
+	tr := &tree.Classifier{Config: tree.Config{MaxFeatures: 2, MinLeaf: 2}, Seed: 5}
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	const wantPreds = "010111212111212020022101222100201210120222111101010220001112021102011100210101022222211000022122222100000100202101000111"
+	if got := predictionString(tr, ds); got != wantPreds {
+		t.Errorf("tree predictions drifted:\n got %s\nwant %s", got, wantPreds)
+	}
+	const wantImp = "[0x1.866dca913533ap-02 0x1.f5c28f5c28f55p-03 0x1.18523199ab21bp-08]"
+	if got := fmt.Sprintf("%x", tr.Importances()); got != wantImp {
+		t.Errorf("tree importances drifted:\n got %s\nwant %s", got, wantImp)
+	}
+	if d := tr.Depth(); d != 4 {
+		t.Errorf("tree depth drifted: got %d, want 4", d)
+	}
+}
+
+func TestForestMatchesGolden(t *testing.T) {
+	ds := goldenCorpus()
+	f := forest.New(forest.Config{NumTrees: 30, Seed: 7})
+	if err := f.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	const wantPreds = "010111212111212020022101222100201210120222121101010221001112021102012100210101022222211000022122222100000100202101000211"
+	if got := predictionString(f, ds); got != wantPreds {
+		t.Errorf("forest predictions drifted:\n got %s\nwant %s", got, wantPreds)
+	}
+	const wantImp = "[0x1.456b3c833ba4fp-01 0x1.504089fbfc3e2p-02 0x1.2747e7ec63c11p-05]"
+	if got := fmt.Sprintf("%x", f.Importances()); got != wantImp {
+		t.Errorf("forest importances drifted:\n got %s\nwant %s", got, wantImp)
+	}
+}
+
+func TestCrossValidateMatchesGolden(t *testing.T) {
+	ds := goldenCorpus()
+	res, err := eval.CrossValidate(func() ml.Classifier {
+		return forest.New(forest.Config{NumTrees: 15, Seed: 3})
+	}, ds, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantConf = "[[37 3 0] [2 38 0] [0 2 38]]"
+	if got := fmt.Sprint(res.Confusion.M); got != wantConf {
+		t.Errorf("pooled confusion drifted: got %s, want %s", got, wantConf)
+	}
+	const wantFolds = "[0.9166666666666666 0.9583333333333334 1 0.9583333333333334 0.875]"
+	if got := fmt.Sprint(res.FoldAccuracies); got != wantFolds {
+		t.Errorf("fold accuracies drifted: got %s, want %s", got, wantFolds)
+	}
+}
+
+// TestParallelismInvariance refits the forest and reruns cross-
+// validation at GOMAXPROCS settings 1 and N and requires bit-identical
+// outputs: parallel training and fold evaluation must not leak
+// scheduling order into results.
+func TestParallelismInvariance(t *testing.T) {
+	ds := goldenCorpus()
+	type outcome struct {
+		preds string
+		imp   string
+		conf  string
+		folds string
+		batch string
+	}
+	run := func() outcome {
+		f := forest.New(forest.Config{NumTrees: 30, Seed: 7})
+		if err := f.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eval.CrossValidate(func() ml.Classifier {
+			return forest.New(forest.Config{NumTrees: 15, Seed: 3})
+		}, ds, 5, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, p := range f.PredictBatch(ds.X) {
+			fmt.Fprintf(&b, "%d", p)
+		}
+		return outcome{
+			preds: predictionString(f, ds),
+			imp:   fmt.Sprintf("%x", f.Importances()),
+			conf:  fmt.Sprint(res.Confusion.M),
+			folds: fmt.Sprint(res.FoldAccuracies),
+			batch: b.String(),
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(4)
+	parallel := run()
+	runtime.GOMAXPROCS(prev)
+
+	if serial != parallel {
+		t.Errorf("results differ between GOMAXPROCS=1 and 4:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	if serial.batch != serial.preds {
+		t.Errorf("PredictBatch differs from per-row Predict:\nbatch %s\npreds %s", serial.batch, serial.preds)
+	}
+}

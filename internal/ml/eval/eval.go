@@ -8,7 +8,9 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"droppackets/internal/ml"
 )
@@ -192,6 +194,14 @@ func (r *CVResult) Metrics() Metrics { return MetricsFor(r.Confusion) }
 // it trains a fresh classifier from factory on the remaining folds and
 // evaluates on the held-out one, pooling all test predictions into a
 // single confusion matrix (the paper's protocol: 5-fold CV, §4.2).
+//
+// Folds train and predict concurrently across GOMAXPROCS workers. All
+// randomness (fold assignment, every fold's classifier from factory)
+// is drawn up front in fold order and the pooled confusion matrix is
+// merged in fold order afterwards, so the result is byte-identical to
+// the sequential protocol at any GOMAXPROCS setting. Classifiers that
+// implement ml.BatchPredictor score their held-out fold in one batch
+// call.
 func CrossValidate(factory func() ml.Classifier, ds *ml.Dataset, k int, seed int64) (*CVResult, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("eval: need k >= 2 folds, got %d", k)
@@ -200,27 +210,76 @@ func CrossValidate(factory func() ml.Classifier, ds *ml.Dataset, k int, seed int
 		return nil, fmt.Errorf("eval: %d rows cannot fill %d folds", ds.Len(), k)
 	}
 	folds := StratifiedFolds(ds.Y, ds.NumClasses, k, seed)
-	res := &CVResult{Confusion: NewConfusion(ds.NumClasses)}
-	for f := 0; f < k; f++ {
-		var trainRows []int
-		for g := 0; g < k; g++ {
-			if g != f {
-				trainRows = append(trainRows, folds[g]...)
+	// Instantiate every fold's classifier up front, in fold order, so
+	// factories observe the same call sequence as a sequential run.
+	clfs := make([]ml.Classifier, k)
+	for f := range clfs {
+		clfs[f] = factory()
+	}
+	preds := make([][]int, k)
+	errs := make([]error, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range next {
+				preds[f], errs[f] = runFold(clfs[f], ds, folds, f)
 			}
-		}
-		clf := factory()
-		if err := clf.Fit(ds.Subset(trainRows)); err != nil {
+		}()
+	}
+	for f := 0; f < k; f++ {
+		next <- f
+	}
+	close(next)
+	wg.Wait()
+	for f, err := range errs {
+		if err != nil {
 			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
 		}
+	}
+	// Merge in fold order: identical pooling to the sequential loop.
+	res := &CVResult{Confusion: NewConfusion(ds.NumClasses)}
+	for f := 0; f < k; f++ {
 		foldConf := NewConfusion(ds.NumClasses)
-		for _, r := range folds[f] {
-			pred := clf.Predict(ds.X[r])
-			res.Confusion.Add(ds.Y[r], pred)
-			foldConf.Add(ds.Y[r], pred)
+		for i, r := range folds[f] {
+			res.Confusion.Add(ds.Y[r], preds[f][i])
+			foldConf.Add(ds.Y[r], preds[f][i])
 		}
 		res.FoldAccuracies = append(res.FoldAccuracies, foldConf.Accuracy())
 	}
 	return res, nil
+}
+
+// runFold trains clf on every fold but f and predicts the held-out one.
+func runFold(clf ml.Classifier, ds *ml.Dataset, folds [][]int, f int) ([]int, error) {
+	var trainRows []int
+	for g := range folds {
+		if g != f {
+			trainRows = append(trainRows, folds[g]...)
+		}
+	}
+	if err := clf.Fit(ds.Subset(trainRows)); err != nil {
+		return nil, err
+	}
+	test := folds[f]
+	if bp, ok := clf.(ml.BatchPredictor); ok {
+		testX := make([][]float64, len(test))
+		for i, r := range test {
+			testX[i] = ds.X[r]
+		}
+		return bp.PredictBatch(testX), nil
+	}
+	out := make([]int, len(test))
+	for i, r := range test {
+		out[i] = clf.Predict(ds.X[r])
+	}
+	return out, nil
 }
 
 // TrainTestSplit returns shuffled train/test row indices with the given

@@ -89,6 +89,9 @@ func (f *Classifier) Fit(ds *ml.Dataset) error {
 			Seed:   rng.Int63(),
 		}
 	}
+	// Build the column-major mirror and presorted column orders once,
+	// before the workers start: every tree of the fit shares them.
+	ds.SortedColumns()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.NumTrees {
 		workers = cfg.NumTrees
@@ -100,8 +103,11 @@ func (f *Classifier) Fit(ds *ml.Dataset) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One growth-buffer arena per worker: trees after the first
+			// fit without allocating engine state.
+			scratch := tree.NewScratch()
 			for i := range next {
-				errs[i] = f.trees[i].FitRows(ds, bootstraps[i])
+				errs[i] = f.trees[i].FitRowsWith(ds, bootstraps[i], scratch)
 			}
 		}()
 	}
@@ -136,6 +142,16 @@ func (f *Classifier) Fit(ds *ml.Dataset) error {
 // PredictProba averages leaf class distributions over the ensemble.
 func (f *Classifier) PredictProba(x []float64) []float64 {
 	probs := make([]float64, f.numClasses)
+	f.predictProbaInto(x, probs)
+	return probs
+}
+
+// predictProbaInto accumulates the ensemble average into probs,
+// allowing batch callers to reuse one buffer per worker.
+func (f *Classifier) predictProbaInto(x []float64, probs []float64) {
+	for c := range probs {
+		probs[c] = 0
+	}
 	for _, t := range f.trees {
 		for c, p := range t.PredictProba(x) {
 			probs[c] += p
@@ -145,11 +161,53 @@ func (f *Classifier) PredictProba(x []float64) []float64 {
 	for c := range probs {
 		probs[c] /= n
 	}
-	return probs
 }
 
 // Predict implements ml.Classifier.
 func (f *Classifier) Predict(x []float64) int { return ml.Argmax(f.PredictProba(x)) }
+
+// PredictBatch implements ml.BatchPredictor: it labels every row,
+// fanning the rows out across GOMAXPROCS workers with one probability
+// buffer each. Results are identical to calling Predict per row at any
+// GOMAXPROCS setting.
+func (f *Classifier) PredictBatch(x [][]float64) []int {
+	out := make([]int, len(x))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(x) {
+		workers = len(x)
+	}
+	if workers <= 1 {
+		probs := make([]float64, f.numClasses)
+		for i, row := range x {
+			f.predictProbaInto(row, probs)
+			out[i] = ml.Argmax(probs)
+		}
+		return out
+	}
+	chunk := (len(x) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			probs := make([]float64, f.numClasses)
+			for i := lo; i < hi; i++ {
+				f.predictProbaInto(x[i], probs)
+				out[i] = ml.Argmax(probs)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
 
 // Importances returns normalised mean-decrease-in-impurity feature
 // importances (summing to 1).

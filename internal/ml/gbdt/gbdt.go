@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"droppackets/internal/ml"
 	"droppackets/internal/ml/tree"
@@ -91,6 +93,8 @@ func (c *Classifier) Fit(ds *ml.Dataset) error {
 	}
 	residual := make([]float64, n)
 	c.rounds = make([][]*tree.Regressor, 0, cfg.Rounds)
+	// One growth-buffer arena reused by every boosting round.
+	scratch := tree.NewScratch()
 	for r := 0; r < cfg.Rounds; r++ {
 		// Row subsample for this round.
 		sample := rng.Perm(n)[:int(float64(n)*cfg.Subsample)]
@@ -115,7 +119,7 @@ func (c *Classifier) Fit(ds *ml.Dataset) error {
 				Config: tree.Config{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf},
 				Seed:   rng.Int63(),
 			}
-			if err := reg.FitXY(xs, residual[:len(sample)]); err != nil {
+			if err := reg.FitXYWith(xs, residual[:len(sample)], scratch); err != nil {
 				return fmt.Errorf("gbdt: round %d class %d: %w", r, k, err)
 			}
 			perClass[k] = reg
@@ -149,10 +153,57 @@ func softmaxAt(scores []float64, k int) float64 {
 // Predict implements ml.Classifier.
 func (c *Classifier) Predict(x []float64) int {
 	scores := append([]float64(nil), c.base...)
+	return c.predictInto(x, scores)
+}
+
+// predictInto scores one row into the caller's buffer (pre-loaded or
+// reloaded here with the base scores) and returns the argmax.
+func (c *Classifier) predictInto(x []float64, scores []float64) int {
+	copy(scores, c.base)
 	for _, perClass := range c.rounds {
 		for k, reg := range perClass {
 			scores[k] += c.Config.LearningRate * reg.Predict(x)
 		}
 	}
 	return ml.Argmax(scores)
+}
+
+// PredictBatch implements ml.BatchPredictor: rows fan out across
+// GOMAXPROCS workers with one score buffer each. Results are identical
+// to calling Predict per row.
+func (c *Classifier) PredictBatch(x [][]float64) []int {
+	out := make([]int, len(x))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(x) {
+		workers = len(x)
+	}
+	if workers <= 1 {
+		scores := make([]float64, c.numClasses)
+		for i, row := range x {
+			out[i] = c.predictInto(row, scores)
+		}
+		return out
+	}
+	chunk := (len(x) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scores := make([]float64, c.numClasses)
+			for i := lo; i < hi; i++ {
+				out[i] = c.predictInto(x[i], scores)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
 }

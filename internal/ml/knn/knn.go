@@ -6,7 +6,8 @@ package knn
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"sync"
 
 	"droppackets/internal/ml"
 )
@@ -20,6 +21,39 @@ type Classifier struct {
 	x          [][]float64
 	y          []int
 	numClasses int
+
+	// mu guards the scratch shared by single-row Predict calls;
+	// PredictBatch gives each worker its own.
+	mu      sync.Mutex
+	scratch predictScratch
+}
+
+// predictScratch holds per-query buffers reused across predictions:
+// the standardised query, the running k-best neighbour selection and
+// the vote tally. One scratch serves any number of sequential queries
+// without allocating.
+type predictScratch struct {
+	q     []float64
+	bestD []float64
+	bestI []int
+	votes []float64
+}
+
+func (s *predictScratch) ensure(width, k, numClasses int) {
+	if cap(s.q) < width {
+		s.q = make([]float64, width)
+	}
+	s.q = s.q[:width]
+	if cap(s.bestD) < k {
+		s.bestD = make([]float64, k)
+		s.bestI = make([]int, k)
+	}
+	s.bestD = s.bestD[:k]
+	s.bestI = s.bestI[:k]
+	if cap(s.votes) < numClasses {
+		s.votes = make([]float64, numClasses)
+	}
+	s.votes = s.votes[:numClasses]
 }
 
 // New returns an unfitted classifier with neighbourhood size k.
@@ -45,30 +79,101 @@ func (c *Classifier) Fit(ds *ml.Dataset) error {
 }
 
 // Predict implements ml.Classifier: majority vote over the K nearest
-// training rows, distance-weighted to break ties.
+// training rows, distance-weighted to break ties. Neighbour ties at
+// equal distance resolve to the lower training-row index, so results
+// are fully deterministic.
 func (c *Classifier) Predict(x []float64) int {
-	q := c.scaler.Transform(x)
-	type neighbour struct {
-		dist  float64
-		label int
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.predictWith(&c.scratch, x)
+}
+
+// PredictBatch implements ml.BatchPredictor: it labels every row,
+// fanning the queries across GOMAXPROCS workers with one scratch each.
+// Results are identical to calling Predict per row.
+func (c *Classifier) PredictBatch(x [][]float64) []int {
+	out := make([]int, len(x))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(x) {
+		workers = len(x)
 	}
-	nb := make([]neighbour, len(c.x))
+	if workers <= 1 {
+		var sc predictScratch
+		for i, row := range x {
+			out[i] = c.predictWith(&sc, row)
+		}
+		return out
+	}
+	chunk := (len(x) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var sc predictScratch
+			for i := lo; i < hi; i++ {
+				out[i] = c.predictWith(&sc, x[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// predictWith scores one query using the given scratch buffers: it
+// standardises the query, keeps the k nearest rows (ordered by
+// squared distance, ties by row index) in a running insertion buffer —
+// no full sort, no per-query allocation — then tallies the
+// distance-weighted votes.
+func (c *Classifier) predictWith(sc *predictScratch, x []float64) int {
+	k := c.K
+	if k > len(c.x) {
+		k = len(c.x)
+	}
+	sc.ensure(len(x), k, c.numClasses)
+	q := sc.q
+	for j, v := range x {
+		q[j] = (v - c.scaler.Mean[j]) / c.scaler.Std[j]
+	}
+	bestD, bestI := sc.bestD, sc.bestI
+	filled := 0
 	for i, row := range c.x {
 		var d float64
 		for j := range row {
 			diff := row[j] - q[j]
 			d += diff * diff
 		}
-		nb[i] = neighbour{dist: d, label: c.y[i]}
+		if filled == k && d >= bestD[k-1] {
+			continue
+		}
+		pos := filled
+		if filled < k {
+			filled++
+		} else {
+			pos = k - 1
+		}
+		for pos > 0 && d < bestD[pos-1] {
+			bestD[pos] = bestD[pos-1]
+			bestI[pos] = bestI[pos-1]
+			pos--
+		}
+		bestD[pos] = d
+		bestI[pos] = i
 	}
-	sort.Slice(nb, func(a, b int) bool { return nb[a].dist < nb[b].dist })
-	k := c.K
-	if k > len(nb) {
-		k = len(nb)
+	votes := sc.votes
+	for c := range votes {
+		votes[c] = 0
 	}
-	votes := make([]float64, c.numClasses)
-	for _, n := range nb[:k] {
-		votes[n.label] += 1 / (math.Sqrt(n.dist) + 1e-9)
+	for i := 0; i < filled; i++ {
+		votes[c.y[bestI[i]]] += 1 / (math.Sqrt(bestD[i]) + 1e-9)
 	}
 	return ml.Argmax(votes)
 }

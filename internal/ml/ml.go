@@ -11,6 +11,8 @@ package ml
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 )
 
 // Dataset is a design matrix with integer class labels in
@@ -20,6 +22,12 @@ type Dataset struct {
 	Y            []int
 	NumClasses   int
 	FeatureNames []string
+
+	// Lazily built column-major mirror and per-column sorted row
+	// orders, shared by every tree of a forest fit (see Columns).
+	colOnce  sync.Once
+	cols     [][]float64
+	colOrder [][]int32
 }
 
 // NewDataset validates and wraps feature rows and labels.
@@ -96,6 +104,65 @@ func (d *Dataset) SelectFeatures(cols []int) *Dataset {
 	return &Dataset{X: x, Y: d.Y, NumClasses: d.NumClasses, FeatureNames: names}
 }
 
+// Columns returns a column-major mirror of X: Columns()[f][row] ==
+// X[row][f]. It is built lazily on first use (one flat backing array,
+// safe for concurrent callers) and shared by every tree grown on this
+// dataset, so a forest fit transposes the design matrix exactly once.
+// Callers must not mutate the returned slices.
+func (d *Dataset) Columns() [][]float64 {
+	d.ensureColumns()
+	return d.cols
+}
+
+// SortedColumns returns, for each feature, the dataset row indices
+// sorted ascending by that feature's value (ties broken by row index,
+// so the order is fully deterministic). Like Columns it is built once
+// per dataset and shared: the presorted-column CART engine derives
+// every tree's per-node sweeps from these arrays instead of re-sorting
+// inside each split search. Callers must not mutate the returned
+// slices.
+func (d *Dataset) SortedColumns() [][]int32 {
+	d.ensureColumns()
+	return d.colOrder
+}
+
+func (d *Dataset) ensureColumns() {
+	d.colOnce.Do(func() {
+		n, w := d.Len(), d.NumFeatures()
+		colBack := make([]float64, n*w)
+		ordBack := make([]int32, n*w)
+		d.cols = make([][]float64, w)
+		d.colOrder = make([][]int32, w)
+		for f := 0; f < w; f++ {
+			col := colBack[f*n : (f+1)*n : (f+1)*n]
+			ord := ordBack[f*n : (f+1)*n : (f+1)*n]
+			for r, row := range d.X {
+				col[r] = row[f]
+				ord[r] = int32(r)
+			}
+			sort.Sort(&colIndexSorter{ord: ord, col: col})
+			d.cols[f] = col
+			d.colOrder[f] = ord
+		}
+	})
+}
+
+// colIndexSorter orders row indices by column value, ties by index.
+type colIndexSorter struct {
+	ord []int32
+	col []float64
+}
+
+func (s *colIndexSorter) Len() int { return len(s.ord) }
+func (s *colIndexSorter) Less(i, j int) bool {
+	a, b := s.ord[i], s.ord[j]
+	if s.col[a] != s.col[b] {
+		return s.col[a] < s.col[b]
+	}
+	return a < b
+}
+func (s *colIndexSorter) Swap(i, j int) { s.ord[i], s.ord[j] = s.ord[j], s.ord[i] }
+
 // ClassCounts tallies the labels.
 func (d *Dataset) ClassCounts() []int {
 	counts := make([]int, d.NumClasses)
@@ -113,6 +180,16 @@ type Classifier interface {
 	Predict(x []float64) int
 	// Name identifies the model family for reports.
 	Name() string
+}
+
+// BatchPredictor is implemented by classifiers that can label many
+// rows in one call, typically fanning the rows out across CPUs.
+// Implementations must return exactly one label per input row and must
+// be deterministic: PredictBatch(x)[i] == Predict(x[i]) regardless of
+// GOMAXPROCS. Evaluation code type-asserts for this to speed up
+// held-out scoring without changing results.
+type BatchPredictor interface {
+	PredictBatch(x [][]float64) []int
 }
 
 // Scaler standardises features to zero mean and unit variance, fitted

@@ -1,0 +1,626 @@
+package tree
+
+import (
+	"math/rand"
+	"sort"
+
+	"droppackets/internal/ml"
+)
+
+// This file implements the presorted-column CART growth engine shared
+// by Classifier (Gini impurity) and Regressor (variance reduction).
+//
+// Instead of re-sorting the node's rows for every candidate feature at
+// every node (O(F·n log n) per node), each feature column is sorted
+// once into an index array. A node then occupies a contiguous range
+// [start, end) of every column, kept value-sorted within the range, so
+// the best-split search is a single linear sweep per candidate
+// feature. After a split the ranges are stable-partitioned in place,
+// which preserves the per-column sort order for the children.
+//
+// Classification fits work over the unique dataset rows of the sample
+// with integer multiplicity weights (bootstrap duplicates share every
+// feature value, so all copies land on the same side of any split);
+// the per-fit orders are filtered from the dataset-global sorted
+// columns (ml.Dataset.SortedColumns) in O(F·N) without any comparison
+// sort, and feature values are read straight from the shared
+// column-major mirror. A forest fit therefore sorts the design matrix
+// exactly once no matter how many trees it grows.
+//
+// All buffers live in Scratch and are reused across fits, making
+// steady-state growth effectively allocation-free apart from the
+// fitted tree itself.
+//
+// Determinism: weighted class counts are integer increments (exact in
+// float64) equal to the per-duplicate tallies of the former
+// sort-per-node implementation, split gains use exactly its
+// arithmetic, and candidate features replay the identical RNG draw
+// sequence — so classification trees, their importances and their
+// predictions are bit-identical to the engine this replaced.
+// Regression sweeps accumulate floating-point target sums, where tie
+// ordering between equal feature values can differ from the old
+// per-node sort by last-ulp rounding; gains there are equal up to that
+// rounding.
+
+// soa is the flat structure-of-arrays storage of a fitted tree: one
+// entry per node in pre-order (root at 0), children as indices,
+// feature == -1 marking leaves. Leaf class distributions are
+// concatenated in dist and located via distOff; regression leaves use
+// value. The layout is cache-friendly for the iterative Predict walk.
+type soa struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	distOff   []int32
+	value     []float64
+	dist      []float64
+}
+
+func (t *soa) addNode() int32 {
+	t.feature = append(t.feature, -1)
+	t.threshold = append(t.threshold, 0)
+	t.left = append(t.left, -1)
+	t.right = append(t.right, -1)
+	t.distOff = append(t.distOff, -1)
+	t.value = append(t.value, 0)
+	return int32(len(t.feature) - 1)
+}
+
+func (t *soa) empty() bool { return len(t.feature) == 0 }
+
+// reserve pre-sizes the node arrays so growth never reallocates:
+// callers pass the combinatorial bounds implied by the sample size and
+// the minimum leaf weight.
+func (t *soa) reserve(nodes, dist int) {
+	t.feature = make([]int32, 0, nodes)
+	t.threshold = make([]float64, 0, nodes)
+	t.left = make([]int32, 0, nodes)
+	t.right = make([]int32, 0, nodes)
+	t.distOff = make([]int32, 0, nodes)
+	t.value = make([]float64, 0, nodes)
+	t.dist = make([]float64, 0, dist)
+}
+
+// leafFor returns the leaf index the row lands in.
+func (t *soa) leafFor(x []float64) int32 {
+	i := int32(0)
+	for t.feature[i] >= 0 {
+		if x[t.feature[i]] <= t.threshold[i] {
+			i = t.left[i]
+		} else {
+			i = t.right[i]
+		}
+	}
+	return i
+}
+
+// depth returns the height below node i (leaves are 0).
+func (t *soa) depth(i int32) int {
+	if t.feature[i] < 0 {
+		return 0
+	}
+	l, r := t.depth(t.left[i]), t.depth(t.right[i])
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Scratch holds the reusable buffers of the presorted-column growth
+// engine. Fitting through a shared Scratch avoids re-allocating the
+// per-fit index, weight and counting buffers; forest training keeps
+// one Scratch per worker goroutine and boosting reuses one across all
+// rounds. A Scratch may be reused across any number of fits
+// (classification or regression, any dataset) but must not be used
+// from two goroutines at once. The zero value is ready to use.
+type Scratch struct{ e engine }
+
+// NewScratch returns an empty Scratch ready for reuse across fits.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// engine is the shared growth state for one fit.
+type engine struct {
+	// Configuration for the current fit.
+	minLeaf     int
+	maxDepth    int
+	maxFeatures int
+	rng         *rand.Rand
+	width       int
+	nu          int // unique rows in the fit (identity rows for regression)
+
+	// Row-indexed sample state. y and cols alias the dataset (or the
+	// regression scratch transpose); w holds bootstrap multiplicities
+	// (nil for regression, where every weight is 1) and live is the
+	// 0/1 membership used by the branch-free order filter.
+	y    []int
+	yReg []float64
+	w    []int32
+	live []int32
+	cols [][]float64
+	side []int32
+
+	// Per-column presorted state: idx[f][i] is the unique row at
+	// sorted position i of feature f. A node owns [start, end) of
+	// every column.
+	idx     [][]int32
+	idxBack []int32
+
+	// Partition temporary (right-goers staging area).
+	tmpIdx []int32
+
+	// Split-search scratch.
+	parentCounts []float64
+	leftCounts   []float64
+	rightCounts  []float64
+	featBuf      []int
+
+	// Regression-only scratch: the column-major transpose of x and the
+	// per-column sorter.
+	colsBack []float64
+	sorter   rowSorter
+
+	// Outputs of the current fit.
+	out         *soa
+	importances []float64
+	total       float64
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// ensure sizes the shared buffers for a fit over at most rowCap unique
+// rows, width features and (for classification) numClasses classes.
+func (e *engine) ensure(rowCap, width, numClasses int) {
+	e.width = width
+	e.idxBack = growInt32(e.idxBack, rowCap*width)
+	if cap(e.idx) < width {
+		e.idx = make([][]int32, width)
+	}
+	e.idx = e.idx[:width]
+	for f := 0; f < width; f++ {
+		e.idx[f] = e.idxBack[f*rowCap : (f+1)*rowCap : (f+1)*rowCap]
+	}
+	// side stays all-zero between fits: partition sets marks and
+	// clears them again before returning, so a fresh allocation (which
+	// Go zeroes) is the only initialisation ever needed.
+	e.side = growInt32(e.side, rowCap)
+	e.tmpIdx = growInt32(e.tmpIdx, rowCap)
+	e.parentCounts = growFloats(e.parentCounts, numClasses)
+	e.leftCounts = growFloats(e.leftCounts, numClasses)
+	e.rightCounts = growFloats(e.rightCounts, numClasses)
+	e.featBuf = growInts(e.featBuf, width)
+}
+
+// prepareClassification loads the fit state for rows of ds (possibly
+// with bootstrap duplicates). The per-column row orders are filtered
+// from the dataset-global sorted columns in one linear pass per
+// column, so no comparison sort runs here.
+func (e *engine) prepareClassification(ds *ml.Dataset, rows []int) {
+	N, width := ds.Len(), ds.NumFeatures()
+	e.ensure(N, width, ds.NumClasses)
+	e.y = ds.Y
+	e.yReg = nil
+	e.w = growInt32(e.w, N)
+	e.live = growInt32(e.live, N)
+	w, live := e.w, e.live
+	for i := 0; i < N; i++ {
+		w[i] = 0
+		live[i] = 0
+	}
+	for _, r := range rows {
+		w[r]++
+		live[r] = 1
+	}
+	if width == 0 {
+		e.nu = 0
+		return
+	}
+	e.cols = ds.Columns()
+	order := ds.SortedColumns()
+	nu := 0
+	for f := 0; f < width; f++ {
+		ids := e.idx[f]
+		pos := 0
+		// Branch-free filter of the global order down to sampled rows:
+		// every slot is written, the cursor only advances on live rows,
+		// and dead writes are overwritten by the next live one (or fall
+		// beyond pos and are never read).
+		for _, r := range order[f] {
+			ids[pos] = r
+			pos += int(live[r])
+		}
+		nu = pos
+	}
+	e.nu = nu
+}
+
+// prepareRegression loads the fit state for raw rows x with targets y,
+// transposing into the scratch column mirror and sorting each column
+// once (ties broken by row for determinism). Regression fits carry no
+// weights: every row is its own sample.
+func (e *engine) prepareRegression(x [][]float64, y []float64) {
+	n := len(x)
+	width := 0
+	if n > 0 {
+		width = len(x[0])
+	}
+	e.ensure(n, width, 0)
+	e.nu = n
+	e.y = nil
+	e.yReg = growFloats(e.yReg, n)
+	copy(e.yReg, y)
+	e.w = nil
+	e.colsBack = growFloats(e.colsBack, n*width)
+	if cap(e.cols) < width {
+		e.cols = make([][]float64, width)
+	}
+	e.cols = e.cols[:width]
+	for f := 0; f < width; f++ {
+		col := e.colsBack[f*n : (f+1)*n : (f+1)*n]
+		ids := e.idx[f]
+		for i := 0; i < n; i++ {
+			col[i] = x[i][f]
+			ids[i] = int32(i)
+		}
+		e.cols[f] = col
+		e.sorter.ids, e.sorter.col = ids, col
+		sort.Sort(&e.sorter)
+	}
+	e.sorter.ids, e.sorter.col = nil, nil
+}
+
+// rowSorter orders row ids by column value, ties by row id.
+type rowSorter struct {
+	ids []int32
+	col []float64
+}
+
+func (s *rowSorter) Len() int { return len(s.ids) }
+func (s *rowSorter) Less(i, j int) bool {
+	a, b := s.ids[i], s.ids[j]
+	if s.col[a] != s.col[b] {
+		return s.col[a] < s.col[b]
+	}
+	return a < b
+}
+func (s *rowSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+
+// candidateFeatures picks the features examined at one node. It
+// replays exactly the RNG draw sequence of rand.Perm into a reusable
+// buffer — including Perm's i == 0 iteration, whose Intn(1) still
+// consumes one draw — so fitted trees stay bit-identical to the
+// allocating rng.Perm version with zero per-node allocations.
+func (e *engine) candidateFeatures() []int {
+	buf := e.featBuf[:e.width]
+	if e.maxFeatures <= 0 || e.maxFeatures >= e.width {
+		for i := range buf {
+			buf[i] = i
+		}
+		return buf
+	}
+	for i := 0; i < e.width; i++ {
+		j := e.rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf[:e.maxFeatures]
+}
+
+// partition splits [start, end) of every column at the chosen feature
+// and cut position, stable-partitioning so children stay value-sorted.
+// The split column itself is already partitioned by position.
+func (e *engine) partition(start, end, splitF, cut int) {
+	side, tmp := e.side, e.tmpIdx
+	leftIDs := e.idx[splitF][start : start+cut]
+	for _, r := range leftIDs {
+		side[r] = 1
+	}
+	for g := 0; g < e.width; g++ {
+		if g == splitF {
+			continue
+		}
+		ids := e.idx[g][start:end]
+		nl, nr := 0, 0
+		// Branch-free stable two-way partition: both cursors receive
+		// every element, only the matching one advances. A left slot
+		// clobbered by a right-goer is rewritten by the next left-goer
+		// or covered by the final copy from tmp.
+		for _, r := range ids {
+			s := int(side[r])
+			ids[nl] = r
+			tmp[nr] = r
+			nl += s
+			nr += 1 - s
+		}
+		copy(ids[nl:], tmp[:nr])
+	}
+	for _, r := range leftIDs {
+		side[r] = 0
+	}
+}
+
+// --- classification growth ---
+
+// growClassifier grows the tree over all unique rows; weight is the
+// total sample count including bootstrap duplicates.
+func (e *engine) growClassifier(weight int) {
+	// A node only splits while both children keep >= minLeaf samples,
+	// so the tree has at most weight/minLeaf leaves and 2L-1 nodes;
+	// reserving that bound up front keeps growth reallocation-free.
+	leaves := weight / e.minLeaf
+	if leaves < 1 {
+		leaves = 1
+	}
+	e.out.reserve(2*leaves-1, leaves*e.numClasses())
+	if e.width == 0 {
+		e.classLeafAll(weight)
+		return
+	}
+	e.recClass(0, e.nu, 0, weight)
+}
+
+func (e *engine) recClass(start, end, level, weight int) int32 {
+	// One fused pass tallies the node's weighted class counts and
+	// purity: the counts serve the stop checks, the split search's
+	// parent distribution and (divided by weight) the leaf
+	// distribution, all in the same accumulation order.
+	parent := e.parentCounts
+	for c := range parent {
+		parent[c] = 0
+	}
+	y, w := e.y, e.w
+	ids := e.idx[0][start:end]
+	first := y[ids[0]]
+	pure := true
+	for _, r := range ids {
+		parent[y[r]] += float64(w[r])
+		if y[r] != first {
+			pure = false
+		}
+	}
+	if weight < 2*e.minLeaf || (e.maxDepth > 0 && level >= e.maxDepth) || pure {
+		return e.classLeaf(weight)
+	}
+	f, thr, cut, cutWeight, gain, ok := e.bestSplitClass(start, end, weight)
+	if !ok {
+		return e.classLeaf(weight)
+	}
+	e.importances[f] += float64(weight) / e.total * gain
+	me := e.out.addNode()
+	e.out.feature[me] = int32(f)
+	e.out.threshold[me] = thr
+	e.partition(start, end, f, cut)
+	left := e.recClass(start, start+cut, level+1, cutWeight)
+	right := e.recClass(start+cut, end, level+1, weight-cutWeight)
+	e.out.left[me] = left
+	e.out.right[me] = right
+	return me
+}
+
+// classLeaf emits a leaf from the class counts recClass has already
+// accumulated in parentCounts for the current node.
+func (e *engine) classLeaf(weight int) int32 {
+	me := e.out.addNode()
+	off := len(e.out.dist)
+	n := float64(weight)
+	for _, c := range e.parentCounts {
+		e.out.dist = append(e.out.dist, c/n)
+	}
+	e.out.distOff[me] = int32(off)
+	return me
+}
+
+// classLeafAll is the width-0 degenerate case: a single leaf over the
+// whole sample (there is no column to read membership from).
+func (e *engine) classLeafAll(weight int) int32 {
+	me := e.out.addNode()
+	off := len(e.out.dist)
+	for c := 0; c < e.numClasses(); c++ {
+		e.out.dist = append(e.out.dist, 0)
+	}
+	dist := e.out.dist[off:]
+	for r, w := range e.w {
+		if w != 0 {
+			dist[e.y[r]] += float64(w)
+		}
+	}
+	n := float64(weight)
+	for c := range dist {
+		dist[c] /= n
+	}
+	e.out.distOff[me] = int32(off)
+	return me
+}
+
+func (e *engine) numClasses() int { return len(e.parentCounts) }
+
+// gini computes Gini impurity from class counts.
+func gini(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplitClass sweeps each candidate feature's presorted range once,
+// reproducing exactly the arithmetic of the former sort-per-node
+// search (same gains, same 1e-12 epsilon, same evaluation order):
+// weighted counts over unique rows equal per-duplicate tallies, both
+// being exact integer sums in float64. The node's class counts are
+// taken from parentCounts, already tallied by recClass.
+func (e *engine) bestSplitClass(start, end, weight int) (feature int, threshold float64, cut, cutWeight int, gain float64, ok bool) {
+	n := float64(weight)
+	y, w := e.y, e.w
+	parent := e.parentCounts
+	parentGini := gini(parent, n)
+
+	bestGain := 0.0
+	left := e.leftCounts
+	right := e.rightCounts
+	for _, f := range e.candidateFeatures() {
+		ids := e.idx[f][start:end]
+		col := e.cols[f]
+		for c := range left {
+			left[c] = 0
+		}
+		var wl float64
+		x0 := col[ids[0]]
+		for i := 0; i < len(ids)-1; i++ {
+			r := ids[i]
+			wr := float64(w[r])
+			left[y[r]] += wr
+			wl += wr
+			x1 := col[ids[i+1]]
+			if x0 == x1 {
+				continue
+			}
+			nl := wl
+			nr := n - nl
+			mid := (x0 + x1) / 2
+			x0 = x1
+			if int(nl) < e.minLeaf || int(nr) < e.minLeaf {
+				continue
+			}
+			for c := range right {
+				right[c] = parent[c] - left[c]
+			}
+			g := parentGini - (nl/n)*gini(left, nl) - (nr/n)*gini(right, nr)
+			if g > bestGain+1e-12 {
+				bestGain = g
+				feature = f
+				threshold = mid
+				cut = i + 1
+				cutWeight = int(wl)
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, cut, cutWeight, bestGain, ok
+}
+
+// --- regression growth ---
+
+func (e *engine) growRegressor() {
+	leaves := e.nu / e.minLeaf
+	if leaves < 1 {
+		leaves = 1
+	}
+	e.out.reserve(2*leaves-1, 0)
+	if e.width == 0 {
+		e.regLeafAll()
+		return
+	}
+	e.recReg(0, e.nu, 0)
+}
+
+func (e *engine) recReg(start, end, level int) int32 {
+	if end-start < 2*e.minLeaf || (e.maxDepth > 0 && level >= e.maxDepth) {
+		return e.regLeaf(start, end)
+	}
+	f, thr, cut, ok := e.bestSplitReg(start, end)
+	if !ok {
+		return e.regLeaf(start, end)
+	}
+	me := e.out.addNode()
+	e.out.feature[me] = int32(f)
+	e.out.threshold[me] = thr
+	e.partition(start, end, f, cut)
+	left := e.recReg(start, start+cut, level+1)
+	right := e.recReg(start+cut, end, level+1)
+	e.out.left[me] = left
+	e.out.right[me] = right
+	return me
+}
+
+func (e *engine) regLeaf(start, end int) int32 {
+	me := e.out.addNode()
+	var sum float64
+	for _, r := range e.idx[0][start:end] {
+		sum += e.yReg[r]
+	}
+	e.out.value[me] = sum / float64(end-start)
+	return me
+}
+
+func (e *engine) regLeafAll() int32 {
+	me := e.out.addNode()
+	var sum float64
+	for _, v := range e.yReg {
+		sum += v
+	}
+	e.out.value[me] = sum / float64(len(e.yReg))
+	return me
+}
+
+// bestSplitReg is the variance-reduction sweep via the sum /
+// sum-of-squares identity, one linear pass per candidate feature.
+func (e *engine) bestSplitReg(start, end int) (feature int, threshold float64, cut int, ok bool) {
+	n := float64(end - start)
+	var total, totalSq float64
+	for _, r := range e.idx[0][start:end] {
+		v := e.yReg[r]
+		total += v
+		totalSq += v * v
+	}
+	parentSSE := totalSq - total*total/n
+
+	bestGain := 1e-12
+	for _, f := range e.candidateFeatures() {
+		ids := e.idx[f][start:end]
+		col := e.cols[f]
+		var lsum, lsq float64
+		x0 := col[ids[0]]
+		for i := 0; i < len(ids)-1; i++ {
+			v := e.yReg[ids[i]]
+			lsum += v
+			lsq += v * v
+			x1 := col[ids[i+1]]
+			if x0 == x1 {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			mid := (x0 + x1) / 2
+			x0 = x1
+			if int(nl) < e.minLeaf || int(nr) < e.minLeaf {
+				continue
+			}
+			lSSE := lsq - lsum*lsum/nl
+			rsum := total - lsum
+			rSSE := (totalSq - lsq) - rsum*rsum/nr
+			g := parentSSE - lSSE - rSSE
+			if g > bestGain {
+				bestGain = g
+				feature = f
+				threshold = mid
+				cut = i + 1
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, cut, ok
+}

@@ -3,116 +3,49 @@ package tree
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // Regressor is a CART regression tree fitted by variance reduction,
-// used as the base learner of gradient boosting.
+// used as the base learner of gradient boosting. It shares the
+// presorted-column growth engine with Classifier: each column is
+// sorted once per fit and every split search is a linear sweep.
 type Regressor struct {
 	Config Config
 	Seed   int64
 
-	root *node
+	nodes soa
 }
 
 // FitXY trains the regressor on rows x with continuous targets y.
 func (t *Regressor) FitXY(x [][]float64, y []float64) error {
+	return t.FitXYWith(x, y, nil)
+}
+
+// FitXYWith trains like FitXY but reuses the growth buffers in scratch
+// (nil allocates a private one); gradient boosting passes one Scratch
+// across all its rounds.
+func (t *Regressor) FitXYWith(x [][]float64, y []float64, scratch *Scratch) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("tree: bad regression input (%d rows, %d targets)", len(x), len(y))
 	}
-	rows := make([]int, len(x))
-	for i := range rows {
-		rows[i] = i
+	if scratch == nil {
+		scratch = NewScratch()
 	}
-	rng := rand.New(rand.NewSource(t.Seed))
-	t.root = t.grow(x, y, rows, 0, rng)
+	t.nodes = soa{}
+
+	e := &scratch.e
+	e.minLeaf = t.Config.minLeaf()
+	e.maxDepth = t.Config.MaxDepth
+	e.maxFeatures = t.Config.MaxFeatures
+	e.rng = rand.New(rand.NewSource(t.Seed))
+	e.prepareRegression(x, y)
+	e.out = &t.nodes
+	e.growRegressor()
+	e.out, e.rng = nil, nil
 	return nil
 }
 
 // Predict returns the fitted value for one row.
 func (t *Regressor) Predict(x []float64) float64 {
-	n := t.root
-	for n.feature >= 0 {
-		if x[n.feature] <= n.threshold {
-			n = n.left
-		} else {
-			n = n.right
-		}
-	}
-	return n.value
-}
-
-func (t *Regressor) grow(x [][]float64, y []float64, rows []int, level int, rng *rand.Rand) *node {
-	if len(rows) < 2*t.Config.minLeaf() || (t.Config.MaxDepth > 0 && level >= t.Config.MaxDepth) {
-		return regLeaf(y, rows)
-	}
-	f, thr, lrows, rrows, ok := t.bestRegSplit(x, y, rows, rng)
-	if !ok {
-		return regLeaf(y, rows)
-	}
-	n := &node{feature: f, threshold: thr}
-	n.left = t.grow(x, y, lrows, level+1, rng)
-	n.right = t.grow(x, y, rrows, level+1, rng)
-	return n
-}
-
-func regLeaf(y []float64, rows []int) *node {
-	var sum float64
-	for _, r := range rows {
-		sum += y[r]
-	}
-	return &node{feature: -1, value: sum / float64(len(rows))}
-}
-
-// bestRegSplit scans candidate features for the split minimising the
-// weighted sum of child variances, via the sum/sum-of-squares identity.
-func (t *Regressor) bestRegSplit(x [][]float64, y []float64, rows []int, rng *rand.Rand) (feature int, threshold float64, left, right []int, ok bool) {
-	minLeaf := t.Config.minLeaf()
-	n := float64(len(rows))
-	var total, totalSq float64
-	for _, r := range rows {
-		total += y[r]
-		totalSq += y[r] * y[r]
-	}
-	parentSSE := totalSq - total*total/n
-
-	bestGain := 1e-12
-	order := make([]int, len(rows))
-	width := len(x[0])
-	for _, f := range candidateFeatures(width, t.Config.MaxFeatures, rng) {
-		copy(order, rows)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
-		var lsum, lsq float64
-		for i := 0; i < len(order)-1; i++ {
-			v := y[order[i]]
-			lsum += v
-			lsq += v * v
-			x0, x1 := x[order[i]][f], x[order[i+1]][f]
-			if x0 == x1 {
-				continue
-			}
-			nl := float64(i + 1)
-			nr := n - nl
-			if int(nl) < minLeaf || int(nr) < minLeaf {
-				continue
-			}
-			lSSE := lsq - lsum*lsum/nl
-			rsum := total - lsum
-			rSSE := (totalSq - lsq) - rsum*rsum/nr
-			gain := parentSSE - lSSE - rSSE
-			if gain > bestGain {
-				bestGain = gain
-				feature = f
-				threshold = (x0 + x1) / 2
-				left = append(left[:0], order[:i+1]...)
-				right = append(right[:0], order[i+1:]...)
-				ok = true
-			}
-		}
-	}
-	if ok {
-		left = append([]int(nil), left...)
-		right = append([]int(nil), right...)
-	}
-	return feature, threshold, left, right, ok
+	return t.nodes.value[t.nodes.leafFor(x)]
 }

@@ -14,22 +14,27 @@ type NodeSpec struct {
 }
 
 // Encode flattens the fitted tree into a spec array (root at index 0).
+// The SoA node table is already stored in pre-order, so this is a
+// direct per-node copy.
 func (t *Classifier) Encode() ([]NodeSpec, error) {
-	if t.root == nil {
+	if t.nodes.empty() {
 		return nil, fmt.Errorf("tree: encode before Fit")
 	}
-	var out []NodeSpec
-	var walk func(n *node) int
-	walk = func(n *node) int {
-		idx := len(out)
-		out = append(out, NodeSpec{Feature: n.feature, Threshold: n.threshold, Dist: n.dist, Value: n.value})
-		if n.feature >= 0 {
-			out[idx].Left = walk(n.left)
-			out[idx].Right = walk(n.right)
+	out := make([]NodeSpec, len(t.nodes.feature))
+	for i := range out {
+		out[i] = NodeSpec{
+			Feature:   int(t.nodes.feature[i]),
+			Threshold: t.nodes.threshold[i],
+			Value:     t.nodes.value[i],
 		}
-		return idx
+		if t.nodes.feature[i] >= 0 {
+			out[i].Left = int(t.nodes.left[i])
+			out[i].Right = int(t.nodes.right[i])
+		} else {
+			off := t.nodes.distOff[i]
+			out[i].Dist = t.nodes.dist[off : off+int32(t.numClasses) : off+int32(t.numClasses)]
+		}
 	}
-	walk(t.root)
 	return out, nil
 }
 
@@ -40,40 +45,51 @@ func DecodeClassifier(spec []NodeSpec, numClasses int) (*Classifier, error) {
 	if len(spec) == 0 {
 		return nil, fmt.Errorf("tree: empty spec")
 	}
-	root, err := decodeNode(spec, 0, numClasses, map[int]bool{})
-	if err != nil {
+	t := &Classifier{numClasses: numClasses}
+	if _, err := decodeNode(spec, 0, numClasses, map[int]bool{}, &t.nodes); err != nil {
 		return nil, err
 	}
-	return &Classifier{root: root, numClasses: numClasses}, nil
+	return t, nil
 }
 
-func decodeNode(spec []NodeSpec, idx, numClasses int, seen map[int]bool) (*node, error) {
+func decodeNode(spec []NodeSpec, idx, numClasses int, seen map[int]bool, out *soa) (int32, error) {
 	if idx < 0 || idx >= len(spec) {
-		return nil, fmt.Errorf("tree: node index %d out of range", idx)
+		return -1, fmt.Errorf("tree: node index %d out of range", idx)
 	}
 	if seen[idx] {
-		return nil, fmt.Errorf("tree: cyclic spec at node %d", idx)
+		return -1, fmt.Errorf("tree: cyclic spec at node %d", idx)
 	}
 	seen[idx] = true
 	s := spec[idx]
-	n := &node{feature: s.Feature, threshold: s.Threshold, dist: s.Dist, value: s.Value}
+	me := out.addNode()
+	out.feature[me] = int32(s.Feature)
+	out.threshold[me] = s.Threshold
+	out.value[me] = s.Value
 	if s.Feature < 0 {
 		if len(s.Dist) != 0 && len(s.Dist) != numClasses {
-			return nil, fmt.Errorf("tree: leaf %d has %d-class distribution, want %d", idx, len(s.Dist), numClasses)
+			return -1, fmt.Errorf("tree: leaf %d has %d-class distribution, want %d", idx, len(s.Dist), numClasses)
 		}
+		off := int32(len(out.dist))
 		if len(s.Dist) == 0 {
 			// Regression leaves have no distribution; synthesise an
-			// empty one so PredictProba never sees nil.
-			n.dist = make([]float64, numClasses)
+			// empty one so PredictProba never sees garbage.
+			for c := 0; c < numClasses; c++ {
+				out.dist = append(out.dist, 0)
+			}
+		} else {
+			out.dist = append(out.dist, s.Dist...)
 		}
-		return n, nil
+		out.distOff[me] = off
+		return me, nil
 	}
-	var err error
-	if n.left, err = decodeNode(spec, s.Left, numClasses, seen); err != nil {
-		return nil, err
+	l, err := decodeNode(spec, s.Left, numClasses, seen, out)
+	if err != nil {
+		return -1, err
 	}
-	if n.right, err = decodeNode(spec, s.Right, numClasses, seen); err != nil {
-		return nil, err
+	r, err := decodeNode(spec, s.Right, numClasses, seen, out)
+	if err != nil {
+		return -1, err
 	}
-	return n, nil
+	out.left[me], out.right[me] = l, r
+	return me, nil
 }

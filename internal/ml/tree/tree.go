@@ -1,12 +1,17 @@
 // Package tree implements CART decision trees: Gini-impurity
 // classification trees (the unit of the Random Forest) and
 // variance-reduction regression trees (the unit of gradient boosting).
+//
+// Trees are grown by the presorted-column engine (engine.go): columns
+// are sorted once per fit and every node's split search is a linear
+// sweep, with all working buffers reusable across fits via Scratch.
+// Fitted trees are stored as flat structure-of-arrays node tables and
+// predicted with an iterative, cache-friendly walk.
 package tree
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"droppackets/internal/ml"
 )
@@ -29,26 +34,13 @@ func (c Config) minLeaf() int {
 	return c.MinLeaf
 }
 
-// node is one tree node; leaves have feature == -1.
-type node struct {
-	feature   int
-	threshold float64
-	left      *node
-	right     *node
-	// dist is the training class distribution at a leaf
-	// (classification) …
-	dist []float64
-	// … and value the mean target (regression).
-	value float64
-}
-
 // Classifier is a single CART classification tree.
 type Classifier struct {
 	Config Config
 	// Seed drives feature subsampling; irrelevant when MaxFeatures <= 0.
 	Seed int64
 
-	root       *node
+	nodes      soa
 	numClasses int
 	// importances accumulates the weighted Gini decrease per feature.
 	importances []float64
@@ -62,27 +54,45 @@ func (t *Classifier) Fit(ds *ml.Dataset) error {
 	if ds.Len() == 0 {
 		return fmt.Errorf("tree: empty dataset")
 	}
-	t.numClasses = ds.NumClasses
-	t.importances = make([]float64, ds.NumFeatures())
 	rows := make([]int, ds.Len())
 	for i := range rows {
 		rows[i] = i
 	}
-	rng := rand.New(rand.NewSource(t.Seed))
-	t.root = t.grow(ds, rows, 0, rng, float64(ds.Len()))
-	return nil
+	return t.FitRowsWith(ds, rows, nil)
 }
 
 // FitRows trains on a row subset (used for bootstrap samples) without
 // copying the design matrix.
 func (t *Classifier) FitRows(ds *ml.Dataset, rows []int) error {
+	return t.FitRowsWith(ds, rows, nil)
+}
+
+// FitRowsWith trains on a row subset reusing the growth buffers in
+// scratch (nil allocates a private one). Callers fitting many trees —
+// forest workers, boosting rounds — pass one Scratch per goroutine so
+// steady-state growth does not allocate.
+func (t *Classifier) FitRowsWith(ds *ml.Dataset, rows []int, scratch *Scratch) error {
 	if len(rows) == 0 {
 		return fmt.Errorf("tree: empty row set")
 	}
+	if scratch == nil {
+		scratch = NewScratch()
+	}
 	t.numClasses = ds.NumClasses
 	t.importances = make([]float64, ds.NumFeatures())
-	rng := rand.New(rand.NewSource(t.Seed))
-	t.root = t.grow(ds, rows, 0, rng, float64(len(rows)))
+	t.nodes = soa{}
+
+	e := &scratch.e
+	e.minLeaf = t.Config.minLeaf()
+	e.maxDepth = t.Config.MaxDepth
+	e.maxFeatures = t.Config.MaxFeatures
+	e.rng = rand.New(rand.NewSource(t.Seed))
+	e.prepareClassification(ds, rows)
+	e.out = &t.nodes
+	e.importances = t.importances
+	e.total = float64(len(rows))
+	e.growClassifier(len(rows))
+	e.out, e.importances, e.rng = nil, nil, nil
 	return nil
 }
 
@@ -92,17 +102,12 @@ func (t *Classifier) Predict(x []float64) int {
 }
 
 // PredictProba returns the training class distribution of the leaf x
-// lands in.
+// lands in. The returned slice aliases the tree's node storage and
+// must not be modified.
 func (t *Classifier) PredictProba(x []float64) []float64 {
-	n := t.root
-	for n.feature >= 0 {
-		if x[n.feature] <= n.threshold {
-			n = n.left
-		} else {
-			n = n.right
-		}
-	}
-	return n.dist
+	leaf := t.nodes.leafFor(x)
+	off := t.nodes.distOff[leaf]
+	return t.nodes.dist[off : off+int32(t.numClasses) : off+int32(t.numClasses)]
 }
 
 // Importances returns the (unnormalised) per-feature total impurity
@@ -114,139 +119,12 @@ func (t *Classifier) Importances() []float64 {
 }
 
 // Depth returns the height of the fitted tree.
-func (t *Classifier) Depth() int { return depth(t.root) }
-
-func depth(n *node) int {
-	if n == nil || n.feature < 0 {
+func (t *Classifier) Depth() int {
+	if t.nodes.empty() {
 		return 0
 	}
-	l, r := depth(n.left), depth(n.right)
-	if l > r {
-		return l + 1
-	}
-	return r + 1
+	return t.nodes.depth(0)
 }
 
-func (t *Classifier) leaf(ds *ml.Dataset, rows []int) *node {
-	dist := make([]float64, t.numClasses)
-	for _, r := range rows {
-		dist[ds.Y[r]]++
-	}
-	n := float64(len(rows))
-	for i := range dist {
-		dist[i] /= n
-	}
-	return &node{feature: -1, dist: dist}
-}
-
-// gini computes Gini impurity from class counts.
-func gini(counts []float64, total float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	g := 1.0
-	for _, c := range counts {
-		p := c / total
-		g -= p * p
-	}
-	return g
-}
-
-// split is a candidate partition of the rows at a node.
-type split struct {
-	feature   int
-	threshold float64
-	gain      float64
-	leftRows  []int
-	rightRows []int
-	ok        bool
-}
-
-func (t *Classifier) grow(ds *ml.Dataset, rows []int, level int, rng *rand.Rand, total float64) *node {
-	if len(rows) < 2*t.Config.minLeaf() || (t.Config.MaxDepth > 0 && level >= t.Config.MaxDepth) || pure(ds, rows) {
-		return t.leaf(ds, rows)
-	}
-	best := t.bestSplit(ds, rows, rng)
-	if !best.ok {
-		return t.leaf(ds, rows)
-	}
-	t.importances[best.feature] += float64(len(rows)) / total * best.gain
-	n := &node{feature: best.feature, threshold: best.threshold}
-	n.left = t.grow(ds, best.leftRows, level+1, rng, total)
-	n.right = t.grow(ds, best.rightRows, level+1, rng, total)
-	return n
-}
-
-func pure(ds *ml.Dataset, rows []int) bool {
-	first := ds.Y[rows[0]]
-	for _, r := range rows[1:] {
-		if ds.Y[r] != first {
-			return false
-		}
-	}
-	return true
-}
-
-// candidateFeatures picks which features to examine at one node.
-func candidateFeatures(width, maxFeatures int, rng *rand.Rand) []int {
-	if maxFeatures <= 0 || maxFeatures >= width {
-		all := make([]int, width)
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	return rng.Perm(width)[:maxFeatures]
-}
-
-func (t *Classifier) bestSplit(ds *ml.Dataset, rows []int, rng *rand.Rand) split {
-	minLeaf := t.Config.minLeaf()
-	n := float64(len(rows))
-	parentCounts := make([]float64, t.numClasses)
-	for _, r := range rows {
-		parentCounts[ds.Y[r]]++
-	}
-	parentGini := gini(parentCounts, n)
-
-	var best split
-	order := make([]int, len(rows))
-	left := make([]float64, t.numClasses)
-	for _, f := range candidateFeatures(ds.NumFeatures(), t.Config.MaxFeatures, rng) {
-		copy(order, rows)
-		sort.Slice(order, func(a, b int) bool { return ds.X[order[a]][f] < ds.X[order[b]][f] })
-		for i := range left {
-			left[i] = 0
-		}
-		for i := 0; i < len(order)-1; i++ {
-			left[ds.Y[order[i]]]++
-			x0, x1 := ds.X[order[i]][f], ds.X[order[i+1]][f]
-			if x0 == x1 {
-				continue
-			}
-			nl := float64(i + 1)
-			nr := n - nl
-			if int(nl) < minLeaf || int(nr) < minLeaf {
-				continue
-			}
-			right := make([]float64, t.numClasses)
-			for c := range right {
-				right[c] = parentCounts[c] - left[c]
-			}
-			g := parentGini - (nl/n)*gini(left, nl) - (nr/n)*gini(right, nr)
-			if g > best.gain+1e-12 {
-				best.gain = g
-				best.feature = f
-				best.threshold = (x0 + x1) / 2
-				best.ok = true
-				best.leftRows = append(best.leftRows[:0], order[:i+1]...)
-				best.rightRows = append(best.rightRows[:0], order[i+1:]...)
-			}
-		}
-	}
-	if best.ok {
-		// Copy row slices: order is reused across features.
-		best.leftRows = append([]int(nil), best.leftRows...)
-		best.rightRows = append([]int(nil), best.rightRows...)
-	}
-	return best
-}
+// NumNodes returns the number of nodes in the fitted tree.
+func (t *Classifier) NumNodes() int { return len(t.nodes.feature) }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repo health gate: formatting, vet, the full test suite, and the race
+# detector on the packages that train, evaluate or serve concurrently.
+# Run from anywhere inside the repo; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/experiments
+
+echo "All checks passed."

@@ -1,24 +1,37 @@
 // Command qoeproxy runs the SNI-sniffing transparent proxy as a
-// daemon: it relays TLS connections to their backends, exports one
-// transaction record per connection (CSV and/or Squid-format log), and
-// — when given a trained model — classifies each client's session QoE
-// on shutdown.
+// long-running inference service: it relays TLS connections to their
+// backends, exports one transaction record per connection (CSV and/or
+// Squid-format log), delimits each client's sessions online with the
+// streaming sessionizer, and — when given a trained model — classifies
+// every client's current session periodically during operation, not
+// only at shutdown. Runtime state is observable over HTTP: /metrics
+// serves Prometheus text format, /healthz a JSON liveness summary.
 //
 // Usage:
 //
 //	qoeproxy -listen 127.0.0.1:8443 -upstream 127.0.0.1:9443
 //	         [-resolve map.txt] [-out transactions.csv]
 //	         [-squid-log access.log] [-model model.json]
+//	         [-metrics 127.0.0.1:9090] [-classify-every 30s]
+//	         [-window 4m] [-v]
 //
 // The resolver map file holds "sni backend:port" lines; unlisted SNIs
-// fall back to -upstream. Stop with SIGINT/SIGTERM; per-client QoE
-// estimates (if -model is given) print before exit.
+// fall back to -upstream. Logs are JSON lines on stderr (-v adds
+// per-transaction detail). Stop with SIGINT/SIGTERM: the proxy stops
+// accepting, drains open relays, flushes the sessionizers, prints
+// per-client QoE estimates (if -model is given) and exits cleanly.
+// docs/OPERATIONS.md is the full runbook.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -27,25 +40,40 @@ import (
 	"syscall"
 	"time"
 
+	"droppackets/internal/capture"
 	"droppackets/internal/core"
+	"droppackets/internal/metrics"
+	"droppackets/internal/sessionid"
 	"droppackets/internal/squidlog"
 	"droppackets/internal/tlsproxy"
 )
 
 func main() {
-	var (
-		listen    = flag.String("listen", "127.0.0.1:8443", "address to listen on")
-		upstream  = flag.String("upstream", "", "default backend address (required unless every SNI is mapped)")
-		resolve   = flag.String("resolve", "", "file of 'sni backend:port' mappings")
-		outPath   = flag.String("out", "", "append transaction CSV records to this file")
-		squidPath = flag.String("squid-log", "", "append Squid-format log lines to this file")
-		modelPath = flag.String("model", "", "saved model (cmd/qoeinfer -save) for shutdown classification")
-	)
+	var opts options
+	flag.StringVar(&opts.listen, "listen", "127.0.0.1:8443", "address to listen on")
+	flag.StringVar(&opts.upstream, "upstream", "", "default backend address (required unless every SNI is mapped)")
+	flag.StringVar(&opts.resolve, "resolve", "", "file of 'sni backend:port' mappings")
+	flag.StringVar(&opts.outPath, "out", "", "append transaction CSV records to this file")
+	flag.StringVar(&opts.squidPath, "squid-log", "", "append Squid-format log lines to this file")
+	flag.StringVar(&opts.modelPath, "model", "", "saved model (cmd/qoeinfer -save) for online and shutdown classification")
+	flag.StringVar(&opts.metricsAddr, "metrics", "127.0.0.1:9090", "address for /metrics and /healthz (empty disables)")
+	flag.DurationVar(&opts.classifyEvery, "classify-every", 30*time.Second, "interval between online classification passes (0 disables)")
+	flag.DurationVar(&opts.window, "window", 4*time.Minute, "sliding window of transactions classified per pass (0 = whole current session)")
+	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
-	if err := run(*listen, *upstream, *resolve, *outPath, *squidPath, *modelPath); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "qoeproxy:", err)
 		os.Exit(1)
 	}
+}
+
+// options collects every flag so tests can drive run directly.
+type options struct {
+	listen, upstream, resolve     string
+	outPath, squidPath, modelPath string
+	metricsAddr                   string
+	classifyEvery, window         time.Duration
+	verbose                       bool
 }
 
 // loadResolver builds the SNI->backend mapping.
@@ -89,15 +117,104 @@ func loadResolver(path, fallback string) (tlsproxy.Resolver, error) {
 	}, nil
 }
 
-func run(listen, upstream, resolve, outPath, squidPath, modelPath string) error {
-	resolver, err := loadResolver(resolve, upstream)
+// openAppend opens path for appending, creating it if absent, and
+// reports whether it was empty (so headers are written exactly once).
+func openAppend(path string) (f *os.File, wasEmpty bool, err error) {
+	f, err = os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	return f, st.Size() == 0, nil
+}
+
+// clientState is everything the service tracks per client address.
+type clientState struct {
+	streamer *sessionid.Streamer
+	// activeStarts maps in-flight connection IDs to their start time in
+	// epoch seconds; the minimum is the sessionizer watermark.
+	activeStarts map[uint64]float64
+	// buffer holds completed transactions not yet safe to hand the
+	// (start-ordered) streamer, sorted by Start.
+	buffer []capture.TLSTransaction
+	// inFlight mirrors the streamer's pending transactions with their
+	// byte counts; decisions pop from the front.
+	inFlight []capture.TLSTransaction
+	// current accumulates the decided transactions of the current
+	// session; a detected boundary resets it.
+	current []capture.TLSTransaction
+	// all retains every transaction for the shutdown summary.
+	all []capture.TLSTransaction
+	// boundaries counts detected session starts.
+	boundaries int64
+	// lastClass is the most recent online classification (hasClass
+	// guards it).
+	lastClass int
+	hasClass  bool
+}
+
+// ongoing snapshots every transaction of the client's current session:
+// the decided ones plus those still awaiting a sessionizer verdict —
+// observed traffic belongs to the ongoing session until a boundary
+// says otherwise, so a client with one long-lived connection is
+// classifiable before any look-ahead window ever closes. The result is
+// a fresh start-ordered slice the caller may trim.
+func (cs *clientState) ongoing() []capture.TLSTransaction {
+	txns := make([]capture.TLSTransaction, 0, len(cs.current)+len(cs.inFlight)+len(cs.buffer))
+	txns = append(txns, cs.current...)
+	txns = append(txns, cs.inFlight...)
+	txns = append(txns, cs.buffer...)
+	sort.Slice(txns, func(i, j int) bool { return txns[i].Start < txns[j].Start })
+	return txns
+}
+
+// service is the running daemon: proxy plus sessionizers, estimator,
+// metrics and log sinks.
+type service struct {
+	opts  options
+	log   *slog.Logger
+	est   *core.Estimator
+	names []string // class display names, when est != nil
+	epoch time.Time
+	proxy *tlsproxy.Proxy
+	reg   *metrics.Registry
+
+	mTxns       *metrics.Counter
+	mBoundaries *metrics.Counter
+	mRuns       *metrics.Counter
+	mPred       *metrics.CounterVec
+	mInfer      *metrics.Histogram
+
+	mu        sync.Mutex
+	clients   map[string]*clientState
+	outFile   *os.File
+	squidFile *os.File
+}
+
+// run wires the service together and blocks until SIGINT/SIGTERM or a
+// listener error.
+func run(opts options) error {
+	level := slog.LevelInfo
+	if opts.verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	resolver, err := loadResolver(opts.resolve, opts.upstream)
 	if err != nil {
 		return err
 	}
 
+	// Validate every output path and the model BEFORE binding the
+	// listener: a daemon that accepts traffic and then dies on a bad
+	// -out path would leave clients mid-relay and files half-written.
 	var est *core.Estimator
-	if modelPath != "" {
-		f, err := os.Open(modelPath)
+	if opts.modelPath != "" {
+		f, err := os.Open(opts.modelPath)
 		if err != nil {
 			return err
 		}
@@ -107,78 +224,392 @@ func run(listen, upstream, resolve, outPath, squidPath, modelPath string) error 
 			return err
 		}
 	}
-
-	var outFile, squidFile *os.File
-	if outPath != "" {
-		if outFile, err = os.OpenFile(outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644); err != nil {
-			return err
-		}
-		defer outFile.Close()
-		fmt.Fprintln(outFile, "session,sni,start,end,up_bytes,down_bytes")
+	s := &service{
+		opts:    opts,
+		log:     logger,
+		est:     est,
+		epoch:   time.Now(),
+		clients: map[string]*clientState{},
 	}
-	if squidPath != "" {
-		if squidFile, err = os.OpenFile(squidPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644); err != nil {
-			return err
-		}
-		defer squidFile.Close()
+	if est != nil {
+		s.names = core.ClassNames(est.Metric())
 	}
-
-	epoch := time.Now()
-	var mu sync.Mutex
-	byClient := map[string][]tlsproxy.Record{}
-	onTxn := func(r tlsproxy.Record) {
-		mu.Lock()
-		defer mu.Unlock()
-		client := clientHost(r.ClientAddr)
-		byClient[client] = append(byClient[client], r)
-		txn := tlsproxy.ToCaptureTransactions([]tlsproxy.Record{r}, epoch)[0]
-		if outFile != nil {
-			fmt.Fprintf(outFile, "%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
+	if opts.outPath != "" {
+		f, empty, err := openAppend(opts.outPath)
+		if err != nil {
+			return fmt.Errorf("-out: %w", err)
 		}
-		if squidFile != nil {
-			fmt.Fprintln(squidFile, squidlog.FormatEntry(client, txn, float64(epoch.Unix())))
+		defer f.Close()
+		if empty {
+			if _, err := fmt.Fprintln(f, "session,sni,start,end,up_bytes,down_bytes"); err != nil {
+				return fmt.Errorf("-out: writing header: %w", err)
+			}
 		}
-		fmt.Fprintf(os.Stderr, "txn %-24s client=%s %.1fs up=%d down=%d\n",
-			r.SNI, client, r.End.Sub(r.Start).Seconds(), r.UpBytes, r.DownBytes)
+		s.outFile = f
+	}
+	if opts.squidPath != "" {
+		f, _, err := openAppend(opts.squidPath)
+		if err != nil {
+			return fmt.Errorf("-squid-log: %w", err)
+		}
+		defer f.Close()
+		s.squidFile = f
 	}
 
-	proxy, err := tlsproxy.New(tlsproxy.Config{Resolver: resolver, OnTransaction: onTxn})
+	proxy, err := tlsproxy.New(tlsproxy.Config{
+		Resolver:      resolver,
+		OnConnOpen:    s.onConnOpen,
+		OnTransaction: s.onTransaction,
+	})
+	if err != nil {
+		return err
+	}
+	s.proxy = proxy
+	s.registerMetrics()
+
+	// Outputs validated, model loaded: now bind.
+	l, err := net.Listen("tcp", opts.listen)
 	if err != nil {
 		return err
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- proxy.ListenAndServe(listen) }()
-	fmt.Fprintf(os.Stderr, "qoeproxy: listening on %s\n", listen)
+	go func() { errCh <- proxy.Serve(l) }()
+	logger.Info("listening", "addr", l.Addr().String())
+
+	var httpSrv *http.Server
+	if opts.metricsAddr != "" {
+		ml, err := net.Listen("tcp", opts.metricsAddr)
+		if err != nil {
+			proxy.Close()
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		httpSrv = &http.Server{Handler: s.httpHandler()}
+		go func() {
+			if err := httpSrv.Serve(ml); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics server", "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", ml.Addr().String())
+	}
+
+	var tick <-chan time.Time
+	if est != nil && opts.classifyEvery > 0 {
+		ticker := time.NewTicker(opts.classifyEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case <-sig:
-	}
-	fmt.Fprintln(os.Stderr, "qoeproxy: shutting down")
-	proxy.Close()
-
-	if est != nil {
-		mu.Lock()
-		defer mu.Unlock()
-		names := core.ClassNames(est.Metric())
-		clients := make([]string, 0, len(byClient))
-		for c := range byClient {
-			clients = append(clients, c)
-		}
-		sort.Strings(clients)
-		for _, c := range clients {
-			txns := tlsproxy.ToCaptureTransactions(byClient[c], epoch)
-			class, err := est.Classify(txns)
-			if err != nil {
-				return err
+	defer signal.Stop(sig)
+	for {
+		select {
+		case err := <-errCh:
+			if httpSrv != nil {
+				httpSrv.Close()
 			}
-			fmt.Printf("client %-22s sessions-qoe=%s (%d transactions)\n", c, names[class], len(txns))
+			return err
+		case <-tick:
+			s.classifyPass(time.Now())
+		case got := <-sig:
+			logger.Info("shutting down", "signal", got.String())
+			// Stop accepting, drain open relays (Close tears them down
+			// and their final records arrive through onTransaction),
+			// then stop the metrics endpoint.
+			proxy.Close()
+			<-errCh
+			if httpSrv != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				httpSrv.Shutdown(ctx)
+				cancel()
+			}
+			s.drain()
+			return nil
 		}
 	}
-	return nil
+}
+
+// registerMetrics declares every exported series. The full reference
+// table lives in docs/OPERATIONS.md; keep the two in sync.
+func (s *service) registerMetrics() {
+	r := metrics.NewRegistry()
+	s.reg = r
+	s.mTxns = r.NewCounter("qoeproxy_transactions_total",
+		"Completed TLS transactions (one per relayed connection).")
+	s.mBoundaries = r.NewCounter("qoeproxy_session_boundaries_total",
+		"Session starts detected by the online sessionizer.")
+	s.mRuns = r.NewCounter("qoeproxy_classification_runs_total",
+		"Periodic classification passes executed.")
+	s.mPred = r.NewCounterVec("qoeproxy_qoe_predictions_total",
+		"Online QoE predictions by class.", "class")
+	for _, n := range s.names {
+		s.mPred.With(n) // pre-declare so dashboards see zeros
+	}
+	s.mInfer = r.NewHistogram("qoeproxy_inference_seconds",
+		"Latency of one batch classification pass.", nil)
+	r.NewCounterFunc("qoeproxy_connections_total",
+		"Client connections accepted.", func() int64 { return s.proxy.Stats().TotalConnections })
+	r.NewGaugeFunc("qoeproxy_connections_active",
+		"Client connections currently relayed.", func() float64 { return float64(s.proxy.Stats().ActiveConnections) })
+	r.NewCounterFunc("qoeproxy_hello_parse_failures_total",
+		"Connections dropped: ClientHello missing, timed out or unparseable.", func() int64 { return s.proxy.Stats().HelloFailures })
+	r.NewCounterFunc("qoeproxy_resolve_failures_total",
+		"Connections dropped: no backend for the SNI.", func() int64 { return s.proxy.Stats().ResolveFailures })
+	r.NewCounterFunc("qoeproxy_dial_failures_total",
+		"Connections dropped: backend dial failed.", func() int64 { return s.proxy.Stats().DialFailures })
+	r.NewCounterFunc("qoeproxy_relayed_up_bytes_total",
+		"Bytes relayed client to server.", func() int64 { return s.proxy.Stats().RelayedUpBytes })
+	r.NewCounterFunc("qoeproxy_relayed_down_bytes_total",
+		"Bytes relayed server to client.", func() int64 { return s.proxy.Stats().RelayedDownBytes })
+	r.NewGaugeFunc("qoeproxy_active_sessions",
+		"Clients with transactions in their current (ongoing) session.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, cs := range s.clients {
+				if len(cs.current)+len(cs.inFlight)+len(cs.buffer) > 0 {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.NewGaugeFunc("qoeproxy_clients",
+		"Distinct client addresses seen.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.clients))
+		})
+	r.NewGaugeFunc("qoeproxy_uptime_seconds",
+		"Seconds since the proxy started.", func() float64 { return time.Since(s.epoch).Seconds() })
+}
+
+// httpHandler serves /metrics and /healthz.
+func (s *service) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := s.proxy.Stats()
+		s.mu.Lock()
+		clients := len(s.clients)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":             "ok",
+			"uptime_seconds":     time.Since(s.epoch).Seconds(),
+			"active_connections": st.ActiveConnections,
+			"total_connections":  st.TotalConnections,
+			"clients":            clients,
+		})
+	})
+	return mux
+}
+
+// state returns (creating if needed) the per-client state; the caller
+// holds s.mu.
+func (s *service) state(client string) *clientState {
+	cs, ok := s.clients[client]
+	if !ok {
+		cs = &clientState{
+			streamer:     sessionid.NewStreamer(sessionid.PaperParams),
+			activeStarts: map[uint64]float64{},
+		}
+		s.clients[client] = cs
+	}
+	return cs
+}
+
+// onConnOpen records an in-flight connection so the sessionizer knows
+// not to advance past its start time until it completes.
+func (s *service) onConnOpen(r tlsproxy.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.state(clientHost(r.ClientAddr))
+	cs.activeStarts[r.ConnID] = r.Start.Sub(s.epoch).Seconds()
+}
+
+// onTransaction exports a completed transaction to the configured
+// sinks and feeds the client's online sessionizer.
+func (s *service) onTransaction(r tlsproxy.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	client := clientHost(r.ClientAddr)
+	cs := s.state(client)
+	txn := tlsproxy.ToCaptureTransactions([]tlsproxy.Record{r}, s.epoch)[0]
+	s.mTxns.Inc()
+	if s.outFile != nil {
+		fmt.Fprintf(s.outFile, "%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
+	}
+	if s.squidFile != nil {
+		fmt.Fprintln(s.squidFile, squidlog.FormatEntry(client, txn, float64(s.epoch.Unix())))
+	}
+	s.log.Debug("transaction",
+		"sni", r.SNI, "client", client, "conn_id", r.ConnID,
+		"duration_s", r.End.Sub(r.Start).Seconds(), "up_bytes", r.UpBytes, "down_bytes", r.DownBytes)
+
+	cs.all = append(cs.all, txn)
+	delete(cs.activeStarts, r.ConnID)
+	// Insert sorted by start: connections end out of order, the
+	// sessionizer wants start order.
+	i := sort.Search(len(cs.buffer), func(j int) bool { return cs.buffer[j].Start > txn.Start })
+	cs.buffer = append(cs.buffer, capture.TLSTransaction{})
+	copy(cs.buffer[i+1:], cs.buffer[i:])
+	cs.buffer[i] = txn
+	s.advance(client, cs)
+}
+
+// advance pushes every buffered transaction at or before the client's
+// watermark — the earliest start among still-open connections — into
+// the streaming sessionizer and applies the resulting decisions. The
+// caller holds s.mu.
+func (s *service) advance(client string, cs *clientState) {
+	watermark := func() (float64, bool) {
+		if len(cs.activeStarts) == 0 {
+			return 0, false // no open connections: everything is safe
+		}
+		min := false
+		m := 0.0
+		for _, start := range cs.activeStarts {
+			if !min || start < m {
+				m, min = start, true
+			}
+		}
+		return m, true
+	}
+	wm, bounded := watermark()
+	for len(cs.buffer) > 0 {
+		if bounded && cs.buffer[0].Start > wm {
+			break
+		}
+		txn := cs.buffer[0]
+		cs.buffer = append(cs.buffer[:0], cs.buffer[1:]...)
+		cs.inFlight = append(cs.inFlight, txn)
+		decisions := cs.streamer.Push(sessionid.Transaction{Start: txn.Start, End: txn.End, SNI: txn.SNI})
+		s.apply(client, cs, decisions)
+	}
+}
+
+// apply consumes finalized sessionizer decisions: boundaries close the
+// current session, decided transactions join it. The caller holds s.mu.
+func (s *service) apply(client string, cs *clientState, decisions []sessionid.Decision) {
+	for _, d := range decisions {
+		full := cs.inFlight[0]
+		cs.inFlight = append(cs.inFlight[:0], cs.inFlight[1:]...)
+		if d.NewSession {
+			cs.boundaries++
+			s.mBoundaries.Inc()
+			s.log.Debug("session boundary", "client", client, "boundaries", cs.boundaries,
+				"closed_session_txns", len(cs.current))
+			cs.current = nil
+		}
+		cs.current = append(cs.current, full)
+	}
+}
+
+// classifyPass classifies every client's current session over the
+// sliding window, updating prediction counters, the latency histogram
+// and the structured log. Safe to call concurrently with traffic.
+func (s *service) classifyPass(now time.Time) {
+	if s.est == nil {
+		return
+	}
+	cutoff := now.Sub(s.epoch).Seconds() - s.opts.window.Seconds()
+	s.mu.Lock()
+	var names []string
+	var rows [][]capture.TLSTransaction
+	for client, cs := range s.clients {
+		txns := cs.ongoing()
+		if s.opts.window > 0 {
+			trimmed := txns[:0]
+			for _, t := range txns {
+				if t.End >= cutoff {
+					trimmed = append(trimmed, t)
+				}
+			}
+			txns = trimmed
+		}
+		if len(txns) == 0 {
+			continue
+		}
+		names = append(names, client)
+		rows = append(rows, txns)
+	}
+	s.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+	sort.Sort(byName{names, rows})
+	t0 := time.Now()
+	classes, err := s.est.ClassifyBatch(rows)
+	elapsed := time.Since(t0)
+	s.mInfer.Observe(elapsed.Seconds())
+	s.mRuns.Inc()
+	if err != nil {
+		s.log.Error("classification failed", "err", err)
+		return
+	}
+	s.mu.Lock()
+	for i, client := range names {
+		if cs, ok := s.clients[client]; ok {
+			cs.lastClass, cs.hasClass = classes[i], true
+		}
+	}
+	s.mu.Unlock()
+	for i, client := range names {
+		class := s.names[classes[i]]
+		s.mPred.Inc(class)
+		s.log.Info("classification", "client", client, "class", class, "transactions", len(rows[i]))
+	}
+}
+
+// byName sorts the classification batch by client for deterministic
+// logs and tests.
+type byName struct {
+	names []string
+	rows  [][]capture.TLSTransaction
+}
+
+func (b byName) Len() int { return len(b.names) }
+func (b byName) Swap(i, j int) {
+	b.names[i], b.names[j] = b.names[j], b.names[i]
+	b.rows[i], b.rows[j] = b.rows[j], b.rows[i]
+}
+func (b byName) Less(i, j int) bool { return b.names[i] < b.names[j] }
+
+// drain finishes the sessionizers after the proxy has stopped and
+// prints the per-client shutdown summary.
+func (s *service) drain() {
+	s.mu.Lock()
+	clients := make([]string, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	for _, c := range clients {
+		cs := s.clients[c]
+		// All connections have ended; the watermark is unbounded.
+		s.advance(c, cs)
+		s.apply(c, cs, cs.streamer.Flush())
+	}
+	s.mu.Unlock()
+
+	if s.est == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range clients {
+		cs := s.clients[c]
+		if len(cs.all) == 0 {
+			continue
+		}
+		class, err := s.est.Classify(cs.all)
+		if err != nil {
+			s.log.Error("shutdown classification failed", "client", c, "err", err)
+			continue
+		}
+		fmt.Printf("client %-22s sessions-qoe=%s (%d transactions, %d boundaries)\n",
+			c, s.names[class], len(cs.all), cs.boundaries)
+	}
 }
 
 // clientHost strips the port from a client address.

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -83,8 +87,96 @@ func freePort(t *testing.T) string {
 	return addr
 }
 
+func TestOpenAppendHeaderOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "txns.csv")
+	f, empty, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Error("fresh file reported non-empty")
+	}
+	f.WriteString("header\n")
+	f.Close()
+	f, empty, err = openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if empty {
+		t.Error("existing file reported empty: header would duplicate")
+	}
+}
+
+// TestRunValidatesOutputsBeforeBinding feeds run an uncreatable -out
+// path and expects an error naming the flag, with the listen address
+// never bound (so no client could have connected to a doomed daemon).
+func TestRunValidatesOutputsBeforeBinding(t *testing.T) {
+	listen := freePort(t)
+	err := run(options{
+		listen:   listen,
+		upstream: "127.0.0.1:1",
+		outPath:  filepath.Join(t.TempDir(), "missing-dir", "txns.csv"),
+	})
+	if err == nil {
+		t.Fatal("run accepted an uncreatable -out path")
+	}
+	if !strings.Contains(err.Error(), "-out") {
+		t.Errorf("error does not name the flag: %v", err)
+	}
+	// The listener must never have come up.
+	if conn, err := net.DialTimeout("tcp", listen, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Error("listen address was bound despite invalid output path")
+	}
+
+	err = run(options{
+		listen:    listen,
+		upstream:  "127.0.0.1:1",
+		modelPath: filepath.Join(t.TempDir(), "no-such-model.json"),
+	})
+	if err == nil {
+		t.Fatal("run accepted a missing model")
+	}
+}
+
+// scrape fetches a URL body, failing the test on any error.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of an unlabeled series from a scrape.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in scrape:\n%s", series, body)
+	return 0
+}
+
 // TestRunEndToEnd drives the daemon: origin <- proxy <- client, CSV and
-// Squid outputs, then shutdown via SIGINT with model classification.
+// Squid outputs, live /metrics+/healthz with online classification
+// while relaying, then shutdown via SIGINT with model classification.
 func TestRunEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("daemon integration is slow")
@@ -123,11 +215,21 @@ func TestRunEndToEnd(t *testing.T) {
 	defer origin.Close()
 
 	listen := freePort(t)
+	metricsAddr := freePort(t)
 	csvPath := filepath.Join(dir, "txns.csv")
 	squidPath := filepath.Join(dir, "access.log")
 	done := make(chan error, 1)
 	go func() {
-		done <- run(listen, ol.Addr().String(), "", csvPath, squidPath, modelPath)
+		done <- run(options{
+			listen:        listen,
+			upstream:      ol.Addr().String(),
+			outPath:       csvPath,
+			squidPath:     squidPath,
+			modelPath:     modelPath,
+			metricsAddr:   metricsAddr,
+			classifyEvery: 150 * time.Millisecond,
+			window:        0, // whole current session
+		})
 	}()
 
 	// Wait for the listener, then stream two connections through it.
@@ -156,8 +258,66 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	second.Close()
 
-	// Give the relay a moment to flush records, then stop the daemon.
-	time.Sleep(300 * time.Millisecond)
+	// The service must classify DURING operation: wait for a prediction
+	// counter to move while the daemon is still relaying.
+	base := "http://" + metricsAddr
+	deadline = time.Now().Add(10 * time.Second)
+	classified := false
+	for !classified && time.Now().Before(deadline) {
+		body := scrape(t, base+"/metrics")
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "qoeproxy_qoe_predictions_total{") && !strings.HasSuffix(line, " 0") {
+				classified = true
+			}
+		}
+		if !classified {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !classified {
+		t.Error("no online classification happened while the daemon was serving")
+	}
+
+	// Core series must exist and reflect the relayed traffic.
+	body := scrape(t, base+"/metrics")
+	if got := metricValue(t, body, "qoeproxy_transactions_total"); got != 2 {
+		t.Errorf("qoeproxy_transactions_total = %g, want 2", got)
+	}
+	if got := metricValue(t, body, "qoeproxy_relayed_down_bytes_total"); got < 140_000 {
+		t.Errorf("qoeproxy_relayed_down_bytes_total = %g, want >= 140000", got)
+	}
+	if got := metricValue(t, body, "qoeproxy_connections_total"); got != 2 {
+		t.Errorf("qoeproxy_connections_total = %g, want 2", got)
+	}
+	if got := metricValue(t, body, "qoeproxy_clients"); got != 1 {
+		t.Errorf("qoeproxy_clients = %g, want 1", got)
+	}
+	if got := metricValue(t, body, "qoeproxy_inference_seconds_count"); got < 1 {
+		t.Errorf("qoeproxy_inference_seconds_count = %g, want >= 1", got)
+	}
+	for _, series := range []string{
+		"qoeproxy_hello_parse_failures_total",
+		"qoeproxy_resolve_failures_total",
+		"qoeproxy_dial_failures_total",
+		"qoeproxy_session_boundaries_total",
+		"qoeproxy_active_sessions",
+	} {
+		metricValue(t, body, series)
+	}
+
+	var health struct {
+		Status           string  `json:"status"`
+		UptimeSeconds    float64 `json:"uptime_seconds"`
+		TotalConnections int64   `json:"total_connections"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, base+"/healthz")), &health); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.UptimeSeconds <= 0 || health.TotalConnections != 2 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Stop the daemon.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
 		t.Fatal(err)
 	}

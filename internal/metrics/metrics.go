@@ -1,0 +1,321 @@
+// Package metrics is a dependency-free instrumentation registry for
+// the long-running services in this repo (cmd/qoeproxy). It exposes
+// counters, gauges and histograms in the Prometheus text exposition
+// format (version 0.0.4), the lingua franca of operations tooling, so
+// a standard Prometheus server — or curl — can scrape the proxy
+// without this repo importing anything beyond the standard library.
+//
+// All metric types are safe for concurrent use. Updates are lock-free
+// (atomics); rendering takes a snapshot per metric, so scrapes never
+// block the hot path. Metrics render in registration order, making
+// scrape output deterministic and diffable.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// collector is one registered metric family that can render itself.
+type collector interface {
+	write(w io.Writer)
+}
+
+// Registry holds metric families and renders them on demand.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]bool
+	cols  []collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// register adds a family, panicking on duplicate names: registration
+// happens once at service startup, where a duplicate is a programming
+// error, not a runtime condition.
+func (r *Registry) register(name string, c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.names[name] = true
+	r.cols = append(r.cols, c)
+}
+
+// Render writes every registered family in the Prometheus text
+// format, in registration order.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	cols := make([]collector, len(r.cols))
+	copy(cols, r.cols)
+	r.mu.Unlock()
+	for _, c := range cols {
+		c.write(w)
+	}
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Render(w)
+	})
+}
+
+// header writes the HELP/TYPE preamble of a family.
+func header(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative deltas are a programming
+// error and are ignored to keep the counter monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// CounterFunc is a counter whose value is sampled from a callback at
+// scrape time — the bridge for counters owned by another subsystem
+// (e.g. the proxy's connection totals).
+type CounterFunc struct {
+	name, help string
+	fn         func() int64
+}
+
+// NewCounterFunc registers a sampled counter.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) *CounterFunc {
+	c := &CounterFunc{name: name, help: help, fn: fn}
+	r.register(name, c)
+	return c
+}
+
+func (c *CounterFunc) write(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.fn())
+}
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+}
+
+// GaugeFunc is a gauge sampled from a callback at scrape time.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers a sampled gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(name, g)
+	return g
+}
+
+func (g *GaugeFunc) write(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// CounterVec is a family of counters keyed by one label (e.g. a QoE
+// prediction counter partitioned by class). Children are created on
+// first use and render sorted by label value for stable output.
+type CounterVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*atomic.Int64
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, children: map[string]*atomic.Int64{}}
+	r.register(name, v)
+	return v
+}
+
+// child returns (creating if needed) the counter for a label value.
+func (v *CounterVec) child(value string) *atomic.Int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &atomic.Int64{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// With pre-creates the child for a label value so it renders as 0
+// before the first increment — operators alert on series existence, so
+// known label values should be declared up front.
+func (v *CounterVec) With(value string) { v.child(value) }
+
+// Inc adds one to the counter for the given label value.
+func (v *CounterVec) Inc(value string) { v.child(value).Add(1) }
+
+// Add increases the counter for the label value by n (n <= 0 ignored).
+func (v *CounterVec) Add(value string, n int64) {
+	if n > 0 {
+		v.child(value).Add(n)
+	}
+}
+
+// Value returns the current count for a label value.
+func (v *CounterVec) Value(value string) int64 { return v.child(value).Load() }
+
+func (v *CounterVec) write(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	counts := make(map[string]int64, len(values))
+	for _, val := range values {
+		counts[val] = v.children[val].Load()
+	}
+	v.mu.Unlock()
+	sort.Strings(values)
+	for _, val := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, counts[val])
+	}
+}
+
+// DefBuckets are the default histogram buckets, in seconds, matching
+// the Prometheus client default — suitable for inference and request
+// latencies.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a cumulative histogram of float64 observations with
+// fixed upper bounds. Observation is lock-free.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Int64 // buckets[i] counts (bounds[i-1], bounds[i]]; last slot is +Inf overflow
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram registers a histogram with the given upper bounds
+// (ascending; +Inf is implicit). Nil buckets means DefBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), buckets...),
+		buckets: make([]atomic.Int64, len(buckets)+1),
+	}
+	r.register(name, h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) write(w io.Writer) {
+	header(w, h.name, h.help, "histogram")
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+func TestCounterAndGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("txns_total", "Transactions observed.")
+	g := r.NewGauge("active", "Active things.")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotone
+	g.Set(7)
+	g.Add(-2)
+	out := render(r)
+	for _, want := range []string{
+		"# HELP txns_total Transactions observed.",
+		"# TYPE txns_total counter",
+		"txns_total 42",
+		"# TYPE active gauge",
+		"active 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 42 || g.Value() != 5 {
+		t.Errorf("Value() = %d, %d", c.Value(), g.Value())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterFunc("sampled_total", "Sampled counter.", func() int64 { return 13 })
+	r.NewGaugeFunc("temp", "Sampled gauge.", func() float64 { return 1.5 })
+	out := render(r)
+	if !strings.Contains(out, "sampled_total 13\n") {
+		t.Errorf("counter func missing:\n%s", out)
+	}
+	if !strings.Contains(out, "temp 1.5\n") {
+		t.Errorf("gauge func missing:\n%s", out)
+	}
+}
+
+func TestCounterVecSortedAndQuoted(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("predictions_total", "Predictions by class.", "class")
+	v.With("zzz") // pre-declared, stays zero
+	v.Inc("low")
+	v.Add("low", 2)
+	v.Inc("high")
+	out := render(r)
+	iLow := strings.Index(out, `predictions_total{class="low"} 3`)
+	iHigh := strings.Index(out, `predictions_total{class="high"} 1`)
+	iZ := strings.Index(out, `predictions_total{class="zzz"} 0`)
+	if iLow < 0 || iHigh < 0 || iZ < 0 {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if !(iHigh < iLow && iLow < iZ) {
+		t.Errorf("series not sorted by label value:\n%s", out)
+	}
+	if v.Value("low") != 3 {
+		t.Errorf("Value(low) = %d", v.Value("low"))
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary value 0.1
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := h.Sum(); math.Abs(got-102.65) > 1e-9 {
+		t.Errorf("Sum() = %g, want 102.65", got)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d", h.Count())
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("d", "Default buckets.", nil)
+	h.Observe(0.3)
+	out := render(r)
+	if !strings.Contains(out, `d_bucket{le="0.5"} 1`) {
+		t.Errorf("default buckets not applied:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("x", "first")
+	r.NewCounter("x", "second")
+}
+
+func TestBadBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending buckets did not panic")
+		}
+	}()
+	NewRegistry().NewHistogram("h", "bad", []float64{1, 1})
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("hits_total", "Hits.").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "hits_total 3") {
+		t.Errorf("body missing series:\n%s", body)
+	}
+}
+
+// TestConcurrentUpdates hammers every metric type from many goroutines
+// while scraping, so `go test -race ./internal/metrics` proves the
+// registry is safe under the proxy's concurrent load.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	g := r.NewGauge("g", "g")
+	v := r.NewCounterVec("v_total", "v", "k")
+	h := r.NewHistogram("h_seconds", "h", nil)
+	r.NewGaugeFunc("gf", "gf", func() float64 { return float64(g.Value()) })
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%3))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				v.Inc(label)
+				h.Observe(float64(i%100) / 100)
+				if i%100 == 0 {
+					_ = render(r) // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	var sum int64
+	for _, k := range []string{"a", "b", "c"} {
+		sum += v.Value(k)
+	}
+	if sum != workers*iters {
+		t.Errorf("vec total = %d, want %d", sum, workers*iters)
+	}
+}

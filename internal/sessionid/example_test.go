@@ -6,6 +6,37 @@ import (
 	"droppackets/internal/sessionid"
 )
 
+// The same boundary as ExampleDetect, found online: transactions are
+// pushed as they complete and each decision is emitted as soon as its
+// look-ahead window closes, without ever holding the whole stream.
+func ExampleStreamer() {
+	stream := []sessionid.Transaction{
+		{Start: 0, End: 130, SNI: "cdn-03.svc.example"},
+		{Start: 0.4, End: 40, SNI: "api.svc.example"},
+		{Start: 120, End: 180, SNI: "cdn-11.svc.example"},
+		{Start: 120.3, End: 170, SNI: "cdn-07.svc.example"},
+		{Start: 121, End: 160, SNI: "license.svc.example"},
+	}
+	s := sessionid.NewStreamer(sessionid.PaperParams)
+	report := func(d sessionid.Decision) {
+		fmt.Printf("t=%5.1f %-22s new-session=%v\n", d.Txn.Start, d.Txn.SNI, d.NewSession)
+	}
+	for _, t := range stream {
+		for _, d := range s.Push(t) { // finalized by this arrival
+			report(d)
+		}
+	}
+	for _, d := range s.Flush() { // end of stream
+		report(d)
+	}
+	// Output:
+	// t=  0.0 cdn-03.svc.example     new-session=false
+	// t=  0.4 api.svc.example        new-session=false
+	// t=120.0 cdn-11.svc.example     new-session=true
+	// t=120.3 cdn-07.svc.example     new-session=false
+	// t=121.0 license.svc.example    new-session=false
+}
+
 // A new video starts at t=120 while the previous session's CDN
 // connection is still lingering: the timeout baseline sees nothing, the
 // heuristic sees the burst of fresh servers.

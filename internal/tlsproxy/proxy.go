@@ -17,6 +17,11 @@ import (
 // four fields the paper's inference consumes (§2.2). Byte counts are
 // everything relayed after (and including) the ClientHello.
 type Record struct {
+	// ConnID identifies the connection uniquely within this proxy
+	// process; the OnConnOpen record and the final OnTransaction record
+	// of one connection carry the same ConnID, letting consumers (the
+	// online sessionizer's reorder buffer in cmd/qoeproxy) pair them.
+	ConnID     uint64
 	SNI        string
 	ClientAddr string
 	Start, End time.Time
@@ -57,7 +62,15 @@ type Config struct {
 	// Resolver is required: it picks the upstream for each connection.
 	Resolver Resolver
 	// OnTransaction, if set, receives a Record when a connection ends.
+	// Every connection announced through OnConnOpen is guaranteed a
+	// matching OnTransaction call, even when the backend leg fails.
 	OnTransaction func(Record)
+	// OnConnOpen, if set, receives a partial Record (ConnID, SNI,
+	// ClientAddr, Start) once the ClientHello has been parsed and the
+	// backend leg dialed — i.e. for exactly the connections that will
+	// later produce an OnTransaction record. Online consumers use it to
+	// know which transactions are still in flight.
+	OnConnOpen func(Record)
 	// HelloTimeout bounds how long the proxy waits for the ClientHello
 	// (default 10 s).
 	HelloTimeout time.Duration
@@ -78,6 +91,52 @@ type Proxy struct {
 
 	active atomic.Int64
 	total  atomic.Int64
+
+	nextConnID      atomic.Uint64
+	helloFailures   atomic.Int64
+	resolveFailures atomic.Int64
+	dialFailures    atomic.Int64
+	relayedUp       atomic.Int64
+	relayedDown     atomic.Int64
+}
+
+// Stats is a snapshot of the proxy's lifetime counters: the error
+// taxonomy (why connections were rejected before relaying) and the
+// relay totals. All fields are monotone except ActiveConnections.
+type Stats struct {
+	// ActiveConnections is the number of client connections currently
+	// being relayed or awaiting their ClientHello.
+	ActiveConnections int64
+	// TotalConnections counts every accepted client connection.
+	TotalConnections int64
+	// HelloFailures counts connections dropped because the ClientHello
+	// never arrived, timed out, or failed to parse.
+	HelloFailures int64
+	// ResolveFailures counts connections whose SNI had no backend.
+	ResolveFailures int64
+	// DialFailures counts connections whose backend dial failed.
+	DialFailures int64
+	// RelayedUpBytes is the total client-to-server bytes relayed,
+	// including ClientHello bytes, summed at connection end.
+	RelayedUpBytes int64
+	// RelayedDownBytes is the total server-to-client bytes relayed,
+	// summed at connection end.
+	RelayedDownBytes int64
+}
+
+// Stats returns a point-in-time snapshot of the proxy's counters. Each
+// field is read atomically; the snapshot as a whole is not a single
+// consistent cut, which is fine for monitoring.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		ActiveConnections: p.active.Load(),
+		TotalConnections:  p.total.Load(),
+		HelloFailures:     p.helloFailures.Load(),
+		ResolveFailures:   p.resolveFailures.Load(),
+		DialFailures:      p.dialFailures.Load(),
+		RelayedUpBytes:    p.relayedUp.Load(),
+		RelayedDownBytes:  p.relayedDown.Load(),
+	}
 }
 
 // New validates the configuration and creates a proxy.
@@ -195,6 +254,7 @@ func (p *Proxy) handle(client net.Conn) {
 	client.SetReadDeadline(start.Add(p.cfg.HelloTimeout))
 	hello, sni, err := readClientHello(client)
 	if err != nil {
+		p.helloFailures.Add(1)
 		p.logf("reject %s: %v", client.RemoteAddr(), err)
 		return
 	}
@@ -202,11 +262,13 @@ func (p *Proxy) handle(client net.Conn) {
 
 	addr, err := p.cfg.Resolver(sni)
 	if err != nil {
+		p.resolveFailures.Add(1)
 		p.logf("resolve %q: %v", sni, err)
 		return
 	}
 	backend, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
 	if err != nil {
+		p.dialFailures.Add(1)
 		p.logf("dial %s for %q: %v", addr, sni, err)
 		return
 	}
@@ -214,8 +276,26 @@ func (p *Proxy) handle(client net.Conn) {
 	defer p.track(backend, false)
 	defer backend.Close()
 
-	rec := Record{SNI: sni, ClientAddr: client.RemoteAddr().String(), Start: start}
+	rec := Record{
+		ConnID:     p.nextConnID.Add(1),
+		SNI:        sni,
+		ClientAddr: client.RemoteAddr().String(),
+		Start:      start,
+	}
+	if p.cfg.OnConnOpen != nil {
+		p.cfg.OnConnOpen(rec)
+	}
 	rec.UpBytes = int64(len(hello))
+	// From here on a final Record is always emitted, so every OnConnOpen
+	// gets its matching OnTransaction even if the relay dies early.
+	defer func() {
+		rec.End = time.Now()
+		p.relayedUp.Add(rec.UpBytes)
+		p.relayedDown.Add(rec.DownBytes)
+		if p.cfg.OnTransaction != nil {
+			p.cfg.OnTransaction(rec)
+		}
+	}()
 	if _, err := backend.Write(hello); err != nil {
 		p.logf("forward hello to %s: %v", addr, err)
 		return
@@ -241,10 +321,6 @@ func (p *Proxy) handle(client net.Conn) {
 	wg.Wait()
 	rec.UpBytes += atomic.LoadInt64(&up)
 	rec.DownBytes = atomic.LoadInt64(&down)
-	rec.End = time.Now()
-	if p.cfg.OnTransaction != nil {
-		p.cfg.OnTransaction(rec)
-	}
 }
 
 // halfClose signals EOF to the peer after one relay direction drains:

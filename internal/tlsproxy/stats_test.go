@@ -1,0 +1,165 @@
+package tlsproxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsTaxonomy drives one connection into each failure class and
+// one success, then checks the counters partition them correctly.
+func TestStatsTaxonomy(t *testing.T) {
+	origin := NewOrigin(0)
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go origin.Serve(ol)
+	defer origin.Close()
+
+	resolver := func(sni string) (string, error) {
+		switch sni {
+		case "unmapped.example":
+			return "", fmt.Errorf("no backend")
+		case "dead.example":
+			return "127.0.0.1:1", nil // nothing listens there
+		}
+		return ol.Addr().String(), nil
+	}
+	var mu sync.Mutex
+	var opens, finals []Record
+	proxy, err := New(Config{
+		Resolver:      resolver,
+		HelloTimeout:  300 * time.Millisecond,
+		DialTimeout:   time.Second,
+		OnConnOpen:    func(r Record) { mu.Lock(); opens = append(opens, r); mu.Unlock() },
+		OnTransaction: func(r Record) { mu.Lock(); finals = append(finals, r); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+	addr := pl.Addr().String()
+
+	// Hello failure: garbage bytes.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Write([]byte("not TLS at all"))
+		conn.Close()
+	}
+	waitFor(t, func() bool { return proxy.Stats().HelloFailures == 1 })
+
+	// Resolve failure.
+	if _, err := Dial(addr, "unmapped.example"); err == nil {
+		t.Error("dial via unmapped SNI unexpectedly succeeded")
+	}
+	waitFor(t, func() bool { return proxy.Stats().ResolveFailures == 1 })
+
+	// Dial failure.
+	Dial(addr, "dead.example")
+	waitFor(t, func() bool { return proxy.Stats().DialFailures == 1 })
+
+	// Success.
+	client, err := Dial(addr, "cdn-01.svc1.example")
+	if err != nil {
+		t.Fatalf("good dial failed: %v", err)
+	}
+	const fetch = 64_000
+	if _, err := client.Fetch(fetch); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	waitFor(t, func() bool { return proxy.Stats().RelayedDownBytes >= fetch })
+
+	s := proxy.Stats()
+	if s.TotalConnections != 4 {
+		t.Errorf("TotalConnections = %d, want 4", s.TotalConnections)
+	}
+	if s.HelloFailures != 1 || s.ResolveFailures != 1 || s.DialFailures != 1 {
+		t.Errorf("taxonomy = %d/%d/%d, want 1/1/1", s.HelloFailures, s.ResolveFailures, s.DialFailures)
+	}
+	if s.RelayedUpBytes <= 0 {
+		t.Errorf("RelayedUpBytes = %d, want > 0", s.RelayedUpBytes)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Only the successful connection got past the dial, so exactly one
+	// open/final pair exists and their ConnIDs match.
+	if len(opens) != 1 || len(finals) != 1 {
+		t.Fatalf("opens=%d finals=%d, want 1/1", len(opens), len(finals))
+	}
+	if opens[0].ConnID == 0 || opens[0].ConnID != finals[0].ConnID {
+		t.Errorf("ConnID open=%d final=%d", opens[0].ConnID, finals[0].ConnID)
+	}
+	if opens[0].SNI != "cdn-01.svc1.example" || opens[0].Start.IsZero() {
+		t.Errorf("open record incomplete: %+v", opens[0])
+	}
+}
+
+// TestOnConnOpenAlwaysPaired kills the backend leg mid-handshake and
+// still expects the final transaction record for the opened connection.
+func TestOnConnOpenAlwaysPaired(t *testing.T) {
+	// The "backend" accepts and instantly closes, so forwarding the
+	// ClientHello fails after OnConnOpen has fired.
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bl.Close()
+	go func() {
+		for {
+			c, err := bl.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	var opens, finals int
+	proxy, err := New(Config{
+		Resolver:      StaticResolver(bl.Addr().String()),
+		OnConnOpen:    func(Record) { mu.Lock(); opens++; mu.Unlock() },
+		OnTransaction: func(Record) { mu.Lock(); finals++; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+
+	for i := 0; i < 3; i++ {
+		if c, err := Dial(pl.Addr().String(), "x.example"); err == nil {
+			c.Close()
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return opens == 3 && finals == 3
+	})
+}

@@ -17,10 +17,16 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== doc lint (operator-facing packages) =="
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog
+
 echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/experiments
+go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./cmd/qoeproxy
+
+echo "== qoeproxy smoke (/metrics, /healthz, SIGTERM drain) =="
+go run ./scripts/smoke
 
 echo "All checks passed."

@@ -1,0 +1,140 @@
+// Command doclint enforces the repo's godoc contract on selected
+// packages: every exported identifier — package, function, method,
+// type, and each exported const/var — must carry a doc comment, so
+// `go doc` reads correctly for the packages operators script against.
+// It complements `go vet` (which checks comment placement, not
+// presence).
+//
+// Usage: go run ./scripts/doclint <pkg-dir> [<pkg-dir>...]
+// Exits non-zero listing every undocumented identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <pkg-dir> [<pkg-dir>...]")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, dir := range os.Args[1:] {
+		probs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, p := range probs {
+			fmt.Println(p)
+		}
+		failures += len(probs)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", failures)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file of one package directory and
+// returns a "file:line: message" entry per undocumented export.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var probs []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		probs = append(probs, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			probs = append(probs, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+	return probs, nil
+}
+
+// lintDecl flags exported top-level declarations without doc comments.
+// A grouped const/var/type block's doc covers its specs; an individual
+// spec may also satisfy the rule with its own doc or trailing comment.
+func lintDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if d.Recv != nil {
+			// Skip methods on unexported receivers: they are not part of
+			// the package's godoc surface.
+			if !exportedReceiver(d.Recv) {
+				return
+			}
+			report(d.Pos(), "exported method %s is undocumented", d.Name.Name)
+			return
+		}
+		report(d.Pos(), "exported function %s is undocumented", d.Name.Name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					report(sp.Pos(), "exported type %s is undocumented", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+					continue
+				}
+				for _, name := range sp.Names {
+					if name.IsExported() {
+						report(name.Pos(), "exported %s %s is undocumented", d.Tok, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type (unwrapping pointers and generics).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command smoke is the CI gate for qoeproxy's service surface: it
+// builds the daemon, starts it on ephemeral ports, waits for the
+// structured "metrics listening" log line, scrapes /healthz and
+// /metrics, asserts every core series exists, then sends SIGTERM and
+// requires a clean (exit 0) drain. Run from the repo root:
+//
+//	go run ./scripts/smoke
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// coreSeries are the metric families operators alert on; docs/OPERATIONS.md
+// documents each. The smoke run fails if any is missing from a scrape.
+var coreSeries = []string{
+	"qoeproxy_transactions_total",
+	"qoeproxy_session_boundaries_total",
+	"qoeproxy_qoe_predictions_total",
+	"qoeproxy_inference_seconds",
+	"qoeproxy_connections_total",
+	"qoeproxy_connections_active",
+	"qoeproxy_hello_parse_failures_total",
+	"qoeproxy_resolve_failures_total",
+	"qoeproxy_dial_failures_total",
+	"qoeproxy_relayed_up_bytes_total",
+	"qoeproxy_relayed_down_bytes_total",
+	"qoeproxy_active_sessions",
+	"qoeproxy_clients",
+	"qoeproxy_uptime_seconds",
+}
+
+func main() {
+	if err := smoke(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: qoeproxy serves /metrics and /healthz and drains cleanly")
+}
+
+// smoke runs the whole scenario; any error fails CI.
+func smoke() error {
+	tmp, err := os.MkdirTemp("", "qoeproxy-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "qoeproxy")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/qoeproxy")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building qoeproxy: %w", err)
+	}
+
+	daemon := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-metrics", "127.0.0.1:0",
+		"-upstream", "127.0.0.1:9", // never dialed: no traffic flows in the smoke
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting qoeproxy: %w", err)
+	}
+	defer daemon.Process.Kill() // no-op after a clean Wait
+
+	// The daemon logs JSON lines; the "metrics listening" one carries
+	// the ephemeral address to scrape.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			var entry struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &entry) == nil && entry.Msg == "metrics listening" {
+				select {
+				case addrCh <- entry.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("no 'metrics listening' log line within 10s")
+	}
+
+	health, err := get("http://" + addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	var status struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(health), &status); err != nil || status.Status != "ok" {
+		return fmt.Errorf("healthz = %q (parse err %v)", health, err)
+	}
+	fmt.Println("smoke: /healthz ok")
+
+	body, err := get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, series := range coreSeries {
+		if !strings.Contains(body, "# TYPE "+series+" ") {
+			return fmt.Errorf("scrape is missing core series %s:\n%s", series, body)
+		}
+	}
+	fmt.Printf("smoke: /metrics exports all %d core series\n", len(coreSeries))
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon did not exit cleanly on SIGTERM: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("daemon did not drain within 10s of SIGTERM")
+	}
+	return nil
+}
+
+// get fetches a URL with a deadline and returns the body.
+func get(url string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}

@@ -147,6 +147,17 @@ type clientState struct {
 	// current accumulates the decided transactions of the current
 	// session; a detected boundary resets it.
 	current []capture.TLSTransaction
+	// tracked mirrors current in an incremental feature accumulator
+	// (window 0 mode only): classify passes read the maintained vector
+	// and fold the still-undecided transactions in speculatively, so a
+	// pass costs O(new transactions), not O(session length).
+	tracked *core.TrackedSession
+	// winTxns is the reusable scratch for a pass's per-client
+	// transaction list (the sliding-window filtrate, or the speculative
+	// pending list in incremental mode).
+	winTxns []capture.TLSTransaction
+	// row is the client's reusable feature-row buffer.
+	row []float64
 	// all retains every transaction for the shutdown summary.
 	all []capture.TLSTransaction
 	// boundaries counts detected session starts.
@@ -157,20 +168,15 @@ type clientState struct {
 	hasClass  bool
 }
 
-// ongoing snapshots every transaction of the client's current session:
-// the decided ones plus those still awaiting a sessionizer verdict —
-// observed traffic belongs to the ongoing session until a boundary
-// says otherwise, so a client with one long-lived connection is
-// classifiable before any look-ahead window ever closes. The result is
-// a fresh start-ordered slice the caller may trim.
-func (cs *clientState) ongoing() []capture.TLSTransaction {
-	txns := make([]capture.TLSTransaction, 0, len(cs.current)+len(cs.inFlight)+len(cs.buffer))
-	txns = append(txns, cs.current...)
-	txns = append(txns, cs.inFlight...)
-	txns = append(txns, cs.buffer...)
-	sort.Slice(txns, func(i, j int) bool { return txns[i].Start < txns[j].Start })
-	return txns
-}
+// ongoingOrdered invariant: cs.current ++ cs.inFlight ++ cs.buffer is
+// the client's ongoing session in start order, with no sort needed.
+// The watermark (minimum start among open connections) never
+// decreases, transactions are released to the streamer in start order,
+// and every buffered transaction starts strictly after every released
+// one — so the three runs concatenate sorted. Observed traffic belongs
+// to the ongoing session until a boundary says otherwise, which keeps
+// a client with one long-lived connection classifiable before any
+// look-ahead window ever closes.
 
 // service is the running daemon: proxy plus sessionizers, estimator,
 // metrics and log sinks.
@@ -179,6 +185,7 @@ type service struct {
 	log   *slog.Logger
 	est   *core.Estimator
 	names []string // class display names, when est != nil
+	track bool     // maintain incremental accumulators (est set, window 0)
 	epoch time.Time
 	proxy *tlsproxy.Proxy
 	reg   *metrics.Registry
@@ -188,6 +195,8 @@ type service struct {
 	mRuns       *metrics.Counter
 	mPred       *metrics.CounterVec
 	mInfer      *metrics.Histogram
+	mExtract    *metrics.Histogram
+	mIngested   *metrics.Counter
 
 	mu        sync.Mutex
 	clients   map[string]*clientState
@@ -233,6 +242,7 @@ func run(opts options) error {
 	}
 	if est != nil {
 		s.names = core.ClassNames(est.Metric())
+		s.track = opts.window <= 0
 	}
 	if opts.outPath != "" {
 		f, empty, err := openAppend(opts.outPath)
@@ -346,7 +356,11 @@ func (s *service) registerMetrics() {
 		s.mPred.With(n) // pre-declare so dashboards see zeros
 	}
 	s.mInfer = r.NewHistogram("qoeproxy_inference_seconds",
-		"Latency of one batch classification pass.", nil)
+		"Latency of the model-prediction half of one classification pass.", nil)
+	s.mExtract = r.NewHistogram("qoeproxy_feature_extraction_seconds",
+		"Latency of building every client's feature row in one classification pass.", nil)
+	s.mIngested = r.NewCounter("qoeproxy_feature_transactions_ingested_total",
+		"Transactions folded into the incremental per-session feature accumulators.")
 	r.NewCounterFunc("qoeproxy_connections_total",
 		"Client connections accepted.", func() int64 { return s.proxy.Stats().TotalConnections })
 	r.NewGaugeFunc("qoeproxy_connections_active",
@@ -412,6 +426,9 @@ func (s *service) state(client string) *clientState {
 		cs = &clientState{
 			streamer:     sessionid.NewStreamer(sessionid.PaperParams),
 			activeStarts: map[uint64]float64{},
+		}
+		if s.track {
+			cs.tracked = core.NewTrackedSession()
 		}
 		s.clients[client] = cs
 	}
@@ -500,48 +517,58 @@ func (s *service) apply(client string, cs *clientState, decisions []sessionid.De
 			s.log.Debug("session boundary", "client", client, "boundaries", cs.boundaries,
 				"closed_session_txns", len(cs.current))
 			cs.current = nil
+			if cs.tracked != nil {
+				cs.tracked.Reset()
+			}
 		}
 		cs.current = append(cs.current, full)
+		if cs.tracked != nil {
+			cs.tracked.Observe(full)
+			s.mIngested.Inc()
+		}
 	}
 }
 
-// classifyPass classifies every client's current session over the
-// sliding window, updating prediction counters, the latency histogram
-// and the structured log. Safe to call concurrently with traffic.
+// classifyPass classifies every client's ongoing session, updating
+// prediction counters, the latency histograms and the structured log.
+// Feature rows are built under the state lock — incrementally from the
+// per-client accumulators in window 0 mode, or over the sliding-window
+// filtrate otherwise — and model inference runs outside it. Safe to
+// call concurrently with traffic.
 func (s *service) classifyPass(now time.Time) {
 	if s.est == nil {
 		return
 	}
 	cutoff := now.Sub(s.epoch).Seconds() - s.opts.window.Seconds()
+	t0 := time.Now()
 	s.mu.Lock()
 	var names []string
-	var rows [][]capture.TLSTransaction
+	var rows [][]float64
+	var counts []int
 	for client, cs := range s.clients {
-		txns := cs.ongoing()
-		if s.opts.window > 0 {
-			trimmed := txns[:0]
-			for _, t := range txns {
-				if t.End >= cutoff {
-					trimmed = append(trimmed, t)
-				}
-			}
-			txns = trimmed
+		var row []float64
+		var n int
+		if s.track {
+			row, n = s.incrementalRow(cs)
+		} else {
+			row, n = s.windowedRow(cs, cutoff)
 		}
-		if len(txns) == 0 {
+		if n == 0 {
 			continue
 		}
 		names = append(names, client)
-		rows = append(rows, txns)
+		rows = append(rows, row)
+		counts = append(counts, n)
 	}
 	s.mu.Unlock()
 	if len(rows) == 0 {
 		return
 	}
-	sort.Sort(byName{names, rows})
-	t0 := time.Now()
-	classes, err := s.est.ClassifyBatch(rows)
-	elapsed := time.Since(t0)
-	s.mInfer.Observe(elapsed.Seconds())
+	s.mExtract.Observe(time.Since(t0).Seconds())
+	sort.Sort(byName{names, rows, counts})
+	t1 := time.Now()
+	classes, err := s.est.ClassifyRows(rows)
+	s.mInfer.Observe(time.Since(t1).Seconds())
 	s.mRuns.Inc()
 	if err != nil {
 		s.log.Error("classification failed", "err", err)
@@ -557,21 +584,59 @@ func (s *service) classifyPass(now time.Time) {
 	for i, client := range names {
 		class := s.names[classes[i]]
 		s.mPred.Inc(class)
-		s.log.Info("classification", "client", client, "class", class, "transactions", len(rows[i]))
+		s.log.Info("classification", "client", client, "class", class, "transactions", counts[i])
 	}
+}
+
+// incrementalRow builds a client's feature row from its maintained
+// accumulator, folding the still-undecided transactions (inFlight and
+// buffer, which follow the decided ones in start order) in
+// speculatively so the row covers the whole ongoing session. The
+// caller holds s.mu.
+func (s *service) incrementalRow(cs *clientState) ([]float64, int) {
+	cs.winTxns = append(cs.winTxns[:0], cs.inFlight...)
+	cs.winTxns = append(cs.winTxns, cs.buffer...)
+	n := cs.tracked.Len() + len(cs.winTxns)
+	if n == 0 {
+		return nil, 0
+	}
+	cs.row = s.est.TrackedRow(cs.tracked, cs.winTxns, cs.row)
+	return cs.row, n
+}
+
+// windowedRow builds a client's feature row over the transactions of
+// the ongoing session ending inside the sliding window, reusing the
+// client's scratch list and row buffer. The caller holds s.mu.
+func (s *service) windowedRow(cs *clientState, cutoff float64) ([]float64, int) {
+	w := cs.winTxns[:0]
+	for _, run := range [3][]capture.TLSTransaction{cs.current, cs.inFlight, cs.buffer} {
+		for _, t := range run {
+			if t.End >= cutoff {
+				w = append(w, t)
+			}
+		}
+	}
+	cs.winTxns = w
+	if len(w) == 0 {
+		return nil, 0
+	}
+	cs.row = s.est.FeatureRow(w, cs.row)
+	return cs.row, len(w)
 }
 
 // byName sorts the classification batch by client for deterministic
 // logs and tests.
 type byName struct {
-	names []string
-	rows  [][]capture.TLSTransaction
+	names  []string
+	rows   [][]float64
+	counts []int
 }
 
 func (b byName) Len() int { return len(b.names) }
 func (b byName) Swap(i, j int) {
 	b.names[i], b.names[j] = b.names[j], b.names[i]
 	b.rows[i], b.rows[j] = b.rows[j], b.rows[i]
+	b.counts[i], b.counts[j] = b.counts[j], b.counts[i]
 }
 func (b byName) Less(i, j int) bool { return b.names[i] < b.names[j] }
 

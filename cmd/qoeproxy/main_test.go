@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -174,6 +175,84 @@ func metricValue(t *testing.T, body, series string) float64 {
 	return 0
 }
 
+// TestClassifyPassPaths drives classifyPass directly through both the
+// incremental (window 0, accumulator-backed) and the sliding-window
+// row builders on the same synthetic client state — transactions split
+// across decided, in-flight and buffered runs — and requires each to
+// agree with a plain batch classification of the whole session.
+func TestClassifyPassPaths(t *testing.T) {
+	corpus, err := dataset.Build(dataset.Config{Seed: 5, Sessions: 60}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var training []core.TrainingSession
+	for _, r := range corpus.Records {
+		training = append(training, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{Metric: qoe.MetricCombined, Forest: forest.Config{NumTrees: 8, Seed: 5}})
+	if err := est.Train(training); err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
+
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"incremental", 0},
+		{"windowed", time.Hour},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := &service{
+				opts:    options{window: mode.window},
+				log:     logger,
+				est:     est,
+				names:   core.ClassNames(est.Metric()),
+				track:   mode.window <= 0,
+				epoch:   time.Now(),
+				clients: map[string]*clientState{},
+			}
+			s.registerMetrics()
+			txns := corpus.Records[1].Capture.TLS
+			if len(txns) < 3 {
+				t.Skip("record too small to split")
+			}
+			cut1, cut2 := len(txns)/3, 2*len(txns)/3
+			s.mu.Lock()
+			cs := s.state("10.9.9.9")
+			for _, tx := range txns[:cut1] {
+				cs.current = append(cs.current, tx)
+				if cs.tracked != nil {
+					cs.tracked.Observe(tx)
+				}
+			}
+			cs.inFlight = append(cs.inFlight, txns[cut1:cut2]...)
+			cs.buffer = append(cs.buffer, txns[cut2:]...)
+			s.mu.Unlock()
+
+			want, err := est.Classify(txns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ { // second pass reuses warm buffers
+				s.classifyPass(s.epoch.Add(time.Second))
+				s.mu.Lock()
+				got, has := cs.lastClass, cs.hasClass
+				s.mu.Unlock()
+				if !has {
+					t.Fatalf("pass %d: no classification recorded", pass)
+				}
+				if got != want {
+					t.Fatalf("pass %d: class = %d, batch Classify = %d", pass, got, want)
+				}
+			}
+			if cs.tracked != nil && cs.tracked.Len() != cut1 {
+				t.Fatalf("speculative pass leaked state: tracked.Len = %d, want %d", cs.tracked.Len(), cut1)
+			}
+		})
+	}
+}
+
 // TestRunEndToEnd drives the daemon: origin <- proxy <- client, CSV and
 // Squid outputs, live /metrics+/healthz with online classification
 // while relaying, then shutdown via SIGINT with model classification.
@@ -295,11 +374,15 @@ func TestRunEndToEnd(t *testing.T) {
 	if got := metricValue(t, body, "qoeproxy_inference_seconds_count"); got < 1 {
 		t.Errorf("qoeproxy_inference_seconds_count = %g, want >= 1", got)
 	}
+	if got := metricValue(t, body, "qoeproxy_feature_extraction_seconds_count"); got < 1 {
+		t.Errorf("qoeproxy_feature_extraction_seconds_count = %g, want >= 1", got)
+	}
 	for _, series := range []string{
 		"qoeproxy_hello_parse_failures_total",
 		"qoeproxy_resolve_failures_total",
 		"qoeproxy_dial_failures_total",
 		"qoeproxy_session_boundaries_total",
+		"qoeproxy_feature_transactions_ingested_total",
 		"qoeproxy_active_sessions",
 	} {
 		metricValue(t, body, series)

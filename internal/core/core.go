@@ -61,6 +61,10 @@ type Estimator struct {
 	cols    []int
 	model   *forest.Classifier
 	trained bool
+
+	// Reusable extraction buffers for FeatureRow (see tracked.go).
+	scratch *features.Scratch
+	full    []float64
 }
 
 // NewEstimator returns an untrained estimator.

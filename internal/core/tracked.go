@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/features"
+)
+
+// TrackedSession is the incremental classify handle for one ongoing
+// session: an online feature accumulator plus a reusable full-vector
+// buffer. The owner feeds it committed transactions as they arrive
+// (Observe) and can classify at any moment — optionally folding in
+// not-yet-committed transactions speculatively — at a cost
+// proportional to the transactions observed since the last call, not
+// the session length. A TrackedSession is not safe for concurrent use.
+type TrackedSession struct {
+	acc  *features.Accumulator
+	full []float64
+}
+
+// NewTrackedSession returns an empty tracked session over the paper's
+// default temporal grid.
+func NewTrackedSession() *TrackedSession {
+	return &TrackedSession{acc: features.NewAccumulator()}
+}
+
+// Observe folds one committed transaction into the session's feature
+// state. Transactions must be observed in the order a batch extraction
+// would see them (start order) for vectors to be bit-identical to the
+// batch path.
+func (ts *TrackedSession) Observe(t capture.TLSTransaction) { ts.acc.Ingest(t) }
+
+// ObserveAll folds a run of committed transactions, in order.
+func (ts *TrackedSession) ObserveAll(txns []capture.TLSTransaction) {
+	for _, t := range txns {
+		ts.acc.Ingest(t)
+	}
+}
+
+// Reset clears the session state for reuse on the next session,
+// keeping buffer capacity.
+func (ts *TrackedSession) Reset() { ts.acc.Reset() }
+
+// Len reports how many committed transactions the session holds.
+func (ts *TrackedSession) Len() int { return ts.acc.Len() }
+
+// Transactions exposes the committed transactions in observation
+// order; the slice is internal storage — read-only, valid until the
+// next Observe or Reset.
+func (ts *TrackedSession) Transactions() []capture.TLSTransaction { return ts.acc.Transactions() }
+
+// projectInto copies the configured feature subset out of a full
+// vector into row, reusing row's backing array when it has capacity.
+func (e *Estimator) projectInto(row, full []float64) []float64 {
+	if cap(row) < len(e.cols) {
+		row = make([]float64, len(e.cols))
+	} else {
+		row = row[:len(e.cols)]
+	}
+	for i, c := range e.cols {
+		row[i] = full[c]
+	}
+	return row
+}
+
+// TrackedRow materializes the estimator's feature row for a tracked
+// session, speculatively including pending transactions through the
+// accumulator's read-only overlay (committed state is never touched,
+// and the cost is proportional to len(pending), not session length).
+// The result reuses row's backing array when possible and is
+// bit-identical to extracting the committed plus pending transactions
+// in one batch.
+func (e *Estimator) TrackedRow(ts *TrackedSession, pending []capture.TLSTransaction, row []float64) []float64 {
+	ts.full = ts.acc.VectorWithPending(ts.full, pending)
+	return e.projectInto(row, ts.full)
+}
+
+// ClassifyTracked predicts the QoE class of a tracked session,
+// speculatively including pending transactions. Results are identical
+// to Classify over the concatenated transactions.
+func (e *Estimator) ClassifyTracked(ts *TrackedSession, pending []capture.TLSTransaction) (int, error) {
+	if !e.trained {
+		return 0, fmt.Errorf("core: estimator not trained")
+	}
+	return e.model.Predict(e.TrackedRow(ts, pending, nil)), nil
+}
+
+// ClassifyRows predicts classes for pre-extracted feature rows (as
+// produced by TrackedRow or FeatureRow), fanning across CPUs via the
+// forest's batch predictor. It lets callers build rows under their own
+// locking and run inference outside it.
+func (e *Estimator) ClassifyRows(rows [][]float64) ([]int, error) {
+	if !e.trained {
+		return nil, fmt.Errorf("core: estimator not trained")
+	}
+	return e.model.PredictBatch(rows), nil
+}
+
+// FeatureRow extracts a session's feature row through the estimator's
+// reusable batch scratch, bit-identical to the row Train and Classify
+// compute. The result reuses row's backing array when possible. Not
+// safe for concurrent use with itself or TrackedRow on the same
+// Estimator.
+func (e *Estimator) FeatureRow(txns []capture.TLSTransaction, row []float64) []float64 {
+	if e.scratch == nil {
+		e.scratch = features.NewScratch()
+	}
+	e.full = e.scratch.FromTLSInto(e.full, txns, features.TemporalIntervals)
+	return e.projectInto(row, e.full)
+}

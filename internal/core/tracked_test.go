@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func rowBitsEqual(t *testing.T, ctx string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length mismatch got %d want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: feature %d differs: got %v want %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTrackedRowMatchesBatch proves the incremental classify row —
+// with and without speculative pending transactions — is bit-identical
+// to the batch featuresFor row Train and Classify use.
+func TestTrackedRowMatchesBatch(t *testing.T) {
+	sessions := trainingData(t, 40)
+	est := newEstimator()
+
+	for si, s := range sessions[:10] {
+		txns := s.TLS
+		if len(txns) < 2 {
+			continue
+		}
+		cut := len(txns) / 2
+		ts := NewTrackedSession()
+		ts.ObserveAll(txns[:cut])
+		if ts.Len() != cut {
+			t.Fatalf("Len = %d, want %d", ts.Len(), cut)
+		}
+
+		// Committed-only row.
+		var row []float64
+		row = est.TrackedRow(ts, nil, row)
+		rowBitsEqual(t, "committed", row, est.featuresFor(txns[:cut]))
+
+		// Speculative row over the full session; session state must
+		// survive untouched.
+		row = est.TrackedRow(ts, txns[cut:], row)
+		rowBitsEqual(t, "speculative", row, est.featuresFor(txns))
+		if ts.Len() != cut {
+			t.Fatalf("session %d: speculative classify leaked state: Len = %d, want %d", si, ts.Len(), cut)
+		}
+		row = est.TrackedRow(ts, nil, row)
+		rowBitsEqual(t, "committed after rollback", row, est.featuresFor(txns[:cut]))
+
+		// Catch up and compare the fully-committed row.
+		ts.ObserveAll(txns[cut:])
+		row = est.TrackedRow(ts, nil, row)
+		rowBitsEqual(t, "fully committed", row, est.featuresFor(txns))
+
+		// Reset reuses the handle for the next session.
+		ts.Reset()
+		if ts.Len() != 0 || len(ts.Transactions()) != 0 {
+			t.Fatal("Reset left state behind")
+		}
+	}
+}
+
+// TestClassifyTrackedMatchesClassify checks incremental predictions
+// agree with the batch entry points, including via pre-extracted rows.
+func TestClassifyTrackedMatchesClassify(t *testing.T) {
+	sessions := trainingData(t, 120)
+	est := newEstimator()
+
+	ts := NewTrackedSession()
+	if _, err := est.ClassifyTracked(ts, nil); err == nil {
+		t.Error("untrained estimator classified tracked session")
+	}
+	if _, err := est.ClassifyRows(nil); err == nil {
+		t.Error("untrained estimator classified rows")
+	}
+
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]float64
+	var want []int
+	for _, s := range sessions[:15] {
+		ts.Reset()
+		cut := len(s.TLS) / 2
+		ts.ObserveAll(s.TLS[:cut])
+		got, err := est.ClassifyTracked(ts, s.TLS[cut:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := est.Classify(s.TLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != batch {
+			t.Fatalf("ClassifyTracked = %d, Classify = %d", got, batch)
+		}
+		rows = append(rows, est.TrackedRow(ts, s.TLS[cut:], nil))
+		want = append(want, batch)
+	}
+	preds, err := est.ClassifyRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("ClassifyRows[%d] = %d, want %d", i, preds[i], want[i])
+		}
+	}
+}
+
+// TestFeatureRowMatchesBatch checks the windowed-path extraction reuses
+// buffers without changing bits.
+func TestFeatureRowMatchesBatch(t *testing.T) {
+	sessions := trainingData(t, 30)
+	est := newEstimator()
+	var row []float64
+	for _, s := range sessions[:10] {
+		row = est.FeatureRow(s.TLS, row)
+		rowBitsEqual(t, "feature row", row, est.featuresFor(s.TLS))
+	}
+	row = est.FeatureRow(nil, row)
+	rowBitsEqual(t, "empty feature row", row, est.featuresFor(nil))
+}

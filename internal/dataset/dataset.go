@@ -106,7 +106,10 @@ func GenerateSession(cfg Config, p *has.ServiceProfile, idx int) (Record, error)
 	}
 	sc := capture.Build(p.Name, idx, p, res, rng)
 	rec := Record{
-		Capture:     sc,
+		Capture: sc,
+		// FromTLS extracts through the features package's scratch pool,
+		// so Build's goroutine-per-session fan-out shares buffers
+		// instead of allocating per record.
 		TLSFeatures: features.FromTLS(sc.TLS),
 		QoE:         res.QoE,
 		TraceClass:  class,

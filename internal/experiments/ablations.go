@@ -42,12 +42,13 @@ func (s *Suite) AblationTemporalGrid() ([]TemporalGridRow, error) {
 		{Label: "paper-8", Intervals: features.TemporalIntervals},
 		{Label: "dense-12", Intervals: []float64{15, 30, 45, 60, 90, 120, 240, 360, 480, 720, 960, 1200}},
 	}
+	scratch := features.NewScratch()
 	for i := range grids {
 		g := &grids[i]
 		x := make([][]float64, len(c.Records))
 		y := make([]int, len(c.Records))
 		for j, rec := range c.Records {
-			x[j] = features.FromTLSWithIntervals(rec.Capture.TLS, g.Intervals)
+			x[j] = scratch.FromTLSWithIntervals(rec.Capture.TLS, g.Intervals)
 			y[j] = rec.QoE.Label(qoe.MetricCombined)
 		}
 		ds, err := newMLDataset(x, y, nil)

@@ -88,13 +88,14 @@ func (s *Suite) ExtensionFlowComparison() ([]FlowComparisonRow, error) {
 		x := make([][]float64, len(c.Records))
 		y := make([]int, len(c.Records))
 		totalRecords := 0
+		scratch := features.NewScratch()
 		for i, rec := range c.Records {
 			flows, err := netflow.FromCapture(rec.Capture, netflow.Config{ActiveTimeoutSec: cfg.active}, stats.SplitRNG(s.cfg.Seed+31, int64(i)))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", cfg.name, err)
 			}
 			totalRecords += len(flows)
-			x[i] = features.FromTLS(netflow.VideoTransactions(flows))
+			x[i] = scratch.FromTLS(netflow.VideoTransactions(flows))
 			y[i] = rec.QoE.Label(qoe.MetricCombined)
 		}
 		ds, err := newMLDataset(x, y, features.TLSNames)
@@ -382,6 +383,7 @@ func (s *Suite) ExtensionEarlyDetection() ([]EarlyDetectionRow, error) {
 	}
 	horizons := []float64{60, 120, 300, 0}
 	var rows []EarlyDetectionRow
+	scratch := features.NewScratch()
 	for _, h := range horizons {
 		row := EarlyDetectionRow{HorizonSec: h}
 		for _, oracle := range []bool{false, true} {
@@ -410,7 +412,7 @@ func (s *Suite) ExtensionEarlyDetection() ([]EarlyDetectionRow, error) {
 				if len(view) > 0 {
 					covered++
 				}
-				x[i] = features.FromTLS(view)
+				x[i] = scratch.FromTLS(view)
 				y[i] = rec.QoE.Label(qoe.MetricCombined)
 			}
 			ds, err := newMLDataset(x, y, features.TLSNames)

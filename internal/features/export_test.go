@@ -1,0 +1,6 @@
+package features
+
+// ReferenceFromTLSWithIntervals exposes the pre-optimization extractor
+// to the external equivalence tests (features_test imports
+// internal/dataset, which an in-package test file cannot).
+var ReferenceFromTLSWithIntervals = referenceFromTLSWithIntervals

@@ -106,7 +106,10 @@ func FromPackets(pkts []capture.Packet) []float64 {
 	if dlCount > 0 {
 		v[7] = float64(retrans) / float64(dlCount)
 	}
-	rs := stats.Summarize(rtts)
+	// One sort buffer threads through every summary below, replacing
+	// the per-call copy stats.Summarize would make.
+	var sbuf []float64
+	rs, sbuf := stats.SummarizeInto(rtts, sbuf)
 	v[8] = rs.Mean
 	v[9] = rs.Max
 	v[10] = rs.StdDev
@@ -125,18 +128,18 @@ func FromPackets(pkts []capture.Packet) []float64 {
 		cdurs[i] = d
 		tputs = append(tputs, c.bytes*8/d/1000)
 	}
-	ss := stats.Summarize(sizes)
+	ss, sbuf := stats.SummarizeInto(sizes, sbuf)
 	v[13], v[14], v[15], v[16], v[17] = ss.Mean, ss.Median, ss.Min, ss.Max, ss.StdDev
-	ds := stats.Summarize(cdurs)
+	ds, sbuf := stats.SummarizeInto(cdurs, sbuf)
 	v[18], v[19], v[20] = ds.Mean, ds.Median, ds.Max
-	ts := stats.Summarize(tputs)
+	ts, sbuf := stats.SummarizeInto(tputs, sbuf)
 	v[21], v[22], v[23] = ts.Mean, ts.Median, ts.Min
 
 	var iats []float64
 	for i := 1; i < len(reqTimes); i++ {
 		iats = append(iats, reqTimes[i]-reqTimes[i-1])
 	}
-	is := stats.Summarize(iats)
+	is, _ := stats.SummarizeInto(iats, sbuf)
 	v[24], v[25], v[26] = is.Mean, is.Median, is.Max
 	return v
 }

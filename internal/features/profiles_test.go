@@ -1,0 +1,67 @@
+package features_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"droppackets/internal/dataset"
+	"droppackets/internal/features"
+	"droppackets/internal/has"
+)
+
+// ablationGrids mirrors the grids experiments.AblationTemporalGrid
+// sweeps (plus nil for the no-temporal row), so the equivalence
+// contract is proven on exactly the shapes the ablations feed the
+// extractor.
+var ablationGrids = [][]float64{
+	nil,
+	{60, 600},
+	{300, 600, 900, 1200},
+	{30, 60, 120, 240, 480, 720, 960, 1200},
+	{15, 30, 45, 60, 90, 120, 240, 360, 480, 720, 960, 1200},
+}
+
+// TestProfileEquivalence proves bit-identical vectors across the
+// reference, scratch and accumulator paths on realistic sessions from
+// all three service profiles and every ablation interval grid.
+func TestProfileEquivalence(t *testing.T) {
+	profiles := []*has.ServiceProfile{has.Svc1(), has.Svc2(), has.Svc3()}
+	scratch := features.NewScratch()
+	for _, p := range profiles {
+		c, err := dataset.Build(dataset.Config{Seed: 21, Sessions: 12}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, rec := range c.Records {
+			txns := rec.Capture.TLS
+			for gi, grid := range ablationGrids {
+				want := features.ReferenceFromTLSWithIntervals(txns, grid)
+				got := scratch.FromTLSWithIntervals(txns, grid)
+				assertBits(t, fmt.Sprintf("%s rec %d grid %d scratch", p.Name, ri, gi), got, want)
+
+				acc := features.NewAccumulatorWithIntervals(grid)
+				for _, tx := range txns {
+					acc.Ingest(tx)
+				}
+				assertBits(t, fmt.Sprintf("%s rec %d grid %d accumulator", p.Name, ri, gi), acc.Vector(), want)
+			}
+			// Default-grid package entry point.
+			assertBits(t, fmt.Sprintf("%s rec %d FromTLS", p.Name, ri),
+				features.FromTLS(txns),
+				features.ReferenceFromTLSWithIntervals(txns, features.TemporalIntervals))
+		}
+	}
+}
+
+func assertBits(t *testing.T, ctx string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length mismatch got %d want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: feature %d differs: got %v want %v", ctx, i, got[i], want[i])
+		}
+	}
+}

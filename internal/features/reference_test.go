@@ -1,0 +1,97 @@
+package features
+
+import (
+	"droppackets/internal/capture"
+	"droppackets/internal/stats"
+)
+
+// referenceFromTLSWithIntervals is the pre-optimization batch
+// extractor, kept verbatim as the equivalence oracle: the Scratch and
+// Accumulator paths must reproduce its output bit for bit.
+func referenceFromTLSWithIntervals(txns []capture.TLSTransaction, intervals []float64) []float64 {
+	v := make([]float64, 22+2*len(intervals))
+	if len(txns) == 0 {
+		return v
+	}
+	start := txns[0].Start
+	end := txns[0].End
+	var totalDL, totalUL float64
+	for _, t := range txns {
+		if t.Start < start {
+			start = t.Start
+		}
+		if t.End > end {
+			end = t.End
+		}
+		totalDL += float64(t.DownBytes)
+		totalUL += float64(t.UpBytes)
+	}
+	dur := end - start
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	// Session-level: data rates in kbps, duration in seconds, arrival rate.
+	v[0] = totalDL * 8 / dur / 1000
+	v[1] = totalUL * 8 / dur / 1000
+	v[2] = dur
+	v[3] = float64(len(txns)) / dur
+
+	// Per-transaction metrics.
+	n := len(txns)
+	dlSize := make([]float64, n)
+	ulSize := make([]float64, n)
+	durs := make([]float64, n)
+	tdr := make([]float64, n)
+	d2u := make([]float64, n)
+	for i, t := range txns {
+		dlSize[i] = float64(t.DownBytes)
+		ulSize[i] = float64(t.UpBytes)
+		d := t.Duration()
+		if d <= 0 {
+			d = 1e-9
+		}
+		durs[i] = d
+		tdr[i] = float64(t.DownBytes) * 8 / d / 1000
+		up := float64(t.UpBytes)
+		if up <= 0 {
+			up = 1
+		}
+		d2u[i] = float64(t.DownBytes) / up
+	}
+	var iat []float64
+	for i := 1; i < n; i++ {
+		iat = append(iat, txns[i].Start-txns[i-1].Start)
+	}
+	if len(iat) == 0 {
+		iat = []float64{0}
+	}
+	pos := 4
+	for _, metric := range [][]float64{dlSize, ulSize, durs, tdr, d2u, iat} {
+		s := stats.Summarize(metric)
+		v[pos] = s.Min
+		v[pos+1] = s.Median
+		v[pos+2] = s.Max
+		pos += 3
+	}
+
+	// Temporal: cumulative bytes in [0, X] from session start, sharing a
+	// transaction's bytes proportionally to its overlap with the window.
+	for k, iv := range intervals {
+		var cdl, cul float64
+		for _, t := range txns {
+			o := overlap(t.Start-start, t.End-start, 0, iv)
+			if o <= 0 {
+				continue
+			}
+			share := o / maxf(t.Duration(), 1e-9)
+			if share > 1 {
+				share = 1
+			}
+			cdl += share * float64(t.DownBytes)
+			cul += share * float64(t.UpBytes)
+		}
+		v[pos+k] = cdl
+		v[pos+len(intervals)+k] = cul
+	}
+	return v
+}

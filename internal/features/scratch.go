@@ -1,0 +1,200 @@
+package features
+
+import (
+	"sort"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/stats"
+)
+
+// Scratch holds the reusable working buffers of the batch TLS feature
+// extractor: one value buffer per summarized metric. Extracting
+// through a shared Scratch avoids re-allocating and re-copying the
+// six per-metric slices on every session, following the tree.Scratch
+// convention — keep one Scratch per goroutine (it is not safe for
+// concurrent use) and reuse it across any number of sessions and
+// interval grids. Results are bit-identical to extraction through a
+// fresh Scratch.
+type Scratch struct {
+	dl, ul, dur, tdr, d2u, iat []float64
+}
+
+// NewScratch returns an empty Scratch ready for reuse across
+// extractions.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// FromTLS extracts the paper's 38 TLS features using the scratch
+// buffers, allocating only the result vector.
+func (s *Scratch) FromTLS(txns []capture.TLSTransaction) []float64 {
+	return s.FromTLSInto(nil, txns, TemporalIntervals)
+}
+
+// FromTLSWithIntervals is FromTLS over a custom temporal-interval
+// grid.
+func (s *Scratch) FromTLSWithIntervals(txns []capture.TLSTransaction, intervals []float64) []float64 {
+	return s.FromTLSInto(nil, txns, intervals)
+}
+
+// FromTLSInto extracts the TLS feature vector into dst, reusing dst's
+// backing array when it has capacity for the 22+2*len(intervals)
+// entries (a nil dst allocates an exact-size one). Callers that hold
+// both a Scratch and a result buffer extract with zero allocations.
+func (s *Scratch) FromTLSInto(dst []float64, txns []capture.TLSTransaction, intervals []float64) []float64 {
+	need := 22 + 2*len(intervals)
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	} else {
+		dst = dst[:need]
+		clear(dst)
+	}
+	if len(txns) == 0 {
+		return dst
+	}
+
+	// Session level: one sweep for span and totals.
+	start := txns[0].Start
+	end := txns[0].End
+	var totalDL, totalUL float64
+	for _, t := range txns {
+		if t.Start < start {
+			start = t.Start
+		}
+		if t.End > end {
+			end = t.End
+		}
+		totalDL += float64(t.DownBytes)
+		totalUL += float64(t.UpBytes)
+	}
+	dur := end - start
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	dst[0] = totalDL * 8 / dur / 1000
+	dst[1] = totalUL * 8 / dur / 1000
+	dst[2] = dur
+	dst[3] = float64(len(txns)) / dur
+
+	// Per-transaction metrics, collected into the reusable buffers and
+	// sorted in place.
+	s.dl, s.ul = s.dl[:0], s.ul[:0]
+	s.dur, s.tdr = s.dur[:0], s.tdr[:0]
+	s.d2u, s.iat = s.d2u[:0], s.iat[:0]
+	for i, t := range txns {
+		s.dl = append(s.dl, float64(t.DownBytes))
+		s.ul = append(s.ul, float64(t.UpBytes))
+		d := t.Duration()
+		if d <= 0 {
+			d = 1e-9
+		}
+		s.dur = append(s.dur, d)
+		s.tdr = append(s.tdr, float64(t.DownBytes)*8/d/1000)
+		up := float64(t.UpBytes)
+		if up <= 0 {
+			up = 1
+		}
+		s.d2u = append(s.d2u, float64(t.DownBytes)/up)
+		if i > 0 {
+			s.iat = append(s.iat, t.Start-txns[i-1].Start)
+		}
+	}
+	if len(s.iat) == 0 {
+		s.iat = append(s.iat, 0)
+	}
+	pos := 4
+	for _, m := range [...][]float64{s.dl, s.ul, s.dur, s.tdr, s.d2u, s.iat} {
+		sort.Float64s(m)
+		dst[pos] = m[0]
+		dst[pos+1] = stats.PercentileSorted(m, 50)
+		dst[pos+2] = m[len(m)-1]
+		pos += 3
+	}
+
+	// Temporal counters in a single sweep over the transactions.
+	k := len(intervals)
+	temporalSweep(dst[pos:pos+k], dst[pos+k:pos+2*k], intervals, intervalsAscending(intervals), txns, start)
+	return dst
+}
+
+// intervalsAscending reports whether the grid is sorted ascending, the
+// precondition for binary-searching a transaction's straddled
+// intervals.
+func intervalsAscending(intervals []float64) bool {
+	for i := 1; i < len(intervals); i++ {
+		if intervals[i] < intervals[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// temporalSweep accumulates every transaction's cumulative-byte
+// contributions into cdl/cul (one entry per interval, pre-zeroed or
+// carrying earlier transactions' partial sums). The sweep visits each
+// transaction once, classifying each interval as before the
+// transaction (no contribution), straddling it (proportional share) or
+// past its end (precomputed full share); per-interval terms accumulate
+// in transaction order, so the sums are bit-identical to the reference
+// per-interval loop of §3.
+func temporalSweep(cdl, cul, intervals []float64, ascending bool, txns []capture.TLSTransaction, start float64) {
+	if len(intervals) == 0 {
+		return
+	}
+	for _, t := range txns {
+		addTemporal(cdl, cul, intervals, ascending, t, start)
+	}
+}
+
+// addTemporal adds one transaction's contribution to every interval's
+// cumulative DL/UL counters, anchored at the session start.
+func addTemporal(cdl, cul, intervals []float64, ascending bool, t capture.TLSTransaction, start float64) {
+	d := maxf(t.Duration(), 1e-9)
+	t0 := maxf(t.Start-start, 0)
+	t1 := t.End - start
+	oFull := t1 - t0
+	if oFull <= 0 {
+		return
+	}
+	shareFull := oFull / d
+	if shareFull > 1 {
+		shareFull = 1
+	}
+	fullDL := shareFull * float64(t.DownBytes)
+	fullUL := shareFull * float64(t.UpBytes)
+	if !ascending {
+		// Arbitrary grid order: fall back to the direct per-interval
+		// overlap computation.
+		for i, iv := range intervals {
+			o := minf(t1, iv) - t0
+			if o <= 0 {
+				continue
+			}
+			share := o / d
+			if share > 1 {
+				share = 1
+			}
+			cdl[i] += share * float64(t.DownBytes)
+			cul[i] += share * float64(t.UpBytes)
+		}
+		return
+	}
+	// Ascending grid: intervals at or before t0 see nothing, intervals
+	// past t1 see the full share, only the straddled run in between
+	// needs per-interval arithmetic.
+	lo := sort.SearchFloat64s(intervals, t0)
+	for lo < len(intervals) && intervals[lo] <= t0 {
+		lo++
+	}
+	hi := sort.SearchFloat64s(intervals, t1)
+	for i := lo; i < hi; i++ {
+		share := (intervals[i] - t0) / d
+		if share > 1 {
+			share = 1
+		}
+		cdl[i] += share * float64(t.DownBytes)
+		cul[i] += share * float64(t.UpBytes)
+	}
+	for i := hi; i < len(intervals); i++ {
+		cdl[i] += fullDL
+		cul[i] += fullUL
+	}
+}

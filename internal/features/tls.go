@@ -6,9 +6,9 @@ package features
 
 import (
 	"fmt"
+	"sync"
 
 	"droppackets/internal/capture"
-	"droppackets/internal/stats"
 )
 
 // TemporalIntervals are the cumulative-interval endpoints in seconds
@@ -86,6 +86,12 @@ func SubsetIndices(s Subset) []int {
 	return idx
 }
 
+// scratchPool backs the package-level extraction entry points so
+// concurrent callers (dataset generation spawns one goroutine per
+// session) each borrow a private Scratch instead of allocating the
+// per-metric buffers on every call.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
 // FromTLS computes the 38-dimensional feature vector of a session from
 // its TLS transactions (§3). It needs nothing but start/end times and
 // byte counters — exactly the proxy's coarse-grained export.
@@ -96,94 +102,13 @@ func FromTLS(txns []capture.TLSTransaction) []float64 {
 // FromTLSWithIntervals is FromTLS with a custom temporal-interval grid;
 // the paper treats the grid as a model hyperparameter an ISP tunes per
 // service (§3), and the ablation benches sweep it. The result has
-// 22 + 2*len(intervals) entries.
+// 22 + 2*len(intervals) entries. Extraction runs on a pooled Scratch;
+// hot loops that extract many sessions should hold their own Scratch
+// (and call FromTLSInto) to skip the pool round-trip entirely.
 func FromTLSWithIntervals(txns []capture.TLSTransaction, intervals []float64) []float64 {
-	v := make([]float64, 22+2*len(intervals))
-	if len(txns) == 0 {
-		return v
-	}
-	start := txns[0].Start
-	end := txns[0].End
-	var totalDL, totalUL float64
-	for _, t := range txns {
-		if t.Start < start {
-			start = t.Start
-		}
-		if t.End > end {
-			end = t.End
-		}
-		totalDL += float64(t.DownBytes)
-		totalUL += float64(t.UpBytes)
-	}
-	dur := end - start
-	if dur <= 0 {
-		dur = 1e-9
-	}
-	// Session-level: data rates in kbps, duration in seconds, arrival rate.
-	v[0] = totalDL * 8 / dur / 1000
-	v[1] = totalUL * 8 / dur / 1000
-	v[2] = dur
-	v[3] = float64(len(txns)) / dur
-
-	// Per-transaction metrics.
-	n := len(txns)
-	dlSize := make([]float64, n)
-	ulSize := make([]float64, n)
-	durs := make([]float64, n)
-	tdr := make([]float64, n)
-	d2u := make([]float64, n)
-	for i, t := range txns {
-		dlSize[i] = float64(t.DownBytes)
-		ulSize[i] = float64(t.UpBytes)
-		d := t.Duration()
-		if d <= 0 {
-			d = 1e-9
-		}
-		durs[i] = d
-		tdr[i] = float64(t.DownBytes) * 8 / d / 1000
-		up := float64(t.UpBytes)
-		if up <= 0 {
-			up = 1
-		}
-		d2u[i] = float64(t.DownBytes) / up
-	}
-	var iat []float64
-	for i := 1; i < n; i++ {
-		iat = append(iat, txns[i].Start-txns[i-1].Start)
-	}
-	if len(iat) == 0 {
-		iat = []float64{0}
-	}
-	pos := 4
-	for _, metric := range [][]float64{dlSize, ulSize, durs, tdr, d2u, iat} {
-		s := stats.Summarize(metric)
-		v[pos] = s.Min
-		v[pos+1] = s.Median
-		v[pos+2] = s.Max
-		pos += 3
-	}
-
-	// Temporal: cumulative bytes in [0, X] from session start, sharing a
-	// transaction's bytes proportionally to its overlap with the window
-	// (§3 footnote: an approximation, since the byte timeline inside a
-	// transaction is invisible to the proxy).
-	for k, iv := range intervals {
-		var cdl, cul float64
-		for _, t := range txns {
-			o := overlap(t.Start-start, t.End-start, 0, iv)
-			if o <= 0 {
-				continue
-			}
-			share := o / maxf(t.Duration(), 1e-9)
-			if share > 1 {
-				share = 1
-			}
-			cdl += share * float64(t.DownBytes)
-			cul += share * float64(t.UpBytes)
-		}
-		v[pos+k] = cdl
-		v[pos+len(intervals)+k] = cul
-	}
+	s := scratchPool.Get().(*Scratch)
+	v := s.FromTLSWithIntervals(txns, intervals)
+	scratchPool.Put(s)
 	return v
 }
 
@@ -211,12 +136,23 @@ func minf(a, b float64) float64 {
 	return b
 }
 
+// tlsIndexByName maps each TLS feature name to its vector position,
+// built once at init so per-row projections do constant-time lookups
+// instead of scanning TLSNames.
+var tlsIndexByName = buildTLSIndex()
+
+func buildTLSIndex() map[string]int {
+	m := make(map[string]int, len(TLSNames))
+	for i, n := range TLSNames {
+		m[n] = i
+	}
+	return m
+}
+
 // TLSIndex returns the vector index of a named TLS feature, or -1.
 func TLSIndex(name string) int {
-	for i, n := range TLSNames {
-		if n == name {
-			return i
-		}
+	if i, ok := tlsIndexByName[name]; ok {
+		return i
 	}
 	return -1
 }

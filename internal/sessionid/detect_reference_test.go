@@ -1,0 +1,84 @@
+package sessionid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// referenceDetect is the pre-optimization Detect, kept verbatim (with
+// its per-transaction windowHosts allocation) as the oracle for the
+// scratch-slice rewrite.
+func referenceDetect(txns []Transaction, p Params) []bool {
+	isNew := make([]bool, len(txns))
+	seen := map[string]bool{}
+	for i, t := range txns {
+		var windowHosts []string
+		for j := i + 1; j < len(txns) && txns[j].Start-t.Start <= p.WindowSec; j++ {
+			windowHosts = append(windowHosts, txns[j].SNI)
+		}
+		n := len(windowHosts)
+		unseen := 0
+		for _, h := range windowHosts {
+			if !seen[h] {
+				unseen++
+			}
+		}
+		delta := 0.0
+		if n > 0 {
+			delta = float64(unseen) / float64(n)
+		}
+		if n >= p.MinCount && delta >= p.MinNewFrac {
+			isNew[i] = true
+			seen = map[string]bool{}
+			for _, h := range windowHosts {
+				seen[h] = true
+			}
+		}
+		seen[t.SNI] = true
+	}
+	return isNew
+}
+
+// TestDetectMatchesReference replays the streamer property-test seeds
+// (same generator, same parameter grid) through the scratch-reusing
+// Detect and the pre-optimization reference, requiring identical
+// verdicts on every stream.
+func TestDetectMatchesReference(t *testing.T) {
+	params := []Params{
+		PaperParams,
+		{WindowSec: 1, MinCount: 1, MinNewFrac: 0.1},
+		{WindowSec: 10, MinCount: 4, MinNewFrac: 0.9},
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		txns := make([]Transaction, n)
+		now := 0.0
+		for i := range txns {
+			switch rng.Intn(4) {
+			case 0: // burst
+			case 1:
+				now += rng.Float64() * 0.5
+			case 2:
+				now += rng.Float64() * 4
+			default:
+				now += rng.Float64() * 20
+			}
+			txns[i] = Transaction{
+				Start: now,
+				End:   now + rng.Float64()*30,
+				SNI:   fmt.Sprintf("h%d.example", rng.Intn(8)),
+			}
+		}
+		for _, p := range params {
+			want := referenceDetect(txns, p)
+			got := Detect(txns, p)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d params=%+v: verdict %d: got %v want %v", seed, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -108,9 +108,12 @@ func Concat(sessions [][]capture.TLSTransaction, durations []float64) []Transact
 func Detect(txns []Transaction, p Params) []bool {
 	isNew := make([]bool, len(txns))
 	seen := map[string]bool{}
+	// One scratch list for the windowed hosts, reused across the scan
+	// instead of reallocated per transaction.
+	var windowHosts []string
 	for i, t := range txns {
 		// Succeeding transactions starting within the window.
-		var windowHosts []string
+		windowHosts = windowHosts[:0]
 		for j := i + 1; j < len(txns) && txns[j].Start-t.Start <= p.WindowSec; j++ {
 			windowHosts = append(windowHosts, txns[j].SNI)
 		}

@@ -92,6 +92,23 @@ func Percentile(xs []float64, p float64) float64 {
 	return sortedPercentile(sorted, p)
 }
 
+// PercentileSorted is Percentile for input that is already in
+// ascending order: no defensive copy, no sort, no allocation. It is
+// the hot-path variant the feature extractor's reusable buffers call;
+// results are bit-identical to Percentile on the same multiset.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	return sortedPercentile(sorted, p)
+}
+
 // sortedPercentile computes the percentile of an already-sorted slice.
 func sortedPercentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 1 {
@@ -126,6 +143,16 @@ func Summarize(xs []float64) Summary {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return SummarizeSorted(sorted)
+}
+
+// SummarizeSorted computes the Summary of input that is already in
+// ascending order, without copying or sorting. It is the allocation-
+// free core shared by Summarize and SummarizeInto.
+func SummarizeSorted(sorted []float64) Summary {
+	if len(sorted) == 0 {
+		return Summary{}
+	}
 	return Summary{
 		Min:    sorted[0],
 		Median: sortedPercentile(sorted, 50),
@@ -134,6 +161,21 @@ func Summarize(xs []float64) Summary {
 		StdDev: StdDev(sorted),
 		N:      len(sorted),
 	}
+}
+
+// SummarizeInto is Summarize with the sort buffer supplied by the
+// caller: xs is copied into buf (which is reallocated only while it is
+// below the workload's high-water length), sorted there, and
+// summarized. It returns the summary together with the possibly-regrown
+// buffer so callers can thread one buffer through many calls and drop
+// the per-call copy Summarize makes. xs itself is never reordered.
+func SummarizeInto(xs, buf []float64) (Summary, []float64) {
+	if len(xs) == 0 {
+		return Summary{}, buf
+	}
+	buf = append(buf[:0], xs...)
+	sort.Float64s(buf)
+	return SummarizeSorted(buf), buf
 }
 
 // BoxPlot is a five-number summary used to reproduce the paper's

@@ -277,3 +277,68 @@ func TestSparkline(t *testing.T) {
 		t.Errorf("constant data should render flat: %q", string(flat))
 	}
 }
+
+// TestSummarizeIntoMatchesSummarize requires the buffer-reusing variant
+// to be bit-identical to Summarize and to leave its input untouched.
+func TestSummarizeIntoMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []float64
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e6
+		}
+		orig := append([]float64(nil), xs...)
+		want := Summarize(xs)
+		var got Summary
+		got, buf = SummarizeInto(xs, buf)
+		if got != want {
+			t.Fatalf("trial %d: SummarizeInto = %+v, Summarize = %+v", trial, got, want)
+		}
+		for i := range xs {
+			if xs[i] != orig[i] {
+				t.Fatalf("trial %d: SummarizeInto reordered its input", trial)
+			}
+		}
+	}
+}
+
+// TestSummarizeIntoReusesBuffer checks the buffer stops growing once it
+// reaches the high-water length.
+func TestSummarizeIntoReusesBuffer(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_, buf := SummarizeInto(xs, nil)
+	before := cap(buf)
+	_, buf2 := SummarizeInto([]float64{9, 8}, buf)
+	if cap(buf2) != before {
+		t.Errorf("buffer regrew: cap %d -> %d", before, cap(buf2))
+	}
+	if _, buf3 := SummarizeInto(nil, buf2); cap(buf3) != before {
+		t.Error("empty input should hand the buffer back unchanged")
+	}
+}
+
+// TestPercentileSorted pins the no-copy percentile against Percentile.
+func TestPercentileSorted(t *testing.T) {
+	if PercentileSorted(nil, 50) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	sorted := []float64{1, 2, 4, 8, 16}
+	for _, p := range []float64{-5, 0, 25, 50, 90, 100, 140} {
+		if got, want := PercentileSorted(sorted, p), Percentile(sorted, p); got != want {
+			t.Errorf("PercentileSorted(%g) = %g, Percentile = %g", p, got, want)
+		}
+	}
+}
+
+// TestSummarizeSortedMatchesSummarize checks the shared core on
+// presorted input.
+func TestSummarizeSortedMatchesSummarize(t *testing.T) {
+	sorted := []float64{-2, 0, 1, 1, 5}
+	if got, want := SummarizeSorted(sorted), Summarize(sorted); got != want {
+		t.Errorf("SummarizeSorted = %+v, Summarize = %+v", got, want)
+	}
+	if (SummarizeSorted(nil) != Summary{}) {
+		t.Error("empty input should yield the zero Summary")
+	}
+}

@@ -18,13 +18,16 @@ echo "== go vet =="
 go vet ./...
 
 echo "== doc lint (operator-facing packages) =="
-go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core
 
 echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./cmd/qoeproxy
+go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./cmd/qoeproxy
+
+echo "== feature benchmarks (smoke) =="
+go test -run '^$' -bench Feature -benchtime 1x .
 
 echo "== qoeproxy smoke (/metrics, /healthz, SIGTERM drain) =="
 go run ./scripts/smoke

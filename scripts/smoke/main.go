@@ -28,6 +28,8 @@ var coreSeries = []string{
 	"qoeproxy_session_boundaries_total",
 	"qoeproxy_qoe_predictions_total",
 	"qoeproxy_inference_seconds",
+	"qoeproxy_feature_extraction_seconds",
+	"qoeproxy_feature_transactions_ingested_total",
 	"qoeproxy_connections_total",
 	"qoeproxy_connections_active",
 	"qoeproxy_hello_parse_failures_total",

@@ -13,14 +13,18 @@
 //	         [-resolve map.txt] [-out transactions.csv]
 //	         [-squid-log access.log] [-model model.json]
 //	         [-metrics 127.0.0.1:9090] [-classify-every 30s]
-//	         [-window 4m] [-v]
+//	         [-window 4m] [-client-ttl 1h] [-max-session-txns 4096] [-v]
 //
 // The resolver map file holds "sni backend:port" lines; unlisted SNIs
 // fall back to -upstream. Logs are JSON lines on stderr (-v adds
-// per-transaction detail). Stop with SIGINT/SIGTERM: the proxy stops
-// accepting, drains open relays, flushes the sessionizers, prints
-// per-client QoE estimates (if -model is given) and exits cleanly.
-// docs/OPERATIONS.md is the full runbook.
+// per-transaction detail). Per-client memory is bounded: idle clients
+// are evicted after -client-ttl (their final classification is
+// emitted first) and retained transaction state is capped at
+// -max-session-txns, so the daemon's footprint is O(active clients),
+// not O(all traffic ever seen). Stop with SIGINT/SIGTERM: the proxy
+// stops accepting, drains open relays, flushes the sessionizers,
+// prints per-client QoE estimates (if -model is given) and exits
+// cleanly. docs/OPERATIONS.md is the full runbook.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -45,6 +50,7 @@ import (
 	"droppackets/internal/metrics"
 	"droppackets/internal/sessionid"
 	"droppackets/internal/squidlog"
+	"droppackets/internal/stats"
 	"droppackets/internal/tlsproxy"
 )
 
@@ -59,6 +65,8 @@ func main() {
 	flag.StringVar(&opts.metricsAddr, "metrics", "127.0.0.1:9090", "address for /metrics and /healthz (empty disables)")
 	flag.DurationVar(&opts.classifyEvery, "classify-every", 30*time.Second, "interval between online classification passes (0 disables)")
 	flag.DurationVar(&opts.window, "window", 4*time.Minute, "sliding window of transactions classified per pass (0 = whole current session)")
+	flag.DurationVar(&opts.clientTTL, "client-ttl", time.Hour, "evict a client's state after this much idle time, emitting its final classification (0 disables; swept on the classify tick)")
+	flag.IntVar(&opts.maxSessionTxns, "max-session-txns", 4096, "most transactions retained per client session and summary buffer; oldest are dropped beyond it (0 = unbounded)")
 	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -73,6 +81,8 @@ type options struct {
 	outPath, squidPath, modelPath string
 	metricsAddr                   string
 	classifyEvery, window         time.Duration
+	clientTTL                     time.Duration
+	maxSessionTxns                int
 	verbose                       bool
 }
 
@@ -158,14 +168,75 @@ type clientState struct {
 	winTxns []capture.TLSTransaction
 	// row is the client's reusable feature-row buffer.
 	row []float64
-	// all retains every transaction for the shutdown summary.
-	all []capture.TLSTransaction
+	// recent retains the most recent transactions (capped at
+	// -max-session-txns) for the shutdown/eviction summary; lifetime
+	// aggregates below summarize what the ring has dropped.
+	recent *txnRing
+	// lastActivity is the latest transaction end (or connection start)
+	// in epoch seconds; the eviction sweep compares it to -client-ttl.
+	lastActivity float64
+	// txns, upBytes and downBytes are lifetime totals; durStats
+	// aggregates transaction durations online — all O(1) state.
+	txns               int64
+	upBytes, downBytes int64
+	durStats           stats.Running
 	// boundaries counts detected session starts.
 	boundaries int64
+	// truncated marks that the current session already counted toward
+	// qoeproxy_sessions_truncated_total; reset at each boundary.
+	truncated bool
 	// lastClass is the most recent online classification (hasClass
 	// guards it).
 	lastClass int
 	hasClass  bool
+}
+
+// txnRing retains the most recent transactions in arrival order
+// within a fixed capacity; limit 0 disables the cap (unbounded).
+type txnRing struct {
+	limit   int
+	buf     []capture.TLSTransaction
+	start   int
+	dropped int64
+}
+
+func newTxnRing(limit int) *txnRing { return &txnRing{limit: limit} }
+
+// push appends t, dropping the oldest retained transaction when the
+// ring is full, and reports how many were dropped (0 or 1).
+func (r *txnRing) push(t capture.TLSTransaction) int {
+	if r.limit <= 0 || len(r.buf) < r.limit {
+		r.buf = append(r.buf, t)
+		return 0
+	}
+	r.buf[r.start] = t
+	r.start = (r.start + 1) % r.limit
+	r.dropped++
+	return 1
+}
+
+// len reports how many transactions the ring retains.
+func (r *txnRing) len() int { return len(r.buf) }
+
+// snapshot appends the retained transactions, oldest first, to dst.
+func (r *txnRing) snapshot(dst []capture.TLSTransaction) []capture.TLSTransaction {
+	dst = append(dst, r.buf[r.start:]...)
+	return append(dst, r.buf[:r.start]...)
+}
+
+// capRun bounds a transaction run to limit entries, dropping the
+// oldest once it overshoots the limit by half — the slack amortizes
+// the copy-down to O(1) per transaction. It reports how many entries
+// were dropped.
+func capRun(run *[]capture.TLSTransaction, limit int) int {
+	if limit <= 0 || len(*run) <= limit+limit/2 {
+		return 0
+	}
+	r := *run
+	drop := len(r) - limit
+	n := copy(r, r[drop:])
+	*run = r[:n]
+	return drop
 }
 
 // ongoingOrdered invariant: cs.current ++ cs.inFlight ++ cs.buffer is
@@ -190,18 +261,56 @@ type service struct {
 	proxy *tlsproxy.Proxy
 	reg   *metrics.Registry
 
-	mTxns       *metrics.Counter
-	mBoundaries *metrics.Counter
-	mRuns       *metrics.Counter
-	mPred       *metrics.CounterVec
-	mInfer      *metrics.Histogram
-	mExtract    *metrics.Histogram
-	mIngested   *metrics.Counter
+	mTxns         *metrics.Counter
+	mBoundaries   *metrics.Counter
+	mRuns         *metrics.Counter
+	mClassErrors  *metrics.Counter
+	mPred         *metrics.CounterVec
+	mInfer        *metrics.Histogram
+	mExtract      *metrics.Histogram
+	mIngested     *metrics.Counter
+	mTruncated    *metrics.Counter
+	mSinkFailures *metrics.Counter
+	mEvicted      *metrics.Counter
 
-	mu        sync.Mutex
-	clients   map[string]*clientState
-	outFile   *os.File
-	squidFile *os.File
+	mu      sync.Mutex
+	clients map[string]*clientState
+	out     *sink
+	squid   *sink
+}
+
+// sink is one transaction-record output (CSV or Squid log) with its
+// failure-burst state: failing flips on the first failed write and
+// back off on the first success, so each burst logs exactly once and
+// /healthz can report the degradation while it lasts.
+type sink struct {
+	w       io.Writer
+	name    string
+	failing bool
+}
+
+// writeSink appends one record line to a sink, counting failed writes
+// in qoeproxy_sink_write_failures_total. The caller holds s.mu.
+func (s *service) writeSink(k *sink, line string) {
+	if _, err := io.WriteString(k.w, line); err != nil {
+		s.mSinkFailures.Inc()
+		if !k.failing {
+			k.failing = true
+			s.log.Error("sink write failing, records dropped until it recovers",
+				"sink", k.name, "err", err)
+		}
+		return
+	}
+	if k.failing {
+		k.failing = false
+		s.log.Info("sink recovered", "sink", k.name)
+	}
+}
+
+// sinksDegraded reports whether any configured sink is currently in a
+// failure burst. The caller holds s.mu.
+func (s *service) sinksDegraded() bool {
+	return (s.out != nil && s.out.failing) || (s.squid != nil && s.squid.failing)
 }
 
 // run wires the service together and blocks until SIGINT/SIGTERM or a
@@ -255,7 +364,7 @@ func run(opts options) error {
 				return fmt.Errorf("-out: writing header: %w", err)
 			}
 		}
-		s.outFile = f
+		s.out = &sink{w: f, name: "out"}
 	}
 	if opts.squidPath != "" {
 		f, _, err := openAppend(opts.squidPath)
@@ -263,7 +372,7 @@ func run(opts options) error {
 			return fmt.Errorf("-squid-log: %w", err)
 		}
 		defer f.Close()
-		s.squidFile = f
+		s.squid = &sink{w: f, name: "squid-log"}
 	}
 
 	proxy, err := tlsproxy.New(tlsproxy.Config{
@@ -302,37 +411,53 @@ func run(opts options) error {
 		logger.Info("metrics listening", "addr", ml.Addr().String())
 	}
 
+	// The tick drives both classification passes and the idle-client
+	// eviction sweep, so it runs whenever either needs it.
 	var tick <-chan time.Time
-	if est != nil && opts.classifyEvery > 0 {
+	if opts.classifyEvery > 0 && (est != nil || opts.clientTTL > 0) {
 		ticker := time.NewTicker(opts.classifyEvery)
 		defer ticker.Stop()
 		tick = ticker.C
 	}
 
+	stopHTTP := func() {}
+	if httpSrv != nil {
+		stopHTTP = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			httpSrv.Shutdown(ctx)
+			cancel()
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
+	return s.serveLoop(errCh, tick, sig, stopHTTP)
+}
+
+// serveLoop is the daemon's main loop: it reacts to listener errors,
+// classification/eviction ticks and shutdown signals. Both exits —
+// listener death and a signal — drain the sessionizers, so pending
+// decisions and the shutdown summary are never lost to a crash-landing
+// listener.
+func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-chan os.Signal, stopHTTP func()) error {
 	for {
 		select {
 		case err := <-errCh:
-			if httpSrv != nil {
-				httpSrv.Close()
-			}
+			stopHTTP()
+			s.drain()
 			return err
-		case <-tick:
-			s.classifyPass(time.Now())
+		case now := <-tick:
+			s.classifyPass(now)
+			s.evictIdle(now)
 		case got := <-sig:
-			logger.Info("shutting down", "signal", got.String())
+			s.log.Info("shutting down", "signal", got.String())
 			// Stop accepting, drain open relays (Close tears them down
 			// and their final records arrive through onTransaction),
 			// then stop the metrics endpoint.
-			proxy.Close()
+			s.proxy.Close()
 			<-errCh
-			if httpSrv != nil {
-				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-				httpSrv.Shutdown(ctx)
-				cancel()
-			}
+			stopHTTP()
 			s.drain()
 			return nil
 		}
@@ -349,7 +474,9 @@ func (s *service) registerMetrics() {
 	s.mBoundaries = r.NewCounter("qoeproxy_session_boundaries_total",
 		"Session starts detected by the online sessionizer.")
 	s.mRuns = r.NewCounter("qoeproxy_classification_runs_total",
-		"Periodic classification passes executed.")
+		"Periodic classification passes that completed successfully.")
+	s.mClassErrors = r.NewCounter("qoeproxy_classification_errors_total",
+		"Periodic classification passes that failed (model/feature mismatch).")
 	s.mPred = r.NewCounterVec("qoeproxy_qoe_predictions_total",
 		"Online QoE predictions by class.", "class")
 	for _, n := range s.names {
@@ -361,6 +488,12 @@ func (s *service) registerMetrics() {
 		"Latency of building every client's feature row in one classification pass.", nil)
 	s.mIngested = r.NewCounter("qoeproxy_feature_transactions_ingested_total",
 		"Transactions folded into the incremental per-session feature accumulators.")
+	s.mTruncated = r.NewCounter("qoeproxy_sessions_truncated_total",
+		"Client sessions whose retained transaction state hit -max-session-txns and dropped oldest entries.")
+	s.mSinkFailures = r.NewCounter("qoeproxy_sink_write_failures_total",
+		"Transaction records lost because a -out/-squid-log write failed.")
+	s.mEvicted = r.NewCounter("qoeproxy_clients_evicted_total",
+		"Clients evicted after -client-ttl of idleness, final classification emitted.")
 	r.NewCounterFunc("qoeproxy_connections_total",
 		"Client connections accepted.", func() int64 { return s.proxy.Stats().TotalConnections })
 	r.NewGaugeFunc("qoeproxy_connections_active",
@@ -405,14 +538,21 @@ func (s *service) httpHandler() http.Handler {
 		st := s.proxy.Stats()
 		s.mu.Lock()
 		clients := len(s.clients)
+		degraded := s.sinksDegraded()
 		s.mu.Unlock()
+		status := "ok"
+		if degraded {
+			status = "degraded"
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
-			"status":             "ok",
-			"uptime_seconds":     time.Since(s.epoch).Seconds(),
-			"active_connections": st.ActiveConnections,
-			"total_connections":  st.TotalConnections,
-			"clients":            clients,
+			"status":              status,
+			"uptime_seconds":      time.Since(s.epoch).Seconds(),
+			"active_connections":  st.ActiveConnections,
+			"total_connections":   st.TotalConnections,
+			"clients":             clients,
+			"clients_evicted":     s.mEvicted.Value(),
+			"sink_write_failures": s.mSinkFailures.Value(),
 		})
 	})
 	return mux
@@ -426,6 +566,7 @@ func (s *service) state(client string) *clientState {
 		cs = &clientState{
 			streamer:     sessionid.NewStreamer(sessionid.PaperParams),
 			activeStarts: map[uint64]float64{},
+			recent:       newTxnRing(s.opts.maxSessionTxns),
 		}
 		if s.track {
 			cs.tracked = core.NewTrackedSession()
@@ -441,7 +582,11 @@ func (s *service) onConnOpen(r tlsproxy.Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cs := s.state(clientHost(r.ClientAddr))
-	cs.activeStarts[r.ConnID] = r.Start.Sub(s.epoch).Seconds()
+	start := r.Start.Sub(s.epoch).Seconds()
+	cs.activeStarts[r.ConnID] = start
+	if start > cs.lastActivity {
+		cs.lastActivity = start
+	}
 }
 
 // onTransaction exports a completed transaction to the configured
@@ -453,17 +598,26 @@ func (s *service) onTransaction(r tlsproxy.Record) {
 	cs := s.state(client)
 	txn := tlsproxy.ToCaptureTransactions([]tlsproxy.Record{r}, s.epoch)[0]
 	s.mTxns.Inc()
-	if s.outFile != nil {
-		fmt.Fprintf(s.outFile, "%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
+	if s.out != nil {
+		s.writeSink(s.out, fmt.Sprintf("%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes))
 	}
-	if s.squidFile != nil {
-		fmt.Fprintln(s.squidFile, squidlog.FormatEntry(client, txn, float64(s.epoch.Unix())))
+	if s.squid != nil {
+		s.writeSink(s.squid, squidlog.FormatEntry(client, txn, float64(s.epoch.Unix()))+"\n")
 	}
 	s.log.Debug("transaction",
 		"sni", r.SNI, "client", client, "conn_id", r.ConnID,
 		"duration_s", r.End.Sub(r.Start).Seconds(), "up_bytes", r.UpBytes, "down_bytes", r.DownBytes)
 
-	cs.all = append(cs.all, txn)
+	if txn.End > cs.lastActivity {
+		cs.lastActivity = txn.End
+	}
+	cs.txns++
+	cs.upBytes += txn.UpBytes
+	cs.downBytes += txn.DownBytes
+	cs.durStats.Observe(txn.End - txn.Start)
+	if cs.recent.push(txn) > 0 {
+		s.noteTruncation(cs)
+	}
 	delete(cs.activeStarts, r.ConnID)
 	// Insert sorted by start: connections end out of order, the
 	// sessionizer wants start order.
@@ -471,7 +625,23 @@ func (s *service) onTransaction(r tlsproxy.Record) {
 	cs.buffer = append(cs.buffer, capture.TLSTransaction{})
 	copy(cs.buffer[i+1:], cs.buffer[i:])
 	cs.buffer[i] = txn
+	// A single long-lived connection can pin the watermark while later
+	// transactions pile up behind it; the reorder buffer is capped like
+	// every other per-client run.
+	if capRun(&cs.buffer, s.opts.maxSessionTxns) > 0 {
+		s.noteTruncation(cs)
+	}
 	s.advance(client, cs)
+}
+
+// noteTruncation counts a client's current session toward
+// qoeproxy_sessions_truncated_total, once per session. The caller
+// holds s.mu.
+func (s *service) noteTruncation(cs *clientState) {
+	if !cs.truncated {
+		cs.truncated = true
+		s.mTruncated.Inc()
+	}
 }
 
 // advance pushes every buffered transaction at or before the client's
@@ -516,7 +686,8 @@ func (s *service) apply(client string, cs *clientState, decisions []sessionid.De
 			s.mBoundaries.Inc()
 			s.log.Debug("session boundary", "client", client, "boundaries", cs.boundaries,
 				"closed_session_txns", len(cs.current))
-			cs.current = nil
+			cs.current = cs.current[:0]
+			cs.truncated = false
 			if cs.tracked != nil {
 				cs.tracked.Reset()
 			}
@@ -525,6 +696,16 @@ func (s *service) apply(client string, cs *clientState, decisions []sessionid.De
 		if cs.tracked != nil {
 			cs.tracked.Observe(full)
 			s.mIngested.Inc()
+		}
+	}
+	if capRun(&cs.current, s.opts.maxSessionTxns) > 0 {
+		s.noteTruncation(cs)
+		if cs.tracked != nil {
+			// The accumulator only grows, so rebuild it over the capped
+			// session; classifications keep matching a batch extraction
+			// of exactly the retained transactions.
+			cs.tracked.Reset()
+			cs.tracked.ObserveAll(cs.current)
 		}
 	}
 }
@@ -569,11 +750,12 @@ func (s *service) classifyPass(now time.Time) {
 	t1 := time.Now()
 	classes, err := s.est.ClassifyRows(rows)
 	s.mInfer.Observe(time.Since(t1).Seconds())
-	s.mRuns.Inc()
 	if err != nil {
+		s.mClassErrors.Inc()
 		s.log.Error("classification failed", "err", err)
 		return
 	}
+	s.mRuns.Inc()
 	s.mu.Lock()
 	for i, client := range names {
 		if cs, ok := s.clients[client]; ok {
@@ -640,6 +822,65 @@ func (b byName) Swap(i, j int) {
 }
 func (b byName) Less(i, j int) bool { return b.names[i] < b.names[j] }
 
+// evictIdle removes every client whose last activity predates
+// -client-ttl and has no open connections: the client's streamer is
+// flushed (finalizing pending decisions), its final classification is
+// emitted to the log and prediction counters, and its state is
+// deleted — keeping the clients map O(active clients). Runs on the
+// classify tick, after classifyPass, on the same goroutine (the
+// estimator's scratch buffers are not concurrency-safe).
+func (s *service) evictIdle(now time.Time) {
+	ttl := s.opts.clientTTL
+	if ttl <= 0 {
+		return
+	}
+	nowSec := now.Sub(s.epoch).Seconds()
+	type evictee struct {
+		client     string
+		txns       []capture.TLSTransaction
+		total      int64
+		boundaries int64
+		meanDur    float64
+		downBytes  int64
+	}
+	s.mu.Lock()
+	var gone []evictee
+	for client, cs := range s.clients {
+		if len(cs.activeStarts) > 0 || nowSec-cs.lastActivity < ttl.Seconds() {
+			continue
+		}
+		s.advance(client, cs)
+		s.apply(client, cs, cs.streamer.Flush())
+		gone = append(gone, evictee{
+			client:     client,
+			txns:       cs.recent.snapshot(nil),
+			total:      cs.txns,
+			boundaries: cs.boundaries,
+			meanDur:    cs.durStats.Mean(),
+			downBytes:  cs.downBytes,
+		})
+		delete(s.clients, client)
+		s.mEvicted.Inc()
+	}
+	s.mu.Unlock()
+	sort.Slice(gone, func(i, j int) bool { return gone[i].client < gone[j].client })
+	for _, e := range gone {
+		attrs := []any{"client", e.client, "transactions", e.total,
+			"boundaries", e.boundaries, "down_bytes", e.downBytes,
+			"mean_txn_seconds", e.meanDur}
+		if s.est != nil && len(e.txns) > 0 {
+			class, err := s.est.Classify(e.txns)
+			if err != nil {
+				s.log.Error("eviction classification failed", "client", e.client, "err", err)
+			} else {
+				s.mPred.Inc(s.names[class])
+				attrs = append(attrs, "class", s.names[class])
+			}
+		}
+		s.log.Info("client evicted", attrs...)
+	}
+}
+
 // drain finishes the sessionizers after the proxy has stopped and
 // prints the per-client shutdown summary.
 func (s *service) drain() {
@@ -664,23 +905,30 @@ func (s *service) drain() {
 	defer s.mu.Unlock()
 	for _, c := range clients {
 		cs := s.clients[c]
-		if len(cs.all) == 0 {
+		// The summary classifies the retained ring — the whole history
+		// for clients under -max-session-txns, the most recent slice
+		// beyond it (lifetime counts still report the full totals).
+		txns := cs.recent.snapshot(nil)
+		if len(txns) == 0 {
 			continue
 		}
-		class, err := s.est.Classify(cs.all)
+		class, err := s.est.Classify(txns)
 		if err != nil {
 			s.log.Error("shutdown classification failed", "client", c, "err", err)
 			continue
 		}
 		fmt.Printf("client %-22s sessions-qoe=%s (%d transactions, %d boundaries)\n",
-			c, s.names[class], len(cs.all), cs.boundaries)
+			c, s.names[class], cs.txns, cs.boundaries)
 	}
 }
 
-// clientHost strips the port from a client address.
+// clientHost strips the port from a client address. Bare addresses —
+// including bare IPv6 like "::1", which a naive LastIndex(":") cut
+// would mangle to "::" — pass through unchanged.
 func clientHost(addr string) string {
-	if i := strings.LastIndex(addr, ":"); i > 0 {
-		return addr[:i]
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
 	}
-	return addr
+	return host
 }

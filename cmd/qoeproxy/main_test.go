@@ -68,11 +68,22 @@ func TestLoadResolverErrors(t *testing.T) {
 }
 
 func TestClientHost(t *testing.T) {
-	if clientHost("10.0.0.5:51234") != "10.0.0.5" {
-		t.Error("port not stripped")
+	tests := []struct {
+		addr, want string
+	}{
+		{"10.0.0.5:51234", "10.0.0.5"},
+		{"1.2.3.4:5", "1.2.3.4"},
+		{"noport", "noport"},
+		{"[::1]:443", "::1"},
+		{"::1", "::1"}, // bare IPv6: a LastIndex(":") cut would yield "::"
+		{"[2001:db8::42]:8443", "2001:db8::42"},
+		{"2001:db8::42", "2001:db8::42"},
+		{"", ""},
 	}
-	if clientHost("noport") != "noport" {
-		t.Error("portless address mangled")
+	for _, tc := range tests {
+		if got := clientHost(tc.addr); got != tc.want {
+			t.Errorf("clientHost(%q) = %q, want %q", tc.addr, got, tc.want)
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+// Package faultinject provides deterministic fault wrappers for the
+// repo's chaos tests, modelled on the fault shapes container chaos
+// tools (pumba et al.) inject into live systems: connections and
+// writers that stall, error or short-write on a schedule. Wrappers are
+// driven by operation and byte counts — never by wall-clock sampling
+// or randomness — so every chaos test replays identically.
+//
+// The two wrappers are Conn (a net.Conn whose read and/or write side
+// misbehaves) and Writer (an io.Writer that fails like a full disk).
+// A Schedule decides when the fault arms and for how long it holds:
+//
+//	// Backend whose reads start failing after 64 KiB have flowed:
+//	c := faultinject.WrapConn(backend, faultinject.Schedule{
+//		Fault: faultinject.FaultError, AfterBytes: 64 << 10,
+//	}, faultinject.Schedule{})
+//
+//	// Sink that rejects the next three writes, then recovers:
+//	w := faultinject.NewWriter(f, faultinject.Schedule{
+//		Fault: faultinject.FaultError, Ops: 3,
+//	})
+//
+// All wrappers are safe for concurrent use.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by FaultError schedules.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is the kind of misbehaviour a Schedule injects.
+type Fault int
+
+const (
+	// FaultNone passes every operation through untouched.
+	FaultNone Fault = iota
+	// FaultError fails the operation with Schedule.Err (ErrInjected when
+	// unset) without transferring any bytes.
+	FaultError
+	// FaultStall sleeps Schedule.Stall before performing the operation,
+	// emulating a peer that has stopped draining its socket.
+	FaultStall
+	// FaultShortWrite transfers only half the requested bytes and, on
+	// writes, reports io.ErrShortWrite — the torn-write shape a filling
+	// disk or dying peer produces.
+	FaultShortWrite
+)
+
+// Schedule arms a fault after deterministic thresholds and bounds how
+// long it holds. The zero Schedule injects nothing.
+type Schedule struct {
+	// Fault is the misbehaviour to inject; FaultNone disables the
+	// schedule.
+	Fault Fault
+	// AfterOps arms the fault starting with operation index AfterOps
+	// (0 = the very first operation).
+	AfterOps int
+	// AfterBytes additionally requires this many bytes to have passed
+	// through the wrapper before the fault arms.
+	AfterBytes int64
+	// Ops bounds how many operations the fault applies to once armed;
+	// 0 means it holds forever (a sticky fault).
+	Ops int
+	// Err overrides ErrInjected for FaultError schedules.
+	Err error
+	// Stall is how long FaultStall sleeps before letting the operation
+	// proceed.
+	Stall time.Duration
+}
+
+func (s Schedule) err() error {
+	if s.Err != nil {
+		return s.Err
+	}
+	return ErrInjected
+}
+
+// injector applies one Schedule to a stream of operations.
+type injector struct {
+	mu    sync.Mutex
+	sched Schedule
+	ops   int
+	bytes int64
+	fired int
+}
+
+// arm reports whether the fault applies to the next operation and
+// advances the operation counter.
+func (in *injector) arm() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	idx := in.ops
+	in.ops++
+	if in.sched.Fault == FaultNone {
+		return false
+	}
+	if idx < in.sched.AfterOps || in.bytes < in.sched.AfterBytes {
+		return false
+	}
+	if in.sched.Ops > 0 && in.fired >= in.sched.Ops {
+		return false
+	}
+	in.fired++
+	return true
+}
+
+// account records bytes that actually moved through the wrapper.
+func (in *injector) account(n int) {
+	in.mu.Lock()
+	in.bytes += int64(n)
+	in.mu.Unlock()
+}
+
+// firedCount reports how many operations the schedule has faulted.
+func (in *injector) firedCount() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// do runs one operation under the schedule. op performs the real
+// transfer over p (possibly truncated for FaultShortWrite).
+func (in *injector) do(p []byte, shortErr error, op func([]byte) (int, error)) (int, error) {
+	if !in.arm() {
+		n, err := op(p)
+		in.account(n)
+		return n, err
+	}
+	switch in.sched.Fault {
+	case FaultError:
+		return 0, in.sched.err()
+	case FaultStall:
+		time.Sleep(in.sched.Stall)
+		n, err := op(p)
+		in.account(n)
+		return n, err
+	case FaultShortWrite:
+		if len(p) > 1 {
+			p = p[:len(p)/2]
+		}
+		n, err := op(p)
+		in.account(n)
+		if err == nil {
+			err = shortErr
+		}
+		return n, err
+	}
+	n, err := op(p)
+	in.account(n)
+	return n, err
+}
+
+// Writer is an io.Writer whose writes fail on a schedule.
+type Writer struct {
+	w  io.Writer
+	in injector
+}
+
+// NewWriter wraps w with a fault schedule.
+func NewWriter(w io.Writer, s Schedule) *Writer {
+	return &Writer{w: w, in: injector{sched: s}}
+}
+
+// Write forwards to the wrapped writer unless the schedule faults it.
+func (w *Writer) Write(p []byte) (int, error) {
+	return w.in.do(p, io.ErrShortWrite, w.w.Write)
+}
+
+// Fired reports how many writes the schedule has faulted so far.
+func (w *Writer) Fired() int { return w.in.firedCount() }
+
+// Conn is a net.Conn whose read and write sides fault independently.
+type Conn struct {
+	net.Conn
+	read, write injector
+}
+
+// WrapConn wraps c with independent read- and write-side schedules.
+func WrapConn(c net.Conn, read, write Schedule) *Conn {
+	return &Conn{Conn: c, read: injector{sched: read}, write: injector{sched: write}}
+}
+
+// Read forwards to the wrapped connection unless the read schedule
+// faults it. A FaultShortWrite read is simply a legal short read, so no
+// error accompanies it.
+func (c *Conn) Read(p []byte) (int, error) {
+	return c.read.do(p, nil, c.Conn.Read)
+}
+
+// Write forwards to the wrapped connection unless the write schedule
+// faults it.
+func (c *Conn) Write(p []byte) (int, error) {
+	return c.write.do(p, io.ErrShortWrite, c.Conn.Write)
+}
+
+// ReadsFired reports how many reads have been faulted.
+func (c *Conn) ReadsFired() int { return c.read.firedCount() }
+
+// WritesFired reports how many writes have been faulted.
+func (c *Conn) WritesFired() int { return c.write.firedCount() }

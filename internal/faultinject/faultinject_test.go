@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriterPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Schedule{})
+	for i := 0; i < 5; i++ {
+		if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if buf.String() != strings.Repeat("abc", 5) {
+		t.Errorf("buffer = %q", buf.String())
+	}
+	if w.Fired() != 0 {
+		t.Errorf("Fired = %d on an empty schedule", w.Fired())
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Schedule{Fault: FaultError})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("bytes leaked through a sticky error: %q", buf.String())
+	}
+	if w.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", w.Fired())
+	}
+}
+
+func TestWriterErrorBurstThenRecovers(t *testing.T) {
+	var buf bytes.Buffer
+	custom := errors.New("disk full")
+	w := NewWriter(&buf, Schedule{Fault: FaultError, Ops: 2, Err: custom})
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("x")); !errors.Is(err, custom) {
+			t.Fatalf("write %d: err = %v, want custom error", i, err)
+		}
+	}
+	if n, err := w.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("post-burst write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "ok" {
+		t.Errorf("buffer = %q, want \"ok\"", buf.String())
+	}
+}
+
+func TestWriterAfterOps(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Schedule{Fault: FaultError, AfterOps: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("a")); err != nil {
+			t.Fatalf("write %d should pass: %v", i, err)
+		}
+	}
+	if _, err := w.Write([]byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write passed, want injected error")
+	}
+}
+
+func TestWriterAfterBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Schedule{Fault: FaultError, AfterBytes: 10})
+	if _, err := w.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatal("write after byte threshold passed, want injected error")
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Schedule{Fault: FaultShortWrite, Ops: 1})
+	n, err := w.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v, want 3/ErrShortWrite", n, err)
+	}
+	if n, err := w.Write([]byte("gh")); n != 2 || err != nil {
+		t.Fatalf("recovered write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcgh" {
+		t.Errorf("buffer = %q", buf.String())
+	}
+}
+
+// pipeConns returns two ends of an in-memory connection.
+func pipeConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestConnReadErrorAfterBytes(t *testing.T) {
+	a, b := pipeConns(t)
+	fc := WrapConn(a, Schedule{Fault: FaultError, AfterBytes: 4}, Schedule{})
+	go func() {
+		b.Write([]byte("abcd"))
+		b.Write([]byte("efgh"))
+	}()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past byte threshold: err = %v, want ErrInjected", err)
+	}
+	if fc.ReadsFired() == 0 {
+		t.Error("ReadsFired = 0 after an injected read fault")
+	}
+}
+
+func TestConnWriteFaultIndependentOfRead(t *testing.T) {
+	a, b := pipeConns(t)
+	fc := WrapConn(a, Schedule{}, Schedule{Fault: FaultError})
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: err = %v, want ErrInjected", err)
+	}
+	go b.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatalf("read side must be unaffected: %v", err)
+	}
+	if fc.WritesFired() != 1 {
+		t.Errorf("WritesFired = %d, want 1", fc.WritesFired())
+	}
+}
+
+func TestConnStallDelaysButDelivers(t *testing.T) {
+	a, b := pipeConns(t)
+	const stall = 50 * time.Millisecond
+	fc := WrapConn(a, Schedule{Fault: FaultStall, Stall: stall, Ops: 1}, Schedule{})
+	go b.Write([]byte("hi"))
+	start := time.Now()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatalf("stalled read failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Errorf("read returned after %v, want >= %v", elapsed, stall)
+	}
+	if string(buf) != "hi" {
+		t.Errorf("read %q, want \"hi\"", buf)
+	}
+}

@@ -290,6 +290,70 @@ func Clamp(x, lo, hi float64) float64 {
 	return x
 }
 
+// Running accumulates summary statistics online in O(1) memory:
+// count, sum, min, max and Welford-updated mean/variance. It is the
+// bounded-state counterpart of Summarize for long-lived consumers
+// (e.g. per-client aggregates in cmd/qoeproxy) that cannot retain
+// every observation. The zero value is an empty accumulator; it is
+// not safe for concurrent use.
+type Running struct {
+	n        int64
+	min, max float64
+	sum      float64
+	mean, m2 float64
+}
+
+// Observe folds one value into the accumulator.
+func (r *Running) Observe(x float64) {
+	r.n++
+	if r.n == 1 || x < r.min {
+		r.min = x
+	}
+	if r.n == 1 || x > r.max {
+		r.max = x
+	}
+	r.sum += x
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N reports how many values have been observed.
+func (r *Running) N() int64 { return r.n }
+
+// Min returns the smallest observed value, or 0 before any Observe.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observed value, or 0 before any Observe.
+func (r *Running) Max() float64 { return r.max }
+
+// Sum returns the sum of observed values.
+func (r *Running) Sum() float64 { return r.sum }
+
+// Mean returns the arithmetic mean, or 0 before any Observe.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.mean
+}
+
+// Variance returns the population variance, or 0 when fewer than two
+// values have been observed — matching Variance on the same multiset
+// up to floating-point rounding.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset empties the accumulator for reuse.
+func (r *Running) Reset() { *r = Running{} }
+
 // Sparkline renders values as a compact unicode bar chart, for
 // terminal-friendly views of distributions. Empty input yields "".
 func Sparkline(values []float64) string {

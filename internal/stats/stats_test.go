@@ -342,3 +342,47 @@ func TestSummarizeSortedMatchesSummarize(t *testing.T) {
 		t.Error("empty input should yield the zero Summary")
 	}
 }
+
+// TestRunningMatchesBatch folds values one at a time and compares the
+// online aggregates against the batch functions over the same data.
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{3.5, -1, 0, 7.25, 7.25, 2, -8.5, 100, 0.125}
+	var r Running
+	for i, x := range xs {
+		r.Observe(x)
+		seen := xs[:i+1]
+		if r.N() != int64(len(seen)) {
+			t.Fatalf("after %d observes: N = %d", i+1, r.N())
+		}
+		if r.Min() != Min(seen) || r.Max() != Max(seen) {
+			t.Fatalf("after %d observes: min/max = %g/%g, want %g/%g",
+				i+1, r.Min(), r.Max(), Min(seen), Max(seen))
+		}
+		if diff := math.Abs(r.Mean() - Mean(seen)); diff > 1e-12 {
+			t.Fatalf("after %d observes: mean off by %g", i+1, diff)
+		}
+		if diff := math.Abs(r.Variance() - Variance(seen)); diff > 1e-9 {
+			t.Fatalf("after %d observes: variance off by %g", i+1, diff)
+		}
+		if diff := math.Abs(r.StdDev() - StdDev(seen)); diff > 1e-9 {
+			t.Fatalf("after %d observes: stddev off by %g", i+1, diff)
+		}
+	}
+}
+
+// TestRunningZeroAndReset pins the empty-accumulator contract.
+func TestRunningZeroAndReset(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Min() != 0 || r.Max() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Errorf("zero Running not all-zero: %+v", r)
+	}
+	r.Observe(5)
+	if r.Variance() != 0 {
+		t.Error("variance of a single observation should be 0")
+	}
+	r.Observe(-5)
+	r.Reset()
+	if r.N() != 0 || r.Min() != 0 || r.Max() != 0 || r.Sum() != 0 {
+		t.Errorf("Reset left state behind: %+v", r)
+	}
+}

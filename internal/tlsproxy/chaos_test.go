@@ -1,0 +1,217 @@
+package tlsproxy
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"droppackets/internal/faultinject"
+)
+
+// chaosHarness stands up an origin plus a proxy whose backend
+// connections are wrapped with the given fault schedules, and collects
+// every emitted Record.
+type chaosHarness struct {
+	origin *Origin
+	proxy  *Proxy
+	addr   string
+
+	mu      sync.Mutex
+	opened  []Record
+	records []Record
+}
+
+func newChaosHarness(t *testing.T, read, write faultinject.Schedule) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{origin: NewOrigin(0)}
+	ol, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.origin.Serve(ol)
+	t.Cleanup(func() { h.origin.Close() })
+
+	proxy, err := New(Config{
+		Resolver: StaticResolver(ol.Addr().String()),
+		Dialer: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			c, err := net.DialTimeout(network, addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.WrapConn(c, read, write), nil
+		},
+		OnConnOpen: func(r Record) {
+			h.mu.Lock()
+			h.opened = append(h.opened, r)
+			h.mu.Unlock()
+		},
+		OnTransaction: func(r Record) {
+			h.mu.Lock()
+			h.records = append(h.records, r)
+			h.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.proxy = proxy
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	t.Cleanup(func() { proxy.Close() })
+	h.addr = pl.Addr().String()
+	return h
+}
+
+// waitRecords blocks until n transaction records have arrived.
+func (h *chaosHarness) waitRecords(t *testing.T, n int) []Record {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.mu.Lock()
+		got := len(h.records)
+		out := append([]Record(nil), h.records...)
+		h.mu.Unlock()
+		if got >= n {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d records, have %d", n, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosBackendDiesMidRelay kills the backend leg (injected read
+// error) partway through a fetch and requires the contract the online
+// sessionizer depends on: the final Record is still emitted with the
+// partial byte counts, and the proxy keeps serving new connections
+// afterwards with honest stats.
+func TestChaosBackendDiesMidRelay(t *testing.T) {
+	const dieAfter = 64 << 10
+	h := newChaosHarness(t,
+		faultinject.Schedule{Fault: faultinject.FaultError, AfterBytes: dieAfter},
+		faultinject.Schedule{})
+
+	client, err := Dial(h.addr, "cdn-01.svc1.example")
+	if err != nil {
+		t.Fatalf("dial through proxy: %v", err)
+	}
+	// Big enough that the injected error fires mid-stream.
+	if _, err := client.Fetch(512 << 10); err == nil {
+		t.Error("fetch succeeded although the backend died mid-relay")
+	}
+	client.Close()
+
+	records := h.waitRecords(t, 1)
+	r := records[0]
+	if r.DownBytes <= 0 || r.DownBytes >= 512<<10 {
+		t.Errorf("DownBytes = %d, want partial transfer in (0, %d)", r.DownBytes, 512<<10)
+	}
+	if r.End.Before(r.Start) {
+		t.Error("record End precedes Start")
+	}
+	h.mu.Lock()
+	opens := len(h.opened)
+	h.mu.Unlock()
+	if opens != 1 {
+		t.Errorf("OnConnOpen fired %d times, want 1", opens)
+	}
+
+	// The daemon must keep serving: a second, small fetch stays under
+	// the byte threshold's remaining budget only if the injector is
+	// per-connection — which it is, because each dial wraps a fresh conn.
+	second, err := Dial(h.addr, "cdn-01.svc1.example")
+	if err != nil {
+		t.Fatalf("proxy stopped accepting after a backend fault: %v", err)
+	}
+	if _, err := second.Fetch(8 << 10); err != nil {
+		t.Errorf("small fetch after fault failed: %v", err)
+	}
+	second.Close()
+	records = h.waitRecords(t, 2)
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	st := h.proxy.Stats()
+	if st.TotalConnections != 2 {
+		t.Errorf("TotalConnections = %d, want 2", st.TotalConnections)
+	}
+	if st.DialFailures != 0 || st.HelloFailures != 0 {
+		t.Errorf("fault misclassified: dial=%d hello=%d, want 0/0", st.DialFailures, st.HelloFailures)
+	}
+	if st.RelayedDownBytes != records[0].DownBytes+records[1].DownBytes {
+		t.Errorf("RelayedDownBytes = %d, want sum of per-record counts %d",
+			st.RelayedDownBytes, records[0].DownBytes+records[1].DownBytes)
+	}
+}
+
+// TestChaosBackendStallsThenRecovers injects a one-shot stall on the
+// backend read side and requires the relay to deliver everything once
+// the stall clears — degraded, not broken.
+func TestChaosBackendStallsThenRecovers(t *testing.T) {
+	const stall = 150 * time.Millisecond
+	h := newChaosHarness(t,
+		faultinject.Schedule{Fault: faultinject.FaultStall, Stall: stall, AfterOps: 2, Ops: 1},
+		faultinject.Schedule{})
+
+	client, err := Dial(h.addr, "cdn-02.svc1.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fetch = 128 << 10
+	elapsed, err := client.Fetch(fetch)
+	if err != nil {
+		t.Fatalf("fetch through stalling backend: %v", err)
+	}
+	if elapsed < stall {
+		t.Errorf("fetch took %v, expected at least the %v stall", elapsed, stall)
+	}
+	client.Close()
+
+	records := h.waitRecords(t, 1)
+	if got := records[0].DownBytes; got < fetch {
+		t.Errorf("DownBytes = %d, want >= %d after the stall cleared", got, fetch)
+	}
+}
+
+// TestChaosDialFailureCounted routes the dial itself through the fault
+// injector and checks the failure lands in the dial taxonomy while the
+// listener stays up.
+func TestChaosDialFailureCounted(t *testing.T) {
+	proxy, err := New(Config{
+		Resolver: StaticResolver("203.0.113.1:9"),
+		Dialer: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			return nil, faultinject.ErrInjected
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+
+	if _, err := Dial(pl.Addr().String(), "cdn-01.svc1.example"); err == nil {
+		t.Error("dial through proxy succeeded although every backend dial fails")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for proxy.Stats().DialFailures == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := proxy.Stats().DialFailures; got != 1 {
+		t.Errorf("DialFailures = %d, want 1", got)
+	}
+	// Still accepting: a failed backend dial must not wedge the accept loop.
+	c, err := net.DialTimeout("tcp", pl.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("listener dead after dial failure: %v", err)
+	}
+	c.Close()
+}

@@ -76,6 +76,11 @@ type Config struct {
 	HelloTimeout time.Duration
 	// DialTimeout bounds upstream dials (default 10 s).
 	DialTimeout time.Duration
+	// Dialer overrides how backend connections are established (default
+	// net.DialTimeout). Chaos tests inject stalling or erroring
+	// connections here (internal/faultinject); production deployments
+	// can route through SOCKS or bind to a specific interface.
+	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Logger receives diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -149,6 +154,9 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = net.DialTimeout
 	}
 	return &Proxy{
 		cfg:       cfg,
@@ -266,7 +274,7 @@ func (p *Proxy) handle(client net.Conn) {
 		p.logf("resolve %q: %v", sni, err)
 		return
 	}
-	backend, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
+	backend, err := p.cfg.Dialer("tcp", addr, p.cfg.DialTimeout)
 	if err != nil {
 		p.dialFailures.Add(1)
 		p.logf("dial %s for %q: %v", addr, sni, err)

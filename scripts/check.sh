@@ -18,13 +18,13 @@ echo "== go vet =="
 go vet ./...
 
 echo "== doc lint (operator-facing packages) =="
-go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject
 
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (concurrent packages) =="
-go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./cmd/qoeproxy
+echo "== go test -race (concurrent packages, incl. faultinject-backed chaos tests) =="
+go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./cmd/qoeproxy
 
 echo "== feature benchmarks (smoke) =="
 go test -run '^$' -bench Feature -benchtime 1x .

@@ -26,6 +26,11 @@ import (
 var coreSeries = []string{
 	"qoeproxy_transactions_total",
 	"qoeproxy_session_boundaries_total",
+	"qoeproxy_classification_runs_total",
+	"qoeproxy_classification_errors_total",
+	"qoeproxy_sessions_truncated_total",
+	"qoeproxy_sink_write_failures_total",
+	"qoeproxy_clients_evicted_total",
 	"qoeproxy_qoe_predictions_total",
 	"qoeproxy_inference_seconds",
 	"qoeproxy_feature_extraction_seconds",

@@ -67,20 +67,22 @@ func newTestService(t *testing.T, opts options, est *core.Estimator) (*service, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &service{
-		opts:    opts,
-		log:     slog.New(slog.NewJSONHandler(logs, nil)),
-		est:     est,
-		epoch:   time.Unix(1_700_000_000, 0),
-		proxy:   proxy,
-		clients: map[string]*clientState{},
-	}
-	if est != nil {
-		s.names = core.ClassNames(est.Metric())
-		s.track = opts.window <= 0
-	}
+	s := newService(opts, slog.New(slog.NewJSONHandler(logs, nil)), est)
+	t.Cleanup(s.stopSinkWriter)
+	s.epoch = time.Unix(1_700_000_000, 0)
+	s.proxy = proxy
 	s.registerMetrics()
 	return s, logs
+}
+
+// client returns the live state for a client host, or nil. Tests read
+// the returned state without the shard lock, which is safe only while
+// no other goroutine is feeding the service.
+func (s *service) client(host string) *clientState {
+	sh := s.shardFor(host)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.clients[host]
 }
 
 // record builds a completed-transaction record at the given epoch
@@ -131,6 +133,7 @@ func TestSinkWriteFailures(t *testing.T) {
 		s.onConnOpen(r)
 		s.onTransaction(r)
 	}
+	s.flushSinks() // writes happen on the writer goroutine
 	if got := s.mSinkFailures.Value(); got != 2 {
 		t.Errorf("sink_write_failures = %d, want 2", got)
 	}
@@ -144,6 +147,7 @@ func TestSinkWriteFailures(t *testing.T) {
 	r := s.record(3, "10.1.1.1:5000", "cdn-01.svc1.example", 3, 3.5, 100, 1000)
 	s.onConnOpen(r)
 	s.onTransaction(r) // sink recovered
+	s.flushSinks()
 	if got := logs.countLogMsg(t, "sink recovered"); got != 1 {
 		t.Errorf("recovery logged %d times, want once", got)
 	}
@@ -157,10 +161,7 @@ func TestSinkWriteFailures(t *testing.T) {
 	if got := s.mTxns.Value(); got != 3 {
 		t.Errorf("transactions_total = %d, want 3", got)
 	}
-	s.mu.Lock()
-	cs := s.clients["10.1.1.1"]
-	s.mu.Unlock()
-	if cs == nil || cs.txns != 3 {
+	if cs := s.client("10.1.1.1"); cs == nil || cs.txns != 3 {
 		t.Fatalf("client state lost transactions during the sink burst: %+v", cs)
 	}
 }
@@ -176,10 +177,8 @@ func TestServeLoopDrainsOnListenerError(t *testing.T) {
 		s.onConnOpen(r)
 		s.onTransaction(r)
 	}
-	s.mu.Lock()
-	cs := s.clients["10.2.2.2"]
+	cs := s.client("10.2.2.2")
 	pending := len(cs.inFlight) + len(cs.buffer)
-	s.mu.Unlock()
 	if pending == 0 {
 		t.Fatal("test needs transactions still pending inside the streamer's look-ahead")
 	}
@@ -191,8 +190,6 @@ func TestServeLoopDrainsOnListenerError(t *testing.T) {
 		t.Fatalf("serveLoop returned %v, want the listener error", err)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(cs.inFlight) != 0 || len(cs.buffer) != 0 {
 		t.Errorf("listener-error exit left %d in-flight and %d buffered transactions undrained",
 			len(cs.inFlight), len(cs.buffer))
@@ -223,9 +220,7 @@ func TestClassificationErrorsMetric(t *testing.T) {
 	if got := logs.countLogMsg(t, "classification failed"); got != 1 {
 		t.Errorf("failure logged %d times, want 1", got)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.clients["10.3.3.3"].hasClass {
+	if s.client("10.3.3.3").hasClass {
 		t.Error("a failed pass must not record a classification")
 	}
 }
@@ -241,6 +236,7 @@ func TestSinkShortWriteCounted(t *testing.T) {
 	r := s.record(1, "10.4.4.4:8000", "cdn-01.svc1.example", 0, 0.5, 100, 1000)
 	s.onConnOpen(r)
 	s.onTransaction(r)
+	s.flushSinks()
 	if got := s.mSinkFailures.Value(); got != 1 {
 		t.Errorf("sink_write_failures = %d after a short write, want 1", got)
 	}

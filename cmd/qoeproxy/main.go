@@ -13,7 +13,8 @@
 //	         [-resolve map.txt] [-out transactions.csv]
 //	         [-squid-log access.log] [-model model.json]
 //	         [-metrics 127.0.0.1:9090] [-classify-every 30s]
-//	         [-window 4m] [-client-ttl 1h] [-max-session-txns 4096] [-v]
+//	         [-window 4m] [-client-ttl 1h] [-max-session-txns 4096]
+//	         [-shards N] [-classify-workers N] [-v]
 //
 // The resolver map file holds "sni backend:port" lines; unlisted SNIs
 // fall back to -upstream. Logs are JSON lines on stderr (-v adds
@@ -21,10 +22,14 @@
 // are evicted after -client-ttl (their final classification is
 // emitted first) and retained transaction state is capped at
 // -max-session-txns, so the daemon's footprint is O(active clients),
-// not O(all traffic ever seen). Stop with SIGINT/SIGTERM: the proxy
-// stops accepting, drains open relays, flushes the sessionizers,
-// prints per-client QoE estimates (if -model is given) and exits
-// cleanly. docs/OPERATIONS.md is the full runbook.
+// not O(all traffic ever seen). Per-client state is partitioned into
+// -shards lock-sharded maps (default GOMAXPROCS) so concurrent
+// connections ingest in parallel, and the classify tick fans out
+// across shards on a -classify-workers pool; outputs stay ordered
+// through a single sink-writer goroutine. Stop with SIGINT/SIGTERM:
+// the proxy stops accepting, drains open relays, flushes the
+// sessionizers, prints per-client QoE estimates (if -model is given)
+// and exits cleanly. docs/OPERATIONS.md is the full runbook.
 package main
 
 import (
@@ -39,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -67,6 +74,8 @@ func main() {
 	flag.DurationVar(&opts.window, "window", 4*time.Minute, "sliding window of transactions classified per pass (0 = whole current session)")
 	flag.DurationVar(&opts.clientTTL, "client-ttl", time.Hour, "evict a client's state after this much idle time, emitting its final classification (0 disables; swept on the classify tick)")
 	flag.IntVar(&opts.maxSessionTxns, "max-session-txns", 4096, "most transactions retained per client session and summary buffer; oldest are dropped beyond it (0 = unbounded)")
+	flag.IntVar(&opts.shards, "shards", 0, "lock shards for per-client state; ingest for clients on different shards never contends (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.classifyWorkers, "classify-workers", 0, "goroutines fanning the classify tick across shards (0 = GOMAXPROCS, capped at -shards)")
 	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -83,6 +92,7 @@ type options struct {
 	classifyEvery, window         time.Duration
 	clientTTL                     time.Duration
 	maxSessionTxns                int
+	shards, classifyWorkers       int
 	verbose                       bool
 }
 
@@ -250,7 +260,11 @@ func capRun(run *[]capture.TLSTransaction, limit int) int {
 // look-ahead window ever closes.
 
 // service is the running daemon: proxy plus sessionizers, estimator,
-// metrics and log sinks.
+// metrics and log sinks. Per-client state lives in lock shards so
+// concurrent connections only contend when their clients hash
+// together; everything outside the shards is either immutable after
+// startup, atomic, or owned by a single goroutine (the sink writer,
+// the classify tick).
 type service struct {
 	opts  options
 	log   *slog.Logger
@@ -261,56 +275,198 @@ type service struct {
 	proxy *tlsproxy.Proxy
 	reg   *metrics.Registry
 
-	mTxns         *metrics.Counter
-	mBoundaries   *metrics.Counter
-	mRuns         *metrics.Counter
-	mClassErrors  *metrics.Counter
-	mPred         *metrics.CounterVec
-	mInfer        *metrics.Histogram
-	mExtract      *metrics.Histogram
-	mIngested     *metrics.Counter
-	mTruncated    *metrics.Counter
-	mSinkFailures *metrics.Counter
-	mEvicted      *metrics.Counter
+	// shards partition the per-client state by FNV hash of the client
+	// host. Immutable after newService.
+	shards []*shard
+	// rowBuilders hold one extraction scratch per classify worker
+	// (windowed mode); worker w exclusively uses rowBuilders[w].
+	rowBuilders []*core.RowBuilder
 
+	mTxns          *metrics.Counter
+	mBoundaries    *metrics.Counter
+	mRuns          *metrics.Counter
+	mClassErrors   *metrics.Counter
+	mPred          *metrics.CounterVec
+	mPredClass     []*metrics.LabeledCounter // cached handles, aligned with names
+	mInfer         *metrics.Histogram
+	mExtract       *metrics.Histogram
+	mShardClassify *metrics.Histogram
+	mIngested      *metrics.Counter
+	mTruncated     *metrics.Counter
+	mSinkFailures  *metrics.Counter
+	mEvicted       *metrics.Counter
+	mContention    *metrics.Counter
+
+	out   *sink
+	squid *sink
+	// sinkCh feeds the single writer goroutine; records enqueue under
+	// their shard lock, so each client's lines stay in commit order
+	// while the hot path never blocks on file I/O.
+	sinkCh   chan sinkMsg
+	sinkDone chan struct{}
+	sinkStop sync.Once
+}
+
+// shard owns one partition of the per-client state: its mutex guards
+// the map and every clientState (and its sessionizer/accumulator)
+// reached through it.
+type shard struct {
 	mu      sync.Mutex
 	clients map[string]*clientState
-	out     *sink
-	squid   *sink
+}
+
+// newService assembles the daemon state around the given options,
+// normalising the concurrency knobs and starting the sink writer.
+// The caller attaches the proxy and calls registerMetrics before
+// serving traffic.
+func newService(opts options, logger *slog.Logger, est *core.Estimator) *service {
+	if opts.shards <= 0 {
+		opts.shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.classifyWorkers <= 0 {
+		opts.classifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.classifyWorkers > opts.shards {
+		opts.classifyWorkers = opts.shards
+	}
+	s := &service{
+		opts:  opts,
+		log:   logger,
+		est:   est,
+		epoch: time.Now(),
+	}
+	if est != nil {
+		s.names = core.ClassNames(est.Metric())
+		s.track = opts.window <= 0
+	}
+	s.shards = make([]*shard, opts.shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{clients: map[string]*clientState{}}
+	}
+	if est != nil && !s.track {
+		s.rowBuilders = make([]*core.RowBuilder, opts.classifyWorkers)
+		for i := range s.rowBuilders {
+			s.rowBuilders[i] = est.NewRowBuilder()
+		}
+	}
+	s.startSinkWriter()
+	return s
+}
+
+// shardIndex hashes a client host onto a shard with inline FNV-1a —
+// no allocation, stable across runs so tests can pin placements.
+func shardIndex(client string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(client); i++ {
+		h ^= uint32(client[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// shardFor returns the shard owning a client's state.
+func (s *service) shardFor(client string) *shard {
+	return s.shards[shardIndex(client, len(s.shards))]
+}
+
+// lockIngest takes a shard's lock from the ingest path, counting
+// acquisitions that had to wait in qoeproxy_ingest_contention_total —
+// the signal that -shards needs raising.
+func (s *service) lockIngest(sh *shard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	s.mContention.Inc()
+	sh.mu.Lock()
 }
 
 // sink is one transaction-record output (CSV or Squid log) with its
 // failure-burst state: failing flips on the first failed write and
 // back off on the first success, so each burst logs exactly once and
-// /healthz can report the degradation while it lasts.
+// /healthz can report the degradation while it lasts. Only the writer
+// goroutine writes; failing is atomic so /healthz can read it without
+// a lock.
 type sink struct {
 	w       io.Writer
 	name    string
-	failing bool
+	failing atomic.Bool
+}
+
+// sinkMsg is one unit of sink-writer work: a record line for a sink,
+// or (when sync is non-nil) a flush marker the writer acknowledges by
+// closing the channel.
+type sinkMsg struct {
+	k    *sink
+	line string
+	sync chan struct{}
+}
+
+// startSinkWriter launches the single goroutine that performs all
+// sink I/O, in enqueue order.
+func (s *service) startSinkWriter() {
+	s.sinkCh = make(chan sinkMsg, 1024)
+	s.sinkDone = make(chan struct{})
+	go func() {
+		defer close(s.sinkDone)
+		for m := range s.sinkCh {
+			if m.sync != nil {
+				close(m.sync)
+				continue
+			}
+			s.writeSink(m.k, m.line)
+		}
+	}()
+}
+
+// enqueueSink hands one record line to the writer goroutine. Callers
+// enqueue under their shard lock so a client's lines keep commit
+// order; a full channel applies backpressure to that shard only.
+func (s *service) enqueueSink(k *sink, line string) {
+	s.sinkCh <- sinkMsg{k: k, line: line}
+}
+
+// flushSinks blocks until every record enqueued before the call has
+// been written (or counted as failed).
+func (s *service) flushSinks() {
+	done := make(chan struct{})
+	s.sinkCh <- sinkMsg{sync: done}
+	<-done
+}
+
+// stopSinkWriter drains the queue and stops the writer goroutine.
+// Idempotent; no enqueues may follow.
+func (s *service) stopSinkWriter() {
+	s.sinkStop.Do(func() {
+		close(s.sinkCh)
+		<-s.sinkDone
+	})
 }
 
 // writeSink appends one record line to a sink, counting failed writes
-// in qoeproxy_sink_write_failures_total. The caller holds s.mu.
+// in qoeproxy_sink_write_failures_total. Runs only on the writer
+// goroutine.
 func (s *service) writeSink(k *sink, line string) {
 	if _, err := io.WriteString(k.w, line); err != nil {
 		s.mSinkFailures.Inc()
-		if !k.failing {
-			k.failing = true
+		if !k.failing.Swap(true) {
 			s.log.Error("sink write failing, records dropped until it recovers",
 				"sink", k.name, "err", err)
 		}
 		return
 	}
-	if k.failing {
-		k.failing = false
+	if k.failing.Swap(false) {
 		s.log.Info("sink recovered", "sink", k.name)
 	}
 }
 
 // sinksDegraded reports whether any configured sink is currently in a
-// failure burst. The caller holds s.mu.
+// failure burst.
 func (s *service) sinksDegraded() bool {
-	return (s.out != nil && s.out.failing) || (s.squid != nil && s.squid.failing)
+	return (s.out != nil && s.out.failing.Load()) || (s.squid != nil && s.squid.failing.Load())
 }
 
 // run wires the service together and blocks until SIGINT/SIGTERM or a
@@ -342,17 +498,8 @@ func run(opts options) error {
 			return err
 		}
 	}
-	s := &service{
-		opts:    opts,
-		log:     logger,
-		est:     est,
-		epoch:   time.Now(),
-		clients: map[string]*clientState{},
-	}
-	if est != nil {
-		s.names = core.ClassNames(est.Metric())
-		s.track = opts.window <= 0
-	}
+	s := newService(opts, logger, est)
+	defer s.stopSinkWriter()
 	if opts.outPath != "" {
 		f, empty, err := openAppend(opts.outPath)
 		if err != nil {
@@ -479,8 +626,11 @@ func (s *service) registerMetrics() {
 		"Periodic classification passes that failed (model/feature mismatch).")
 	s.mPred = r.NewCounterVec("qoeproxy_qoe_predictions_total",
 		"Online QoE predictions by class.", "class")
-	for _, n := range s.names {
-		s.mPred.With(n) // pre-declare so dashboards see zeros
+	s.mPredClass = make([]*metrics.LabeledCounter, len(s.names))
+	for i, n := range s.names {
+		// Cached handles: pre-declares the series (dashboards see zeros)
+		// and makes the per-prediction increment lock-free.
+		s.mPredClass[i] = s.mPred.WithLabel(n)
 	}
 	s.mInfer = r.NewHistogram("qoeproxy_inference_seconds",
 		"Latency of the model-prediction half of one classification pass.", nil)
@@ -494,6 +644,10 @@ func (s *service) registerMetrics() {
 		"Transaction records lost because a -out/-squid-log write failed.")
 	s.mEvicted = r.NewCounter("qoeproxy_clients_evicted_total",
 		"Clients evicted after -client-ttl of idleness, final classification emitted.")
+	s.mContention = r.NewCounter("qoeproxy_ingest_contention_total",
+		"Ingest lock acquisitions that found their shard already held; a rising rate means -shards is too low.")
+	s.mShardClassify = r.NewHistogram("qoeproxy_shard_classify_seconds",
+		"Per-shard latency of building feature rows in one classification pass.", nil)
 	r.NewCounterFunc("qoeproxy_connections_total",
 		"Client connections accepted.", func() int64 { return s.proxy.Stats().TotalConnections })
 	r.NewGaugeFunc("qoeproxy_connections_active",
@@ -510,21 +664,21 @@ func (s *service) registerMetrics() {
 		"Bytes relayed server to client.", func() int64 { return s.proxy.Stats().RelayedDownBytes })
 	r.NewGaugeFunc("qoeproxy_active_sessions",
 		"Clients with transactions in their current (ongoing) session.", func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
 			n := 0
-			for _, cs := range s.clients {
-				if len(cs.current)+len(cs.inFlight)+len(cs.buffer) > 0 {
-					n++
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				for _, cs := range sh.clients {
+					if len(cs.current)+len(cs.inFlight)+len(cs.buffer) > 0 {
+						n++
+					}
 				}
+				sh.mu.Unlock()
 			}
 			return float64(n)
 		})
 	r.NewGaugeFunc("qoeproxy_clients",
 		"Distinct client addresses seen.", func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(len(s.clients))
+			return float64(s.clientCount())
 		})
 	r.NewGaugeFunc("qoeproxy_uptime_seconds",
 		"Seconds since the proxy started.", func() float64 { return time.Since(s.epoch).Seconds() })
@@ -536,10 +690,8 @@ func (s *service) httpHandler() http.Handler {
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		st := s.proxy.Stats()
-		s.mu.Lock()
-		clients := len(s.clients)
+		clients := s.clientCount()
 		degraded := s.sinksDegraded()
-		s.mu.Unlock()
 		status := "ok"
 		if degraded {
 			status = "degraded"
@@ -558,10 +710,21 @@ func (s *service) httpHandler() http.Handler {
 	return mux
 }
 
+// clientCount sums the distinct clients across all shards.
+func (s *service) clientCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.clients)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // state returns (creating if needed) the per-client state; the caller
-// holds s.mu.
-func (s *service) state(client string) *clientState {
-	cs, ok := s.clients[client]
+// holds the shard's lock, and the shard must be the client's.
+func (s *service) state(sh *shard, client string) *clientState {
+	cs, ok := sh.clients[client]
 	if !ok {
 		cs = &clientState{
 			streamer:     sessionid.NewStreamer(sessionid.PaperParams),
@@ -571,7 +734,7 @@ func (s *service) state(client string) *clientState {
 		if s.track {
 			cs.tracked = core.NewTrackedSession()
 		}
-		s.clients[client] = cs
+		sh.clients[client] = cs
 	}
 	return cs
 }
@@ -579,10 +742,12 @@ func (s *service) state(client string) *clientState {
 // onConnOpen records an in-flight connection so the sessionizer knows
 // not to advance past its start time until it completes.
 func (s *service) onConnOpen(r tlsproxy.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cs := s.state(clientHost(r.ClientAddr))
+	client := clientHost(r.ClientAddr)
 	start := r.Start.Sub(s.epoch).Seconds()
+	sh := s.shardFor(client)
+	s.lockIngest(sh)
+	defer sh.mu.Unlock()
+	cs := s.state(sh, client)
 	cs.activeStarts[r.ConnID] = start
 	if start > cs.lastActivity {
 		cs.lastActivity = start
@@ -590,24 +755,35 @@ func (s *service) onConnOpen(r tlsproxy.Record) {
 }
 
 // onTransaction exports a completed transaction to the configured
-// sinks and feeds the client's online sessionizer.
+// sinks and feeds the client's online sessionizer. Record conversion,
+// line formatting and logging happen before the shard lock; only the
+// state mutation and the sink enqueue (which preserves the client's
+// record order) run under it.
 func (s *service) onTransaction(r tlsproxy.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	client := clientHost(r.ClientAddr)
-	cs := s.state(client)
 	txn := tlsproxy.ToCaptureTransactions([]tlsproxy.Record{r}, s.epoch)[0]
 	s.mTxns.Inc()
+	var outLine, squidLine string
 	if s.out != nil {
-		s.writeSink(s.out, fmt.Sprintf("%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes))
+		outLine = fmt.Sprintf("%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
 	}
 	if s.squid != nil {
-		s.writeSink(s.squid, squidlog.FormatEntry(client, txn, float64(s.epoch.Unix()))+"\n")
+		squidLine = squidlog.FormatEntry(client, txn, float64(s.epoch.Unix())) + "\n"
 	}
 	s.log.Debug("transaction",
 		"sni", r.SNI, "client", client, "conn_id", r.ConnID,
 		"duration_s", r.End.Sub(r.Start).Seconds(), "up_bytes", r.UpBytes, "down_bytes", r.DownBytes)
 
+	sh := s.shardFor(client)
+	s.lockIngest(sh)
+	defer sh.mu.Unlock()
+	if s.out != nil {
+		s.enqueueSink(s.out, outLine)
+	}
+	if s.squid != nil {
+		s.enqueueSink(s.squid, squidLine)
+	}
+	cs := s.state(sh, client)
 	if txn.End > cs.lastActivity {
 		cs.lastActivity = txn.End
 	}
@@ -636,7 +812,7 @@ func (s *service) onTransaction(r tlsproxy.Record) {
 
 // noteTruncation counts a client's current session toward
 // qoeproxy_sessions_truncated_total, once per session. The caller
-// holds s.mu.
+// holds the client's shard lock.
 func (s *service) noteTruncation(cs *clientState) {
 	if !cs.truncated {
 		cs.truncated = true
@@ -647,7 +823,7 @@ func (s *service) noteTruncation(cs *clientState) {
 // advance pushes every buffered transaction at or before the client's
 // watermark — the earliest start among still-open connections — into
 // the streaming sessionizer and applies the resulting decisions. The
-// caller holds s.mu.
+// caller holds the client's shard lock.
 func (s *service) advance(client string, cs *clientState) {
 	watermark := func() (float64, bool) {
 		if len(cs.activeStarts) == 0 {
@@ -676,7 +852,8 @@ func (s *service) advance(client string, cs *clientState) {
 }
 
 // apply consumes finalized sessionizer decisions: boundaries close the
-// current session, decided transactions join it. The caller holds s.mu.
+// current session, decided transactions join it. The caller holds the
+// client's shard lock.
 func (s *service) apply(client string, cs *clientState, decisions []sessionid.Decision) {
 	for _, d := range decisions {
 		full := cs.inFlight[0]
@@ -710,38 +887,89 @@ func (s *service) apply(client string, cs *clientState, decisions []sessionid.De
 	}
 }
 
+// forEachShard runs fn(worker, shardIndex) for every shard, fanning
+// across the -classify-workers pool. Worker indices are stable and
+// exclusive within one call, so fn may use per-worker scratch (the
+// rowBuilders). With one worker it runs inline, shards in order.
+func (s *service) forEachShard(fn func(worker, si int)) {
+	workers := s.opts.classifyWorkers
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 {
+		for si := range s.shards {
+			fn(0, si)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si := range idx {
+				fn(w, si)
+			}
+		}(w)
+	}
+	for si := range s.shards {
+		idx <- si
+	}
+	close(idx)
+	wg.Wait()
+}
+
 // classifyPass classifies every client's ongoing session, updating
 // prediction counters, the latency histograms and the structured log.
-// Feature rows are built under the state lock — incrementally from the
-// per-client accumulators in window 0 mode, or over the sliding-window
-// filtrate otherwise — and model inference runs outside it. Safe to
-// call concurrently with traffic.
+// Row building fans out across shards on the classify-worker pool —
+// each shard's rows are built under that shard's lock only, so ingest
+// on other shards never stalls — then the per-shard batches merge in
+// shard order, sort by client, and run through the compiled scorer in
+// one batch outside every lock. Safe to call concurrently with traffic.
 func (s *service) classifyPass(now time.Time) {
 	if s.est == nil {
 		return
 	}
 	cutoff := now.Sub(s.epoch).Seconds() - s.opts.window.Seconds()
 	t0 := time.Now()
-	s.mu.Lock()
+	type pending struct {
+		names  []string
+		rows   [][]float64
+		counts []int
+	}
+	perShard := make([]pending, len(s.shards))
+	s.forEachShard(func(worker, si int) {
+		sh := s.shards[si]
+		p := &perShard[si]
+		st := time.Now()
+		sh.mu.Lock()
+		for client, cs := range sh.clients {
+			var row []float64
+			var n int
+			if s.track {
+				row, n = s.incrementalRow(cs)
+			} else {
+				row, n = s.windowedRow(worker, cs, cutoff)
+			}
+			if n == 0 {
+				continue
+			}
+			p.names = append(p.names, client)
+			p.rows = append(p.rows, row)
+			p.counts = append(p.counts, n)
+		}
+		sh.mu.Unlock()
+		s.mShardClassify.Observe(time.Since(st).Seconds())
+	})
 	var names []string
 	var rows [][]float64
 	var counts []int
-	for client, cs := range s.clients {
-		var row []float64
-		var n int
-		if s.track {
-			row, n = s.incrementalRow(cs)
-		} else {
-			row, n = s.windowedRow(cs, cutoff)
-		}
-		if n == 0 {
-			continue
-		}
-		names = append(names, client)
-		rows = append(rows, row)
-		counts = append(counts, n)
+	for _, p := range perShard {
+		names = append(names, p.names...)
+		rows = append(rows, p.rows...)
+		counts = append(counts, p.counts...)
 	}
-	s.mu.Unlock()
 	if len(rows) == 0 {
 		return
 	}
@@ -756,17 +984,17 @@ func (s *service) classifyPass(now time.Time) {
 		return
 	}
 	s.mRuns.Inc()
-	s.mu.Lock()
 	for i, client := range names {
-		if cs, ok := s.clients[client]; ok {
+		sh := s.shardFor(client)
+		sh.mu.Lock()
+		if cs, ok := sh.clients[client]; ok {
 			cs.lastClass, cs.hasClass = classes[i], true
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	for i, client := range names {
-		class := s.names[classes[i]]
-		s.mPred.Inc(class)
-		s.log.Info("classification", "client", client, "class", class, "transactions", counts[i])
+		s.mPredClass[classes[i]].Inc()
+		s.log.Info("classification", "client", client, "class", s.names[classes[i]], "transactions", counts[i])
 	}
 }
 
@@ -774,7 +1002,8 @@ func (s *service) classifyPass(now time.Time) {
 // accumulator, folding the still-undecided transactions (inFlight and
 // buffer, which follow the decided ones in start order) in
 // speculatively so the row covers the whole ongoing session. The
-// caller holds s.mu.
+// caller holds the client's shard lock; TrackedRow touches only the
+// session's own accumulator, so shards proceed in parallel.
 func (s *service) incrementalRow(cs *clientState) ([]float64, int) {
 	cs.winTxns = append(cs.winTxns[:0], cs.inFlight...)
 	cs.winTxns = append(cs.winTxns, cs.buffer...)
@@ -788,8 +1017,10 @@ func (s *service) incrementalRow(cs *clientState) ([]float64, int) {
 
 // windowedRow builds a client's feature row over the transactions of
 // the ongoing session ending inside the sliding window, reusing the
-// client's scratch list and row buffer. The caller holds s.mu.
-func (s *service) windowedRow(cs *clientState, cutoff float64) ([]float64, int) {
+// client's scratch list and row buffer. The caller holds the client's
+// shard lock; extraction goes through the worker's private RowBuilder
+// (the estimator's shared scratch is not concurrency-safe).
+func (s *service) windowedRow(worker int, cs *clientState, cutoff float64) ([]float64, int) {
 	w := cs.winTxns[:0]
 	for _, run := range [3][]capture.TLSTransaction{cs.current, cs.inFlight, cs.buffer} {
 		for _, t := range run {
@@ -802,7 +1033,7 @@ func (s *service) windowedRow(cs *clientState, cutoff float64) ([]float64, int) 
 	if len(w) == 0 {
 		return nil, 0
 	}
-	cs.row = s.est.FeatureRow(w, cs.row)
+	cs.row = s.rowBuilders[worker].FeatureRow(w, cs.row)
 	return cs.row, len(w)
 }
 
@@ -843,27 +1074,37 @@ func (s *service) evictIdle(now time.Time) {
 		meanDur    float64
 		downBytes  int64
 	}
-	s.mu.Lock()
-	var gone []evictee
-	for client, cs := range s.clients {
-		if len(cs.activeStarts) > 0 || nowSec-cs.lastActivity < ttl.Seconds() {
-			continue
+	perShard := make([][]evictee, len(s.shards))
+	s.forEachShard(func(_, si int) {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		for client, cs := range sh.clients {
+			if len(cs.activeStarts) > 0 || nowSec-cs.lastActivity < ttl.Seconds() {
+				continue
+			}
+			s.advance(client, cs)
+			s.apply(client, cs, cs.streamer.Flush())
+			perShard[si] = append(perShard[si], evictee{
+				client:     client,
+				txns:       cs.recent.snapshot(nil),
+				total:      cs.txns,
+				boundaries: cs.boundaries,
+				meanDur:    cs.durStats.Mean(),
+				downBytes:  cs.downBytes,
+			})
+			delete(sh.clients, client)
+			s.mEvicted.Inc()
 		}
-		s.advance(client, cs)
-		s.apply(client, cs, cs.streamer.Flush())
-		gone = append(gone, evictee{
-			client:     client,
-			txns:       cs.recent.snapshot(nil),
-			total:      cs.txns,
-			boundaries: cs.boundaries,
-			meanDur:    cs.durStats.Mean(),
-			downBytes:  cs.downBytes,
-		})
-		delete(s.clients, client)
-		s.mEvicted.Inc()
+		sh.mu.Unlock()
+	})
+	var gone []evictee
+	for _, g := range perShard {
+		gone = append(gone, g...)
 	}
-	s.mu.Unlock()
 	sort.Slice(gone, func(i, j int) bool { return gone[i].client < gone[j].client })
+	// Final classifications run sequentially on the tick goroutine: the
+	// estimator's Classify scratch is per-call, but the sorted order
+	// keeps logs and counters deterministic across shard counts.
 	for _, e := range gone {
 		attrs := []any{"client", e.client, "transactions", e.total,
 			"boundaries", e.boundaries, "down_bytes", e.downBytes,
@@ -873,7 +1114,7 @@ func (s *service) evictIdle(now time.Time) {
 			if err != nil {
 				s.log.Error("eviction classification failed", "client", e.client, "err", err)
 			} else {
-				s.mPred.Inc(s.names[class])
+				s.mPredClass[class].Inc()
 				attrs = append(attrs, "class", s.names[class])
 			}
 		}
@@ -881,34 +1122,36 @@ func (s *service) evictIdle(now time.Time) {
 	}
 }
 
-// drain finishes the sessionizers after the proxy has stopped and
-// prints the per-client shutdown summary.
+// drain finishes the sessionizers after the proxy has stopped, stops
+// the sink writer (flushing queued records) and prints the per-client
+// shutdown summary in client order.
 func (s *service) drain() {
-	s.mu.Lock()
-	clients := make([]string, 0, len(s.clients))
-	for c := range s.clients {
-		clients = append(clients, c)
+	var clients []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for c, cs := range sh.clients {
+			clients = append(clients, c)
+			// All connections have ended; the watermark is unbounded.
+			s.advance(c, cs)
+			s.apply(c, cs, cs.streamer.Flush())
+		}
+		sh.mu.Unlock()
 	}
-	sort.Strings(clients)
-	for _, c := range clients {
-		cs := s.clients[c]
-		// All connections have ended; the watermark is unbounded.
-		s.advance(c, cs)
-		s.apply(c, cs, cs.streamer.Flush())
-	}
-	s.mu.Unlock()
-
+	s.stopSinkWriter()
 	if s.est == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sort.Strings(clients)
 	for _, c := range clients {
-		cs := s.clients[c]
+		sh := s.shardFor(c)
+		sh.mu.Lock()
+		cs := sh.clients[c]
 		// The summary classifies the retained ring — the whole history
 		// for clients under -max-session-txns, the most recent slice
 		// beyond it (lifetime counts still report the full totals).
 		txns := cs.recent.snapshot(nil)
+		total, boundaries := cs.txns, cs.boundaries
+		sh.mu.Unlock()
 		if len(txns) == 0 {
 			continue
 		}
@@ -918,7 +1161,7 @@ func (s *service) drain() {
 			continue
 		}
 		fmt.Printf("client %-22s sessions-qoe=%s (%d transactions, %d boundaries)\n",
-			c, s.names[class], cs.txns, cs.boundaries)
+			c, s.names[class], total, boundaries)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -204,7 +203,6 @@ func TestClassifyPassPaths(t *testing.T) {
 	if err := est.Train(training); err != nil {
 		t.Fatal(err)
 	}
-	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
 
 	for _, mode := range []struct {
 		name   string
@@ -214,23 +212,15 @@ func TestClassifyPassPaths(t *testing.T) {
 		{"windowed", time.Hour},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
-			s := &service{
-				opts:    options{window: mode.window},
-				log:     logger,
-				est:     est,
-				names:   core.ClassNames(est.Metric()),
-				track:   mode.window <= 0,
-				epoch:   time.Now(),
-				clients: map[string]*clientState{},
-			}
-			s.registerMetrics()
+			s, _ := newTestService(t, options{window: mode.window}, est)
 			txns := corpus.Records[1].Capture.TLS
 			if len(txns) < 3 {
 				t.Skip("record too small to split")
 			}
 			cut1, cut2 := len(txns)/3, 2*len(txns)/3
-			s.mu.Lock()
-			cs := s.state("10.9.9.9")
+			sh := s.shardFor("10.9.9.9")
+			sh.mu.Lock()
+			cs := s.state(sh, "10.9.9.9")
 			for _, tx := range txns[:cut1] {
 				cs.current = append(cs.current, tx)
 				if cs.tracked != nil {
@@ -239,7 +229,7 @@ func TestClassifyPassPaths(t *testing.T) {
 			}
 			cs.inFlight = append(cs.inFlight, txns[cut1:cut2]...)
 			cs.buffer = append(cs.buffer, txns[cut2:]...)
-			s.mu.Unlock()
+			sh.mu.Unlock()
 
 			want, err := est.Classify(txns)
 			if err != nil {
@@ -247,9 +237,9 @@ func TestClassifyPassPaths(t *testing.T) {
 			}
 			for pass := 0; pass < 2; pass++ { // second pass reuses warm buffers
 				s.classifyPass(s.epoch.Add(time.Second))
-				s.mu.Lock()
+				sh.mu.Lock()
 				got, has := cs.lastClass, cs.hasClass
-				s.mu.Unlock()
+				sh.mu.Unlock()
 				if !has {
 					t.Fatalf("pass %d: no classification recorded", pass)
 				}

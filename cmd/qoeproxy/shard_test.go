@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"droppackets/internal/core"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
+	"droppackets/internal/tlsproxy"
+)
+
+// invariantRun captures everything about a replay that must not depend
+// on the shard or worker count: the ordered classification and eviction
+// emissions, the deterministic metric totals, and the sink bytes.
+// Timing histograms, uptime and the contention counter are excluded by
+// construction — they measure the concurrency, not the traffic.
+type invariantRun struct {
+	classifications []string
+	evictions       []string
+	counters        map[string]int64
+	sinkCSV         string
+}
+
+// replayTrace feeds a fixed multi-client trace through a service built
+// with the given shard/worker counts, running classification passes
+// mid-replay and an eviction sweep at the end, and returns the
+// invariant observables. The replay itself is single-goroutine, so the
+// sink enqueue order — and therefore the flushed sink bytes — is fully
+// determined by the trace.
+func replayTrace(t *testing.T, est *core.Estimator, traffic *dataset.Corpus, window time.Duration, shards, workers int) invariantRun {
+	t.Helper()
+	const numClients = 6
+	const ttl = 120 * time.Second
+
+	s, logs := newTestService(t, options{
+		window:          window,
+		clientTTL:       ttl,
+		maxSessionTxns:  64,
+		shards:          shards,
+		classifyWorkers: workers,
+	}, est)
+	var csv bytes.Buffer
+	s.out = &sink{w: &csv, name: "out"}
+
+	// Interleave the sessions across clients globally by start time so
+	// consecutive records hit different shards.
+	type event struct {
+		client string
+		rec    tlsproxy.Record
+	}
+	var events []event
+	var connID uint64
+	lastEnd := 0.0
+	for i, r := range traffic.Records {
+		client := fmt.Sprintf("10.7.0.%d", i%numClients+1)
+		for _, txn := range r.Capture.TLS {
+			connID++
+			events = append(events, event{client: client, rec: tlsproxy.Record{
+				ConnID:     connID,
+				SNI:        txn.SNI,
+				ClientAddr: client + ":40000",
+				Start:      s.epoch.Add(time.Duration(txn.Start * float64(time.Second))),
+				End:        s.epoch.Add(time.Duration(txn.End * float64(time.Second))),
+				UpBytes:    txn.UpBytes,
+				DownBytes:  txn.DownBytes,
+			}})
+			if txn.End > lastEnd {
+				lastEnd = txn.End
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].rec.Start.Before(events[j].rec.Start) })
+
+	for i, e := range events {
+		s.onConnOpen(e.rec)
+		s.onTransaction(e.rec)
+		if i == len(events)/3 || i == 2*len(events)/3 {
+			s.classifyPass(e.rec.End)
+		}
+	}
+	endOfTrace := s.epoch.Add(time.Duration(lastEnd * float64(time.Second)))
+	s.classifyPass(endOfTrace)
+	s.evictIdle(endOfTrace.Add(ttl + time.Second))
+	s.flushSinks()
+
+	run := invariantRun{counters: map[string]int64{
+		"transactions": s.mTxns.Value(),
+		"boundaries":   s.mBoundaries.Value(),
+		"runs":         s.mRuns.Value(),
+		"class_errors": s.mClassErrors.Value(),
+		"ingested":     s.mIngested.Value(),
+		"truncated":    s.mTruncated.Value(),
+		"evicted":      s.mEvicted.Value(),
+		"clients_left": int64(s.clientCount()),
+	}, sinkCSV: csv.String()}
+	for _, n := range s.names {
+		run.counters["pred_"+n] = s.mPred.Value(n)
+	}
+	for _, line := range logs.lines() {
+		if line == "" {
+			continue
+		}
+		var e struct {
+			Msg          string `json:"msg"`
+			Client       string `json:"client"`
+			Class        string `json:"class"`
+			Transactions int64  `json:"transactions"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+		switch e.Msg {
+		case "classification":
+			run.classifications = append(run.classifications,
+				fmt.Sprintf("%s=%s/%d", e.Client, e.Class, e.Transactions))
+		case "client evicted":
+			run.evictions = append(run.evictions,
+				fmt.Sprintf("%s=%s/%d", e.Client, e.Class, e.Transactions))
+		}
+	}
+	return run
+}
+
+// TestShardInvariance is the determinism acceptance test for the
+// sharded serving path: the same trace replayed at every point of the
+// shard × worker matrix, in both row-building modes, must produce
+// identical classification sequences, eviction summaries, metric
+// totals and sink output. scripts/check.sh runs it under -race, which
+// also exercises the classify fan-out and the sink writer goroutine.
+func TestShardInvariance(t *testing.T) {
+	trainCorpus, err := dataset.Build(dataset.Config{Seed: 5, Sessions: 60}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var training []core.TrainingSession
+	for _, r := range trainCorpus.Records {
+		training = append(training, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{Metric: qoe.MetricCombined, Forest: forest.Config{NumTrees: 8, Seed: 5}})
+	if err := est.Train(training); err != nil {
+		t.Fatal(err)
+	}
+	traffic, err := dataset.Build(dataset.Config{Seed: 13, Sessions: 18}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matrix := []struct{ shards, workers int }{
+		{1, 1}, {8, 1}, {8, 4}, {1, 4},
+	}
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"incremental", 0},
+		{"windowed", time.Hour},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			base := replayTrace(t, est, traffic, mode.window, matrix[0].shards, matrix[0].workers)
+			if len(base.classifications) == 0 {
+				t.Fatal("baseline replay produced no classifications")
+			}
+			if base.counters["evicted"] == 0 {
+				t.Fatal("baseline replay evicted no clients")
+			}
+			if len(base.sinkCSV) == 0 {
+				t.Fatal("baseline replay wrote no sink output")
+			}
+			for _, m := range matrix[1:] {
+				got := replayTrace(t, est, traffic, mode.window, m.shards, m.workers)
+				name := fmt.Sprintf("shards=%d workers=%d", m.shards, m.workers)
+				if fmt.Sprint(got.classifications) != fmt.Sprint(base.classifications) {
+					t.Errorf("%s: classification sequence diverged\n got %v\nwant %v",
+						name, got.classifications, base.classifications)
+				}
+				if fmt.Sprint(got.evictions) != fmt.Sprint(base.evictions) {
+					t.Errorf("%s: eviction sequence diverged\n got %v\nwant %v",
+						name, got.evictions, base.evictions)
+				}
+				for k, want := range base.counters {
+					if got.counters[k] != want {
+						t.Errorf("%s: counter %s = %d, want %d", name, k, got.counters[k], want)
+					}
+				}
+				if got.sinkCSV != base.sinkCSV {
+					t.Errorf("%s: sink output diverged (%d bytes vs %d)", name, len(got.sinkCSV), len(base.sinkCSV))
+				}
+			}
+		})
+	}
+}
+
+// benchmarkIngest measures concurrent ingest throughput: GOMAXPROCS
+// goroutines, each a distinct client, pushing completed transactions
+// through the full onConnOpen/onTransaction path (sessionizer, ring,
+// reorder buffer) with the given shard count. No estimator and no
+// sinks: this isolates the state-mutation path the locks guard.
+func benchmarkIngest(b *testing.B, shards int) {
+	s := newService(options{
+		window:          time.Hour,
+		maxSessionTxns:  256,
+		shards:          shards,
+		classifyWorkers: 1,
+	}, slog.New(slog.NewJSONHandler(io.Discard, nil)), nil)
+	defer s.stopSinkWriter()
+	s.registerMetrics() // the proxy-stats bridges are never scraped here
+
+	var connID atomic.Uint64
+	var clientSeq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := clientSeq.Add(1)
+		client := fmt.Sprintf("10.50.%d.%d:40000", c/200, c%200+1)
+		// One transaction per second: the streamer's 3s look-ahead then
+		// holds a handful of pending entries, as in real traffic, so the
+		// per-op cost is flat rather than dominated by look-ahead churn.
+		i := 0
+		for pb.Next() {
+			id := connID.Add(1)
+			start := s.epoch.Add(time.Duration(i) * time.Second)
+			s.onConnOpen(tlsproxy.Record{ConnID: id, SNI: "cdn-01.svc1.example", ClientAddr: client, Start: start})
+			s.onTransaction(tlsproxy.Record{
+				ConnID:     id,
+				SNI:        "cdn-01.svc1.example",
+				ClientAddr: client,
+				Start:      start,
+				End:        start.Add(5 * time.Millisecond),
+				UpBytes:    412,
+				DownBytes:  180_000,
+			})
+			i++
+		}
+	})
+	b.StopTimer()
+	// Contended acquisitions per op: with one shard every overlapping
+	// ingest queues on the same mutex; with a shard per core they only
+	// collide when clients hash together.
+	b.ReportMetric(float64(s.mContention.Value())/float64(b.N), "contended/op")
+}
+
+// BenchmarkConcurrentIngest compares the single-mutex baseline
+// (shards=1) against one shard per core; BENCH_serving.json records
+// the GOMAXPROCS=8 results.
+func BenchmarkConcurrentIngest(b *testing.B) {
+	b.Run("shards=1", func(b *testing.B) { benchmarkIngest(b, 1) })
+	b.Run(fmt.Sprintf("shards=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchmarkIngest(b, runtime.GOMAXPROCS(0))
+	})
+}

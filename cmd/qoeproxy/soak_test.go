@@ -121,8 +121,7 @@ func TestEvictionSoakBounded(t *testing.T) {
 			// Direct state inspection: every per-client run is bounded.
 			// capRun's 50% hysteresis allows limit+limit/2 before a
 			// truncation pass cuts back to limit.
-			s.mu.Lock()
-			cs := s.clients[client]
+			cs := s.client(client)
 			if got := cs.recent.len(); got > maxTxns {
 				t.Errorf("round %d %s: ring holds %d txns, cap %d", round, client, got, maxTxns)
 			}
@@ -136,7 +135,6 @@ func TestEvictionSoakBounded(t *testing.T) {
 				t.Errorf("round %d %s: lifetime txns = %d, want %d (truncation must not lose the totals)",
 					round, client, cs.txns, len(sorted))
 			}
-			s.mu.Unlock()
 
 			// The unbounded baseline: the classification an uncapped
 			// daemon would emit. Under the cap the ring holds the whole
@@ -162,10 +160,7 @@ func TestEvictionSoakBounded(t *testing.T) {
 		s.classifyPass(evictAt)
 		s.evictIdle(evictAt)
 
-		s.mu.Lock()
-		left := len(s.clients)
-		s.mu.Unlock()
-		if left != 0 {
+		if left := s.clientCount(); left != 0 {
 			t.Fatalf("round %d: %d clients survived the eviction sweep", round, left)
 		}
 		if got := gaugeValue("qoeproxy_clients"); got != 0 {

@@ -15,6 +15,7 @@ import (
 	"droppackets/internal/capture"
 	"droppackets/internal/features"
 	"droppackets/internal/ml"
+	"droppackets/internal/ml/compiled"
 	"droppackets/internal/ml/eval"
 	"droppackets/internal/ml/forest"
 	"droppackets/internal/qoe"
@@ -62,9 +63,16 @@ type Estimator struct {
 	model   *forest.Classifier
 	trained bool
 
-	// Reusable extraction buffers for FeatureRow (see tracked.go).
-	scratch *features.Scratch
-	full    []float64
+	// scorer is the model flattened into contiguous arrays
+	// (internal/ml/compiled): every classify path predicts through it,
+	// bit-identical to the interpreted forest but pointer-free and
+	// allocation-free per row. Rebuilt by Train and LoadEstimator; the
+	// interpreted model is kept for Save and Importances.
+	scorer *compiled.Forest
+
+	// rb serves FeatureRow calls on the estimator itself; concurrent
+	// callers create their own builder via NewRowBuilder (tracked.go).
+	rb *RowBuilder
 }
 
 // NewEstimator returns an untrained estimator.
@@ -101,7 +109,8 @@ func (e *Estimator) dataset(sessions []TrainingSession) (*ml.Dataset, error) {
 	return ml.NewDataset(x, y, qoe.NumCategories, names)
 }
 
-// Train fits the estimator on labeled sessions.
+// Train fits the estimator on labeled sessions and compiles the fitted
+// forest for serving.
 func (e *Estimator) Train(sessions []TrainingSession) error {
 	ds, err := e.dataset(sessions)
 	if err != nil {
@@ -111,7 +120,20 @@ func (e *Estimator) Train(sessions []TrainingSession) error {
 	if err := e.model.Fit(ds); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if err := e.compile(); err != nil {
+		return err
+	}
 	e.trained = true
+	return nil
+}
+
+// compile flattens the fitted forest into the serving scorer.
+func (e *Estimator) compile() error {
+	scorer, err := compiled.CompileForest(e.model)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.scorer = scorer
 	return nil
 }
 
@@ -121,7 +143,7 @@ func (e *Estimator) Classify(txns []capture.TLSTransaction) (int, error) {
 	if !e.trained {
 		return 0, fmt.Errorf("core: estimator not trained")
 	}
-	return e.model.Predict(e.featuresFor(txns)), nil
+	return e.scorer.Predict(e.featuresFor(txns)), nil
 }
 
 // ClassifyBatch predicts the QoE class of many sessions in one call,
@@ -135,7 +157,7 @@ func (e *Estimator) ClassifyBatch(sessions [][]capture.TLSTransaction) ([]int, e
 	for i, txns := range sessions {
 		x[i] = e.featuresFor(txns)
 	}
-	return e.model.PredictBatch(x), nil
+	return e.scorer.PredictBatch(x), nil
 }
 
 // ClassifyProba returns per-class probabilities for a session.
@@ -143,7 +165,7 @@ func (e *Estimator) ClassifyProba(txns []capture.TLSTransaction) ([]float64, err
 	if !e.trained {
 		return nil, fmt.Errorf("core: estimator not trained")
 	}
-	return e.model.PredictProba(e.featuresFor(txns)), nil
+	return e.scorer.PredictProba(e.featuresFor(txns)), nil
 }
 
 // Importances returns the trained model's feature importances paired

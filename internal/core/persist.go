@@ -69,6 +69,11 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 	}
 	e := NewEstimator(Config{Metric: metric, Subset: subset})
 	e.model = model
+	// Compile for serving: a structurally corrupt model file fails here,
+	// at load time, instead of panicking inside the classify loop.
+	if err := e.compile(); err != nil {
+		return nil, err
+	}
 	e.trained = true
 	return e, nil
 }

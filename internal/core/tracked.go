@@ -83,29 +83,55 @@ func (e *Estimator) ClassifyTracked(ts *TrackedSession, pending []capture.TLSTra
 	if !e.trained {
 		return 0, fmt.Errorf("core: estimator not trained")
 	}
-	return e.model.Predict(e.TrackedRow(ts, pending, nil)), nil
+	return e.scorer.Predict(e.TrackedRow(ts, pending, nil)), nil
 }
 
 // ClassifyRows predicts classes for pre-extracted feature rows (as
 // produced by TrackedRow or FeatureRow), fanning across CPUs via the
-// forest's batch predictor. It lets callers build rows under their own
-// locking and run inference outside it.
+// compiled scorer's batch predictor. It lets callers build rows under
+// their own locking and run inference outside it.
 func (e *Estimator) ClassifyRows(rows [][]float64) ([]int, error) {
 	if !e.trained {
 		return nil, fmt.Errorf("core: estimator not trained")
 	}
-	return e.model.PredictBatch(rows), nil
+	return e.scorer.PredictBatch(rows), nil
+}
+
+// RowBuilder extracts feature rows through a private batch scratch.
+// The estimator's own FeatureRow reuses one shared scratch, so
+// concurrent extractors — the sharded classify pool in cmd/qoeproxy —
+// hold one RowBuilder per worker goroutine instead. A RowBuilder is
+// not safe for concurrent use with itself; distinct builders over the
+// same estimator are independent (they only read the estimator's
+// feature projection).
+type RowBuilder struct {
+	e       *Estimator
+	scratch *features.Scratch
+	full    []float64
+}
+
+// NewRowBuilder returns a fresh extraction scratch bound to the
+// estimator's feature subset.
+func (e *Estimator) NewRowBuilder() *RowBuilder {
+	return &RowBuilder{e: e, scratch: features.NewScratch()}
+}
+
+// FeatureRow extracts a session's feature row, bit-identical to the
+// row Train and Classify compute. The result reuses row's backing
+// array when possible.
+func (b *RowBuilder) FeatureRow(txns []capture.TLSTransaction, row []float64) []float64 {
+	b.full = b.scratch.FromTLSInto(b.full, txns, features.TemporalIntervals)
+	return b.e.projectInto(row, b.full)
 }
 
 // FeatureRow extracts a session's feature row through the estimator's
 // reusable batch scratch, bit-identical to the row Train and Classify
 // compute. The result reuses row's backing array when possible. Not
-// safe for concurrent use with itself or TrackedRow on the same
-// Estimator.
+// safe for concurrent use with itself on the same Estimator; use
+// NewRowBuilder for per-goroutine extraction.
 func (e *Estimator) FeatureRow(txns []capture.TLSTransaction, row []float64) []float64 {
-	if e.scratch == nil {
-		e.scratch = features.NewScratch()
+	if e.rb == nil {
+		e.rb = e.NewRowBuilder()
 	}
-	e.full = e.scratch.FromTLSInto(e.full, txns, features.TemporalIntervals)
-	return e.projectInto(row, e.full)
+	return e.rb.FeatureRow(txns, row)
 }

@@ -220,6 +220,34 @@ func (v *CounterVec) child(value string) *atomic.Int64 {
 // known label values should be declared up front.
 func (v *CounterVec) With(value string) { v.child(value) }
 
+// LabeledCounter is a cached handle to one child of a CounterVec.
+// Inc/Add/Value go straight to the child's atomic without touching the
+// vec mutex, so hot paths that increment a fixed label set — the
+// per-class prediction counters on the sharded classify path — resolve
+// each label once at startup and update lock-free after that.
+type LabeledCounter struct {
+	v *atomic.Int64
+}
+
+// WithLabel returns a cached handle to the counter for a label value,
+// creating the child (and its zero-rendered series) if needed.
+func (v *CounterVec) WithLabel(value string) *LabeledCounter {
+	return &LabeledCounter{v: v.child(value)}
+}
+
+// Inc adds one, lock-free.
+func (c *LabeledCounter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n <= 0 ignored, keeping it monotone).
+func (c *LabeledCounter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *LabeledCounter) Value() int64 { return c.v.Load() }
+
 // Inc adds one to the counter for the given label value.
 func (v *CounterVec) Inc(value string) { v.child(value).Add(1) }
 

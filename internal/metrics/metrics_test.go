@@ -76,6 +76,51 @@ func TestCounterVecSortedAndQuoted(t *testing.T) {
 	}
 }
 
+func TestLabeledCounterHandle(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("predictions_total", "Predictions by class.", "class")
+	low := v.WithLabel("low")
+	low.Inc()
+	low.Add(2)
+	low.Add(-5) // ignored: counters stay monotone
+	if low.Value() != 3 {
+		t.Errorf("handle Value() = %d, want 3", low.Value())
+	}
+	// The handle and the vec address the same child.
+	v.Inc("low")
+	if low.Value() != 4 || v.Value("low") != 4 {
+		t.Errorf("handle/vec diverged: %d vs %d", low.Value(), v.Value("low"))
+	}
+	// WithLabel pre-creates the series so it renders before first Inc.
+	v.WithLabel("zero")
+	out := render(r)
+	for _, want := range []string{
+		`predictions_total{class="low"} 4`,
+		`predictions_total{class="zero"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Handle updates are lock-free; hammer them against renders to let
+	// the race detector check the claim.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				low.Inc()
+			}
+		}()
+	}
+	render(r)
+	wg.Wait()
+	if low.Value() != 4004 {
+		t.Errorf("after concurrent incs Value() = %d, want 4004", low.Value())
+	}
+}
+
 func TestHistogramBucketsCumulative(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})

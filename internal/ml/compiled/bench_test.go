@@ -1,0 +1,130 @@
+package compiled_test
+
+import (
+	"testing"
+
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/compiled"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/ml/gbdt"
+	"droppackets/internal/qoe"
+)
+
+// benchModels fits one forest and one gbdt on a service-profile
+// dataset and compiles both, returning the models plus the feature
+// rows to score. Sized like the serving configuration (cmd/qoeinfer
+// defaults to 25 trees; the root benchmarks use 50).
+func benchModels(b *testing.B) (*forest.Classifier, *compiled.Forest, *gbdt.Classifier, *compiled.GBDT, [][]float64) {
+	b.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: 31, Sessions: 200}, has.Svc1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := forest.New(forest.Config{NumTrees: 50, Seed: 7})
+	if err := f.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	cf, err := compiled.CompileForest(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := gbdt.New(gbdt.Config{Rounds: 30, MaxDepth: 3, Seed: 7})
+	if err := g.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	cg, err := compiled.CompileGBDT(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, cf, g, cg, ds.X
+}
+
+// BenchmarkForestPredictProbaSeed reconstructs the serving path as it
+// stood before this change: the forest's inner loop called each tree's
+// allocating PredictProba, one fresh probability slice per tree per
+// row. This is the "interpreted" baseline BENCH_serving.json compares
+// the compiled scorer against.
+func BenchmarkForestPredictProbaSeed(b *testing.B) {
+	f, _, _, _, rows := benchModels(b)
+	probs := make([]float64, f.NumClasses())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := rows[i%len(rows)]
+		for j := range probs {
+			probs[j] = 0
+		}
+		for t := 0; t < f.NumTrees(); t++ {
+			for k, p := range f.Tree(t).PredictProba(x) {
+				probs[k] += p
+			}
+		}
+		for j := range probs {
+			probs[j] /= float64(f.NumTrees())
+		}
+	}
+}
+
+// BenchmarkForestPredictProbaInterpreted is the interpreted ensemble's
+// public entry point, allocating only the returned vector per row.
+func BenchmarkForestPredictProbaInterpreted(b *testing.B) {
+	f, _, _, _, rows := benchModels(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.PredictProba(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkForestPredictProbaIntoInterpreted is the interpreted
+// ensemble after the per-tree allocation fix: tree walks via the
+// leaf-distribution view, caller-owned output buffer.
+func BenchmarkForestPredictProbaIntoInterpreted(b *testing.B) {
+	f, _, _, _, rows := benchModels(b)
+	out := make([]float64, f.NumClasses())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProbaInto(rows[i%len(rows)], out)
+	}
+}
+
+// BenchmarkForestPredictProbaIntoCompiled is the compiled scorer: one
+// flat node pool for all trees, zero allocations.
+func BenchmarkForestPredictProbaIntoCompiled(b *testing.B) {
+	_, cf, _, _, rows := benchModels(b)
+	out := make([]float64, cf.NumClasses())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.PredictProbaInto(rows[i%len(rows)], out)
+	}
+}
+
+// BenchmarkGBDTPredictInterpreted scores through the fitted gbdt's own
+// per-round tree walks.
+func BenchmarkGBDTPredictInterpreted(b *testing.B) {
+	_, _, g, _, rows := benchModels(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Predict(rows[i%len(rows)])
+	}
+}
+
+// BenchmarkGBDTPredictCompiled scores through the compiled gbdt with a
+// caller-owned score buffer.
+func BenchmarkGBDTPredictCompiled(b *testing.B) {
+	_, _, _, cg, rows := benchModels(b)
+	scores := make([]float64, cg.NumClasses())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg.PredictInto(rows[i%len(rows)], scores)
+	}
+}

@@ -1,0 +1,229 @@
+package compiled_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml"
+	"droppackets/internal/ml/compiled"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/ml/gbdt"
+	"droppackets/internal/ml/mltest"
+	"droppackets/internal/qoe"
+)
+
+// profileDataset builds a small labeled corpus for one service profile.
+func profileDataset(t testing.TB, p *has.ServiceProfile, seed int64) *ml.Dataset {
+	t.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: seed, Sessions: 40}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.MLDataset(qoe.MetricCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestForestGoldenEquivalence fits a forest on each of the three
+// service profiles and checks the compiled scorer is bit-identical to
+// the interpreted ensemble on every training row: same argmax, same
+// probability vector, float for float.
+func TestForestGoldenEquivalence(t *testing.T) {
+	for _, p := range has.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ds := profileDataset(t, p, 60)
+			f := forest.New(forest.Config{NumTrees: 15, MinLeaf: 2, Seed: 7})
+			if err := f.Fit(ds); err != nil {
+				t.Fatal(err)
+			}
+			c, err := compiled.CompileForest(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.NumTrees() != f.NumTrees() || c.NumClasses() != f.NumClasses() {
+				t.Fatalf("shape mismatch: compiled %d/%d vs %d/%d",
+					c.NumTrees(), c.NumClasses(), f.NumTrees(), f.NumClasses())
+			}
+			probs := make([]float64, c.NumClasses())
+			for i, row := range ds.X {
+				want := f.PredictProba(row)
+				c.PredictProbaInto(row, probs)
+				for k := range want {
+					if probs[k] != want[k] {
+						t.Fatalf("row %d class %d: compiled %v, interpreted %v", i, k, probs[k], want[k])
+					}
+				}
+				if got, want := c.Predict(row), f.Predict(row); got != want {
+					t.Fatalf("row %d: compiled class %d, interpreted %d", i, got, want)
+				}
+			}
+			batch := c.PredictBatch(ds.X)
+			for i, row := range ds.X {
+				if batch[i] != f.Predict(row) {
+					t.Fatalf("batch row %d: compiled %d, interpreted %d", i, batch[i], f.Predict(row))
+				}
+			}
+		})
+	}
+}
+
+// TestGBDTGoldenEquivalence checks the compiled booster agrees with the
+// interpreted one on a service-profile dataset: same argmax on every
+// row, and scores bit-identical to a replay through the public
+// accessors (base + lr * per-round leaf values in fit order).
+func TestGBDTGoldenEquivalence(t *testing.T) {
+	ds := profileDataset(t, has.Svc1(), 61)
+	g := gbdt.New(gbdt.Config{Rounds: 12, MaxDepth: 3, Seed: 7})
+	if err := g.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	c, err := compiled.CompileGBDT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRounds() != g.NumRounds() || c.NumClasses() != g.NumClasses() {
+		t.Fatalf("shape mismatch: compiled %d/%d vs %d/%d",
+			c.NumRounds(), c.NumClasses(), g.NumRounds(), g.NumClasses())
+	}
+	scores := make([]float64, c.NumClasses())
+	want := make([]float64, c.NumClasses())
+	for i, row := range ds.X {
+		got := c.PredictInto(row, scores)
+		if want := g.Predict(row); got != want {
+			t.Fatalf("row %d: compiled class %d, interpreted %d", i, got, want)
+		}
+		// Replay the interpreted accumulation through the accessors and
+		// demand bit-identical scores, not just the same argmax.
+		copy(want, g.Base())
+		for r := 0; r < g.NumRounds(); r++ {
+			for k, reg := range g.Round(r) {
+				want[k] += g.Config.LearningRate * reg.Predict(row)
+			}
+		}
+		for k := range want {
+			if scores[k] != want[k] {
+				t.Fatalf("row %d class %d: compiled score %v, interpreted %v", i, k, scores[k], want[k])
+			}
+		}
+	}
+	batch := c.PredictBatch(ds.X)
+	for i, row := range ds.X {
+		if batch[i] != g.Predict(row) {
+			t.Fatalf("batch row %d: compiled %d, interpreted %d", i, batch[i], g.Predict(row))
+		}
+	}
+}
+
+// TestCompileErrors covers the malformed/empty-model paths: nil and
+// unfitted ensembles must fail to compile instead of producing a scorer
+// that panics at serve time.
+func TestCompileErrors(t *testing.T) {
+	if _, err := compiled.CompileForest(nil); err == nil {
+		t.Error("CompileForest(nil) succeeded")
+	}
+	if _, err := compiled.CompileForest(forest.New(forest.Config{})); err == nil {
+		t.Error("CompileForest(unfitted) succeeded")
+	}
+	if _, err := compiled.CompileGBDT(nil); err == nil {
+		t.Error("CompileGBDT(nil) succeeded")
+	}
+	if _, err := compiled.CompileGBDT(gbdt.New(gbdt.Config{})); err == nil {
+		t.Error("CompileGBDT(unfitted) succeeded")
+	}
+}
+
+// TestRandomizedRoundTrip is the fuzz-style sweep: random datasets,
+// random ensemble shapes, fit → compile → compare on both the training
+// rows and fresh random probes (including values outside the training
+// range, exercising every leaf path).
+func TestRandomizedRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		numClasses := 2 + rng.Intn(3)
+		ds := mltest.Blobs(15+rng.Intn(25), numClasses, 0.3+0.5*rng.Float64(), seed)
+		probes := make([][]float64, 50)
+		for i := range probes {
+			probes[i] = []float64{6 * (rng.Float64() - 0.5) * 2, 6 * (rng.Float64() - 0.5) * 2}
+		}
+
+		f := forest.New(forest.Config{
+			NumTrees: 1 + rng.Intn(10),
+			MaxDepth: rng.Intn(6), // 0 = unlimited
+			MinLeaf:  1 + rng.Intn(3),
+			Seed:     seed * 31,
+		})
+		if err := f.Fit(ds); err != nil {
+			t.Fatalf("seed %d: forest fit: %v", seed, err)
+		}
+		cf, err := compiled.CompileForest(f)
+		if err != nil {
+			t.Fatalf("seed %d: compile forest: %v", seed, err)
+		}
+		probs := make([]float64, cf.NumClasses())
+		for _, row := range append(append([][]float64(nil), ds.X...), probes...) {
+			want := f.PredictProba(row)
+			cf.PredictProbaInto(row, probs)
+			for k := range want {
+				if probs[k] != want[k] {
+					t.Fatalf("seed %d: forest proba mismatch class %d: %v vs %v", seed, k, probs[k], want[k])
+				}
+			}
+		}
+
+		g := gbdt.New(gbdt.Config{
+			Rounds:   1 + rng.Intn(8),
+			MaxDepth: 1 + rng.Intn(4),
+			MinLeaf:  1 + rng.Intn(4),
+			Seed:     seed * 37,
+		})
+		if err := g.Fit(ds); err != nil {
+			t.Fatalf("seed %d: gbdt fit: %v", seed, err)
+		}
+		cg, err := compiled.CompileGBDT(g)
+		if err != nil {
+			t.Fatalf("seed %d: compile gbdt: %v", seed, err)
+		}
+		scores := make([]float64, cg.NumClasses())
+		for _, row := range append(append([][]float64(nil), ds.X...), probes...) {
+			if got, want := cg.PredictInto(row, scores), g.Predict(row); got != want {
+				t.Fatalf("seed %d: gbdt class mismatch: compiled %d, interpreted %d", seed, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictProbaIntoAllocs pins the zero-allocation contract of the
+// compiled hot path.
+func TestPredictProbaIntoAllocs(t *testing.T) {
+	ds := mltest.Blobs(30, 3, 0.4, 5)
+	f := forest.New(forest.Config{NumTrees: 10, Seed: 5})
+	if err := f.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	c, err := compiled.CompileForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, c.NumClasses())
+	row := ds.X[0]
+	if n := testing.AllocsPerRun(100, func() { c.PredictProbaInto(row, probs) }); n != 0 {
+		t.Errorf("compiled PredictProbaInto allocates %v per run", n)
+	}
+	g := gbdt.New(gbdt.Config{Rounds: 8, Seed: 5})
+	if err := g.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	cg, err := compiled.CompileGBDT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, cg.NumClasses())
+	if n := testing.AllocsPerRun(100, func() { cg.PredictInto(row, scores) }); n != 0 {
+		t.Errorf("compiled GBDT PredictInto allocates %v per run", n)
+	}
+}

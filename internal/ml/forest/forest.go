@@ -142,18 +142,20 @@ func (f *Classifier) Fit(ds *ml.Dataset) error {
 // PredictProba averages leaf class distributions over the ensemble.
 func (f *Classifier) PredictProba(x []float64) []float64 {
 	probs := make([]float64, f.numClasses)
-	f.predictProbaInto(x, probs)
+	f.PredictProbaInto(x, probs)
 	return probs
 }
 
-// predictProbaInto accumulates the ensemble average into probs,
-// allowing batch callers to reuse one buffer per worker.
-func (f *Classifier) predictProbaInto(x []float64, probs []float64) {
+// PredictProbaInto accumulates the ensemble average into probs (length
+// NumClasses), allowing batch callers to reuse one buffer per worker.
+// It allocates nothing: each tree's leaf distribution is read in place
+// through tree.LeafDist.
+func (f *Classifier) PredictProbaInto(x []float64, probs []float64) {
 	for c := range probs {
 		probs[c] = 0
 	}
 	for _, t := range f.trees {
-		for c, p := range t.PredictProba(x) {
+		for c, p := range t.LeafDist(x) {
 			probs[c] += p
 		}
 	}
@@ -179,7 +181,7 @@ func (f *Classifier) PredictBatch(x [][]float64) []int {
 	if workers <= 1 {
 		probs := make([]float64, f.numClasses)
 		for i, row := range x {
-			f.predictProbaInto(row, probs)
+			f.PredictProbaInto(row, probs)
 			out[i] = ml.Argmax(probs)
 		}
 		return out
@@ -200,7 +202,7 @@ func (f *Classifier) PredictBatch(x [][]float64) []int {
 			defer wg.Done()
 			probs := make([]float64, f.numClasses)
 			for i := lo; i < hi; i++ {
-				f.predictProbaInto(x[i], probs)
+				f.PredictProbaInto(x[i], probs)
 				out[i] = ml.Argmax(probs)
 			}
 		}(lo, hi)
@@ -208,6 +210,17 @@ func (f *Classifier) PredictBatch(x [][]float64) []int {
 	wg.Wait()
 	return out
 }
+
+// NumTrees returns the number of fitted trees in the ensemble.
+func (f *Classifier) NumTrees() int { return len(f.trees) }
+
+// Tree returns the i-th fitted tree. The ensemble still owns it;
+// callers (serialization, compilation) read but must not refit it.
+func (f *Classifier) Tree(i int) *tree.Classifier { return f.trees[i] }
+
+// NumClasses returns the number of classes the fitted forest
+// discriminates.
+func (f *Classifier) NumClasses() int { return f.numClasses }
 
 // Importances returns normalised mean-decrease-in-impurity feature
 // importances (summing to 1).

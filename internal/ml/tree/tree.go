@@ -98,17 +98,43 @@ func (t *Classifier) FitRowsWith(ds *ml.Dataset, rows []int, scratch *Scratch) e
 
 // Predict implements ml.Classifier.
 func (t *Classifier) Predict(x []float64) int {
-	return ml.Argmax(t.PredictProba(x))
+	return ml.Argmax(t.LeafDist(x))
 }
 
 // PredictProba returns the training class distribution of the leaf x
-// lands in. The returned slice aliases the tree's node storage and
-// must not be modified.
+// lands in, as a fresh slice the caller owns. Hot loops that must not
+// allocate use LeafDist or PredictProbaInto instead.
 func (t *Classifier) PredictProba(x []float64) []float64 {
+	return t.PredictProbaInto(x, nil)
+}
+
+// PredictProbaInto copies the leaf class distribution for x into out,
+// reusing out's backing array when it has capacity. It never allocates
+// with a warm buffer.
+func (t *Classifier) PredictProbaInto(x []float64, out []float64) []float64 {
+	d := t.LeafDist(x)
+	if cap(out) < len(d) {
+		out = make([]float64, len(d))
+	} else {
+		out = out[:len(d)]
+	}
+	copy(out, d)
+	return out
+}
+
+// LeafDist returns the training class distribution of the leaf x lands
+// in as a read-only view of the tree's node storage: zero allocations,
+// valid until the tree is refitted, and must not be modified. Ensemble
+// averaging (forest voting, compilation) reads leaves through it.
+func (t *Classifier) LeafDist(x []float64) []float64 {
 	leaf := t.nodes.leafFor(x)
 	off := t.nodes.distOff[leaf]
 	return t.nodes.dist[off : off+int32(t.numClasses) : off+int32(t.numClasses)]
 }
+
+// NumClasses returns the number of classes the fitted tree
+// discriminates (the width of every leaf distribution).
+func (t *Classifier) NumClasses() int { return t.numClasses }
 
 // Importances returns the (unnormalised) per-feature total impurity
 // decrease observed during training.

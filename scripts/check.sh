@@ -18,16 +18,20 @@ echo "== go vet =="
 go vet ./...
 
 echo "== doc lint (operator-facing packages) =="
-go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled
 
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (concurrent packages, incl. faultinject-backed chaos tests) =="
+echo "== go test -race (concurrent packages, incl. faultinject chaos tests and qoeproxy shard invariance) =="
 go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./cmd/qoeproxy
 
 echo "== feature benchmarks (smoke) =="
 go test -run '^$' -bench Feature -benchtime 1x .
+
+echo "== serving benchmarks (smoke: compiled scorers, sharded ingest) =="
+go test -run '^$' -bench . -benchtime 1x ./internal/ml/compiled
+go test -run '^$' -bench ConcurrentIngest -benchtime 100x ./cmd/qoeproxy
 
 echo "== qoeproxy smoke (/metrics, /healthz, SIGTERM drain) =="
 go run ./scripts/smoke

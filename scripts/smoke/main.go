@@ -34,6 +34,8 @@ var coreSeries = []string{
 	"qoeproxy_qoe_predictions_total",
 	"qoeproxy_inference_seconds",
 	"qoeproxy_feature_extraction_seconds",
+	"qoeproxy_shard_classify_seconds",
+	"qoeproxy_ingest_contention_total",
 	"qoeproxy_feature_transactions_ingested_total",
 	"qoeproxy_connections_total",
 	"qoeproxy_connections_active",

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file reads the daemon back: a minimal parser for the Prometheus
+// text exposition format (unlabeled series plus histograms — all
+// qoeload consumes) and the percentile interpolation that turns
+// qoeproxy_shard_classify_seconds buckets into p50/p95/p99.
+
+// histData is one parsed histogram family.
+type histData struct {
+	bounds []float64 // finite le bounds, ascending
+	counts []int64   // cumulative count at each bound
+	total  int64     // cumulative count at +Inf
+	sum    float64
+}
+
+// scrapeData is one parsed /metrics response.
+type scrapeData struct {
+	values map[string]float64
+	hists  map[string]*histData
+}
+
+// value returns an unlabeled series, or 0 when absent.
+func (s *scrapeData) value(name string) float64 { return s.values[name] }
+
+// parseMetrics parses a Prometheus text scrape, keeping unlabeled
+// sample values and reassembling histogram bucket series. Labeled
+// non-histogram series (the per-class prediction counters) are
+// ignored; qoeload reads totals, not breakdowns.
+func parseMetrics(text string) (*scrapeData, error) {
+	s := &scrapeData{values: map[string]float64{}, hists: map[string]*histData{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("metrics line %d: no value: %q", ln+1, line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil && valText != "+Inf" {
+			return nil, fmt.Errorf("metrics line %d: bad value %q", ln+1, valText)
+		}
+		if b := strings.IndexByte(series, '{'); b >= 0 {
+			name, labels := series[:b], series[b:]
+			base, ok := strings.CutSuffix(name, "_bucket")
+			if !ok {
+				continue // labeled non-histogram series: not needed
+			}
+			le, ok := cutLabel(labels, "le")
+			if !ok {
+				continue
+			}
+			h := s.hists[base]
+			if h == nil {
+				h = &histData{}
+				s.hists[base] = h
+			}
+			if le == "+Inf" {
+				h.total = int64(val)
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics line %d: bad le %q", ln+1, le)
+			}
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, int64(val))
+			continue
+		}
+		if base, ok := strings.CutSuffix(series, "_sum"); ok && s.hists[base] != nil {
+			s.hists[base].sum = val
+		}
+		s.values[series] = val
+	}
+	return s, nil
+}
+
+// cutLabel extracts one label's quoted value from a {k="v",...} block.
+func cutLabel(labels, key string) (string, bool) {
+	i := strings.Index(labels, key+`="`)
+	if i < 0 {
+		return "", false
+	}
+	rest := labels[i+len(key)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from cumulative
+// buckets by linear interpolation inside the containing bucket — the
+// standard histogram_quantile estimate. Returns 0 for an empty
+// histogram; observations beyond the last finite bound clamp to it.
+func (h *histData) quantile(q float64) float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	prevBound, prevCount := 0.0, int64(0)
+	for i, b := range h.bounds {
+		c := h.counts[i]
+		if float64(c) >= rank {
+			width := float64(c - prevCount)
+			if width == 0 {
+				return b
+			}
+			return prevBound + (b-prevBound)*(rank-float64(prevCount))/width
+		}
+		prevBound, prevCount = b, c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// histSummary is the percentile digest recorded per histogram.
+type histSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+func summarize(h *histData) histSummary {
+	if h == nil {
+		return histSummary{}
+	}
+	return histSummary{
+		Count: h.total,
+		Sum:   h.sum,
+		P50:   h.quantile(0.50),
+		P95:   h.quantile(0.95),
+		P99:   h.quantile(0.99),
+	}
+}
+
+// shapeResult is the per-shape section of BENCH_load.json.
+type shapeResult struct {
+	Records           int     `json:"records"`
+	Clients           int     `json:"clients"`
+	SimSeconds        float64 `json:"sim_seconds"`
+	SimPeakConcurrent int     `json:"sim_peak_concurrent_sessions"`
+
+	ReplayWallSeconds float64 `json:"replay_wall_seconds"`
+	RecordsPerSecond  float64 `json:"records_per_second"`
+
+	TransactionsTotal    int64 `json:"transactions_total"`
+	SessionBoundaries    int64 `json:"session_boundaries_total"`
+	ClassificationRuns   int64 `json:"classification_runs_total"`
+	ClassificationErrors int64 `json:"classification_errors_total"`
+	SinkWriteFailures    int64 `json:"sink_write_failures_total"`
+	IngestContention     int64 `json:"ingest_contention_total"`
+
+	PeakActiveSessions float64 `json:"peak_active_sessions"`
+	PeakGoroutines     float64 `json:"peak_goroutines"`
+	PeakHeapInuse      float64 `json:"peak_heap_inuse_bytes"`
+	GCPauseSeconds     float64 `json:"gc_pause_seconds_total"`
+	GCRuns             int64   `json:"gc_runs_total"`
+	HeapAllocBytes     int64   `json:"heap_alloc_bytes_total"`
+
+	ShardClassify histSummary `json:"shard_classify_seconds"`
+	Inference     histSummary `json:"inference_seconds"`
+
+	Healthz   string `json:"healthz"`
+	CleanExit bool   `json:"clean_exit"`
+
+	Failures []string `json:"failures,omitempty"`
+}
+
+// benchReport is the whole BENCH_load.json document.
+type benchReport struct {
+	Date   string                  `json:"date"`
+	Host   map[string]any          `json:"host"`
+	Config map[string]any          `json:"config"`
+	Shapes map[string]*shapeResult `json:"shapes"`
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/tlsproxy"
+)
+
+// This file turns the tracegen corpus into replayable load: a pool of
+// realistic sessions per service profile, dealt out to N simulated
+// clients whose arrival times follow a workload shape. The output is
+// the CSV workload format of internal/tlsproxy (ReplayRecord), which
+// cmd/qoeproxy replays straight into its ingest path.
+
+// pool holds the per-profile session corpora every shape draws from.
+type pool struct {
+	corpora []*dataset.Corpus
+}
+
+// buildPool generates sessions sessions for each of the three service
+// profiles, deterministically from seed.
+func buildPool(seed int64, sessions int) (*pool, error) {
+	var p pool
+	for _, prof := range []*has.ServiceProfile{has.Svc1(), has.Svc2(), has.Svc3()} {
+		c, err := dataset.Build(dataset.Config{Seed: seed, Sessions: sessions}, prof)
+		if err != nil {
+			return nil, fmt.Errorf("building %s pool: %w", prof.Name, err)
+		}
+		if len(c.Records) == 0 {
+			return nil, fmt.Errorf("profile %s produced an empty pool", prof.Name)
+		}
+		p.corpora = append(p.corpora, c)
+	}
+	return &p, nil
+}
+
+// genConfig parameterizes one workload generation.
+type genConfig struct {
+	clients int
+	seed    int64
+	// ramp is the simulated arrival spread in seconds: client session
+	// starts land inside [0, ramp).
+	ramp  float64
+	shape string // "steady" or "bursty"
+}
+
+// workload is one generated shape, ready to replay.
+type workload struct {
+	shape   string
+	records []tlsproxy.ReplayRecord
+	clients int
+	// simSeconds is the simulated span (latest End).
+	simSeconds float64
+	// peakConcurrent is the maximum number of sessions simultaneously
+	// open in simulated time — the honest "concurrent clients" figure.
+	peakConcurrent int
+}
+
+// clientHostPort derives a unique replay client address from an index.
+func clientHostPort(i int) string {
+	return fmt.Sprintf("10.%d.%d.%d:40000", (i>>16)&255, (i>>8)&255, i&255)
+}
+
+// arrivals produces one session-start offset per client according to
+// the shape, deterministically from the rng.
+func arrivals(cfg genConfig, rng *rand.Rand) ([]float64, error) {
+	at := make([]float64, cfg.clients)
+	switch cfg.shape {
+	case "steady":
+		// Even spread with a little jitter: a stationary open rate.
+		step := cfg.ramp / float64(cfg.clients)
+		for i := range at {
+			at[i] = step*float64(i) + rng.Float64()*step
+		}
+	case "bursty":
+		// Clients arrive in tight waves: flash-crowd opens followed by
+		// correlated closes. One burst per ~500 clients, at least two.
+		bursts := cfg.clients / 500
+		if bursts < 2 {
+			bursts = 2
+		}
+		centers := make([]float64, bursts)
+		for i := range centers {
+			centers[i] = rng.Float64() * cfg.ramp
+		}
+		spread := cfg.ramp / float64(bursts*20)
+		for i := range at {
+			c := centers[rng.Intn(bursts)]
+			d := c + rng.NormFloat64()*spread
+			if d < 0 {
+				d = 0
+			}
+			at[i] = d
+		}
+	default:
+		return nil, fmt.Errorf("unknown workload shape %q (want steady or bursty)", cfg.shape)
+	}
+	return at, nil
+}
+
+// generate deals each client a session from the pool (profiles
+// round-robin across clients) shifted to its arrival offset. Records
+// are emitted client by client, so each client's connections stay in
+// start order as RecordSource requires.
+func (p *pool) generate(cfg genConfig) (*workload, error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	at, err := arrivals(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	w := &workload{shape: cfg.shape, clients: cfg.clients}
+	type span struct{ start, end float64 }
+	spans := make([]span, 0, cfg.clients)
+	for i := 0; i < cfg.clients; i++ {
+		corpus := p.corpora[i%len(p.corpora)]
+		rec := corpus.Records[rng.Intn(len(corpus.Records))]
+		client := clientHostPort(i)
+		sessStart, sessEnd := at[i], at[i]
+		for _, txn := range rec.Capture.TLS {
+			start := at[i] + txn.Start
+			end := at[i] + txn.End
+			w.records = append(w.records, tlsproxy.ReplayRecord{
+				Client:    client,
+				SNI:       txn.SNI,
+				Start:     start,
+				End:       end,
+				UpBytes:   txn.UpBytes,
+				DownBytes: txn.DownBytes,
+			})
+			if end > sessEnd {
+				sessEnd = end
+			}
+			if end > w.simSeconds {
+				w.simSeconds = end
+			}
+		}
+		spans = append(spans, span{sessStart, sessEnd})
+	}
+	// Peak session concurrency: sweep open/close events in sim time.
+	type event struct {
+		at    float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(spans))
+	for _, sp := range spans {
+		events = append(events, event{sp.start, +1}, event{sp.end, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta // close before open on ties
+	})
+	cur := 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > w.peakConcurrent {
+			w.peakConcurrent = cur
+		}
+	}
+	return w, nil
+}

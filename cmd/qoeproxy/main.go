@@ -14,7 +14,9 @@
 //	         [-squid-log access.log] [-model model.json]
 //	         [-metrics 127.0.0.1:9090] [-classify-every 30s]
 //	         [-window 4m] [-client-ttl 1h] [-max-session-txns 4096]
-//	         [-shards N] [-classify-workers N] [-v]
+//	         [-shards N] [-classify-workers N] [-classify-batch N]
+//	         [-replay workload.csv] [-replay-speed X] [-replay-workers N]
+//	         [-v]
 //
 // The resolver map file holds "sni backend:port" lines; unlisted SNIs
 // fall back to -upstream. Logs are JSON lines on stderr (-v adds
@@ -25,8 +27,15 @@
 // not O(all traffic ever seen). Per-client state is partitioned into
 // -shards lock-sharded maps (default GOMAXPROCS) so concurrent
 // connections ingest in parallel, and the classify tick fans out
-// across shards on a -classify-workers pool; outputs stay ordered
-// through a single sink-writer goroutine. Stop with SIGINT/SIGTERM:
+// across shards on a -classify-workers pool, sweeping each shard's
+// feature rows through the compiled scorer in contiguous row-major
+// blocks of -classify-batch rows; outputs stay ordered through a
+// single sink-writer goroutine. With -replay the daemon additionally
+// replays a recorded workload CSV (internal/tlsproxy.ReadWorkload)
+// straight into the ingest path — same callbacks, logical timestamps —
+// at -replay-speed times recorded speed, which is how cmd/qoeload
+// drives tens of thousands of simulated clients through the real
+// serving loop without a socket per session. Stop with SIGINT/SIGTERM:
 // the proxy stops accepting, drains open relays, flushes the
 // sessionizers, prints per-client QoE estimates (if -model is given)
 // and exits cleanly. docs/OPERATIONS.md is the full runbook.
@@ -76,6 +85,10 @@ func main() {
 	flag.IntVar(&opts.maxSessionTxns, "max-session-txns", 4096, "most transactions retained per client session and summary buffer; oldest are dropped beyond it (0 = unbounded)")
 	flag.IntVar(&opts.shards, "shards", 0, "lock shards for per-client state; ingest for clients on different shards never contends (0 = GOMAXPROCS)")
 	flag.IntVar(&opts.classifyWorkers, "classify-workers", 0, "goroutines fanning the classify tick across shards (0 = GOMAXPROCS, capped at -shards)")
+	flag.IntVar(&opts.classifyBatch, "classify-batch", 256, "feature rows swept per batched inference call in a classification pass (0 = row-at-a-time)")
+	flag.StringVar(&opts.replayPath, "replay", "", "replay this workload CSV (see internal/tlsproxy.ReadWorkload) into the ingest path alongside live traffic")
+	flag.Float64Var(&opts.replaySpeed, "replay-speed", 0, "time-compression factor for -replay: 1 = recorded speed, 0 = as fast as possible")
+	flag.IntVar(&opts.replayWorkers, "replay-workers", 4, "goroutines delivering -replay records (clients are hash-partitioned across them)")
 	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -93,6 +106,10 @@ type options struct {
 	clientTTL                     time.Duration
 	maxSessionTxns                int
 	shards, classifyWorkers       int
+	classifyBatch                 int
+	replayPath                    string
+	replaySpeed                   float64
+	replayWorkers                 int
 	verbose                       bool
 }
 
@@ -313,6 +330,18 @@ type service struct {
 type shard struct {
 	mu      sync.Mutex
 	clients map[string]*clientState
+
+	// Classify scratch, reused across passes. During one pass exactly
+	// one worker visits each shard (forEachShard hands out shard indices
+	// exclusively), so these need no lock of their own: the gather phase
+	// fills them under mu, the sweep reads them after release — and
+	// nothing else ever touches them.
+	cNames   []string
+	cCounts  []int
+	cRows    [][]float64 // row-at-a-time path (-classify-batch 0)
+	cBlock   []float64   // row-major block, cap(cNames) x stride
+	cProbs   []float64   // per-sweep probability scratch
+	cClasses []int
 }
 
 // newService assembles the daemon state around the given options,
@@ -498,6 +527,21 @@ func run(opts options) error {
 			return err
 		}
 	}
+	var replayRecs []tlsproxy.ReplayRecord
+	if opts.replayPath != "" {
+		f, err := os.Open(opts.replayPath)
+		if err != nil {
+			return fmt.Errorf("-replay: %w", err)
+		}
+		replayRecs, err = tlsproxy.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(replayRecs) == 0 {
+			return fmt.Errorf("-replay: workload %s is empty", opts.replayPath)
+		}
+	}
 	s := newService(opts, logger, est)
 	defer s.stopSinkWriter()
 	if opts.outPath != "" {
@@ -576,22 +620,56 @@ func run(opts options) error {
 		}
 	}
 
+	// stopAux is everything serveLoop must halt before draining: the
+	// replay source first (no ingest may follow drain), then the metrics
+	// endpoint.
+	stopAux := stopHTTP
+	if len(replayRecs) > 0 {
+		rctx, rcancel := context.WithCancel(context.Background())
+		replayDone := make(chan struct{})
+		src := &tlsproxy.RecordSource{
+			Records: replayRecs,
+			Speed:   opts.replaySpeed,
+			Workers: opts.replayWorkers,
+		}
+		logger.Info("replaying workload", "path", opts.replayPath,
+			"records", len(replayRecs), "speed", opts.replaySpeed, "workers", src.Workers)
+		go func() {
+			defer close(replayDone)
+			st := src.Run(rctx, s.epoch, s.onConnOpen, s.onTransaction)
+			attrs := []any{"records", st.Records, "clients", st.Clients,
+				"wall_seconds", st.Wall.Seconds(),
+				"records_per_second", float64(st.Records) / st.Wall.Seconds()}
+			if rctx.Err() != nil {
+				logger.Info("replay cancelled", attrs...)
+				return
+			}
+			logger.Info("replay complete", attrs...)
+		}()
+		stopAux = func() {
+			rcancel()
+			<-replayDone
+			stopHTTP()
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	return s.serveLoop(errCh, tick, sig, stopHTTP)
+	return s.serveLoop(errCh, tick, sig, stopAux)
 }
 
 // serveLoop is the daemon's main loop: it reacts to listener errors,
 // classification/eviction ticks and shutdown signals. Both exits —
-// listener death and a signal — drain the sessionizers, so pending
-// decisions and the shutdown summary are never lost to a crash-landing
-// listener.
-func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-chan os.Signal, stopHTTP func()) error {
+// listener death and a signal — call stopAux (replay source, then the
+// metrics endpoint) before draining the sessionizers, so no ingest
+// follows the drain and pending decisions and the shutdown summary are
+// never lost to a crash-landing listener.
+func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-chan os.Signal, stopAux func()) error {
 	for {
 		select {
 		case err := <-errCh:
-			stopHTTP()
+			stopAux()
 			s.drain()
 			return err
 		case now := <-tick:
@@ -601,14 +679,45 @@ func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-cha
 			s.log.Info("shutting down", "signal", got.String())
 			// Stop accepting, drain open relays (Close tears them down
 			// and their final records arrive through onTransaction),
-			// then stop the metrics endpoint.
+			// then stop replay and the metrics endpoint.
 			s.proxy.Close()
 			<-errCh
-			stopHTTP()
+			stopAux()
 			s.drain()
 			return nil
 		}
 	}
+}
+
+// classifyBuckets are the histogram bounds for the classification-pass
+// latency series. The batched per-shard sweep finishes typical passes
+// in well under a millisecond, where metrics.DefBuckets (lowest bound
+// 5ms) would lump everything into one bucket; spanning 50µs to 2.5s
+// keeps p50/p95/p99 estimates meaningful from an idle shard to a
+// pathological stall.
+var classifyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// memSampler caches runtime.ReadMemStats so the scrape-time runtime
+// bridges share one stop-the-world sample per ~100ms instead of taking
+// one each per scrape.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (m *memSampler) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); m.at.IsZero() || now.Sub(m.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&m.ms)
+		m.at = now
+	}
+	return m.ms
 }
 
 // registerMetrics declares every exported series. The full reference
@@ -633,9 +742,9 @@ func (s *service) registerMetrics() {
 		s.mPredClass[i] = s.mPred.WithLabel(n)
 	}
 	s.mInfer = r.NewHistogram("qoeproxy_inference_seconds",
-		"Latency of the model-prediction half of one classification pass.", nil)
+		"Latency of the model-prediction half of one classification pass (summed across shard sweeps).", classifyBuckets)
 	s.mExtract = r.NewHistogram("qoeproxy_feature_extraction_seconds",
-		"Latency of building every client's feature row in one classification pass.", nil)
+		"Latency of building every client's feature row in one classification pass (summed across shards).", classifyBuckets)
 	s.mIngested = r.NewCounter("qoeproxy_feature_transactions_ingested_total",
 		"Transactions folded into the incremental per-session feature accumulators.")
 	s.mTruncated = r.NewCounter("qoeproxy_sessions_truncated_total",
@@ -647,7 +756,7 @@ func (s *service) registerMetrics() {
 	s.mContention = r.NewCounter("qoeproxy_ingest_contention_total",
 		"Ingest lock acquisitions that found their shard already held; a rising rate means -shards is too low.")
 	s.mShardClassify = r.NewHistogram("qoeproxy_shard_classify_seconds",
-		"Per-shard latency of building feature rows in one classification pass.", nil)
+		"Per-shard latency of one classification pass: row gather under the shard lock plus the batched inference sweep outside it.", classifyBuckets)
 	r.NewCounterFunc("qoeproxy_connections_total",
 		"Client connections accepted.", func() int64 { return s.proxy.Stats().TotalConnections })
 	r.NewGaugeFunc("qoeproxy_connections_active",
@@ -682,6 +791,21 @@ func (s *service) registerMetrics() {
 		})
 	r.NewGaugeFunc("qoeproxy_uptime_seconds",
 		"Seconds since the proxy started.", func() float64 { return time.Since(s.epoch).Seconds() })
+	// Runtime memory and scheduler health, for correlating classify-tick
+	// latency and ingest throughput with GC pressure under load.
+	mem := &memSampler{}
+	r.NewFloatCounterFunc("qoeproxy_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.", func() float64 {
+			return float64(mem.read().PauseTotalNs) / 1e9
+		})
+	r.NewCounterFunc("qoeproxy_gc_runs_total",
+		"Completed GC cycles.", func() int64 { return int64(mem.read().NumGC) })
+	r.NewCounterFunc("qoeproxy_heap_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap.", func() int64 { return int64(mem.read().TotalAlloc) })
+	r.NewGaugeFunc("qoeproxy_heap_inuse_bytes",
+		"Bytes in in-use heap spans.", func() float64 { return float64(mem.read().HeapInuse) })
+	r.NewGaugeFunc("qoeproxy_goroutines",
+		"Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
 }
 
 // httpHandler serves /metrics and /healthz.
@@ -922,27 +1046,33 @@ func (s *service) forEachShard(fn func(worker, si int)) {
 
 // classifyPass classifies every client's ongoing session, updating
 // prediction counters, the latency histograms and the structured log.
-// Row building fans out across shards on the classify-worker pool —
-// each shard's rows are built under that shard's lock only, so ingest
-// on other shards never stalls — then the per-shard batches merge in
-// shard order, sort by client, and run through the compiled scorer in
-// one batch outside every lock. Safe to call concurrently with traffic.
+// The pass fans out across shards on the classify-worker pool: each
+// shard's feature rows are gathered into one contiguous row-major
+// block under that shard's lock only — ingest on other shards never
+// stalls — and then swept through the compiled scorer's batched
+// predictor outside the lock, -classify-batch rows per call (0 falls
+// back to the row-at-a-time predictor). The per-shard results merge in
+// shard order and sort by client, so logs, counters and stored classes
+// are identical at every (shards, workers, batch) setting. Safe to
+// call concurrently with traffic.
 func (s *service) classifyPass(now time.Time) {
 	if s.est == nil {
 		return
 	}
 	cutoff := now.Sub(s.epoch).Seconds() - s.opts.window.Seconds()
-	t0 := time.Now()
-	type pending struct {
-		names  []string
-		rows   [][]float64
-		counts []int
-	}
-	perShard := make([]pending, len(s.shards))
+	stride := s.est.NumFeatures()
+	nc := s.est.NumClasses()
+	batch := s.opts.classifyBatch
+	var buildNanos, sweepNanos atomic.Int64
+	var errMu sync.Mutex
+	var passErr error
 	s.forEachShard(func(worker, si int) {
 		sh := s.shards[si]
-		p := &perShard[si]
-		st := time.Now()
+		t0 := time.Now()
+		sh.cNames = sh.cNames[:0]
+		sh.cCounts = sh.cCounts[:0]
+		sh.cRows = sh.cRows[:0]
+		sh.cBlock = sh.cBlock[:0]
 		sh.mu.Lock()
 		for client, cs := range sh.clients {
 			var row []float64
@@ -955,35 +1085,76 @@ func (s *service) classifyPass(now time.Time) {
 			if n == 0 {
 				continue
 			}
-			p.names = append(p.names, client)
-			p.rows = append(p.rows, row)
-			p.counts = append(p.counts, n)
+			sh.cNames = append(sh.cNames, client)
+			sh.cCounts = append(sh.cCounts, n)
+			if batch > 0 {
+				sh.cBlock = append(sh.cBlock, row...)
+			} else {
+				sh.cRows = append(sh.cRows, row)
+			}
 		}
 		sh.mu.Unlock()
-		s.mShardClassify.Observe(time.Since(st).Seconds())
+		build := time.Since(t0)
+		buildNanos.Add(int64(build))
+
+		// Sweep the gathered block outside the shard lock; ingest can
+		// proceed while inference runs.
+		t1 := time.Now()
+		rows := len(sh.cNames)
+		if cap(sh.cClasses) < rows {
+			sh.cClasses = make([]int, rows)
+		}
+		sh.cClasses = sh.cClasses[:rows]
+		var err error
+		if batch > 0 {
+			if cap(sh.cProbs) < batch*nc {
+				sh.cProbs = make([]float64, batch*nc)
+			}
+			for lo := 0; lo < rows && err == nil; lo += batch {
+				hi := lo + batch
+				if hi > rows {
+					hi = rows
+				}
+				err = s.est.ClassifyBlockInto(sh.cBlock[lo*stride:hi*stride],
+					hi-lo, sh.cProbs[:(hi-lo)*nc], sh.cClasses[lo:hi])
+			}
+		} else if rows > 0 {
+			var classes []int
+			classes, err = s.est.ClassifyRows(sh.cRows)
+			if err == nil {
+				copy(sh.cClasses, classes)
+			}
+		}
+		sweep := time.Since(t1)
+		sweepNanos.Add(int64(sweep))
+		s.mShardClassify.Observe((build + sweep).Seconds())
+		if err != nil {
+			errMu.Lock()
+			if passErr == nil {
+				passErr = err
+			}
+			errMu.Unlock()
+		}
 	})
 	var names []string
-	var rows [][]float64
-	var counts []int
-	for _, p := range perShard {
-		names = append(names, p.names...)
-		rows = append(rows, p.rows...)
-		counts = append(counts, p.counts...)
+	var classes, counts []int
+	for _, sh := range s.shards {
+		names = append(names, sh.cNames...)
+		classes = append(classes, sh.cClasses...)
+		counts = append(counts, sh.cCounts...)
 	}
-	if len(rows) == 0 {
+	if len(names) == 0 {
 		return
 	}
-	s.mExtract.Observe(time.Since(t0).Seconds())
-	sort.Sort(byName{names, rows, counts})
-	t1 := time.Now()
-	classes, err := s.est.ClassifyRows(rows)
-	s.mInfer.Observe(time.Since(t1).Seconds())
-	if err != nil {
+	s.mExtract.Observe(time.Duration(buildNanos.Load()).Seconds())
+	s.mInfer.Observe(time.Duration(sweepNanos.Load()).Seconds())
+	if passErr != nil {
 		s.mClassErrors.Inc()
-		s.log.Error("classification failed", "err", err)
+		s.log.Error("classification failed", "err", passErr)
 		return
 	}
 	s.mRuns.Inc()
+	sort.Sort(byName{names, classes, counts})
 	for i, client := range names {
 		sh := s.shardFor(client)
 		sh.mu.Lock()
@@ -1037,18 +1208,18 @@ func (s *service) windowedRow(worker int, cs *clientState, cutoff float64) ([]fl
 	return cs.row, len(w)
 }
 
-// byName sorts the classification batch by client for deterministic
+// byName sorts the classification results by client for deterministic
 // logs and tests.
 type byName struct {
-	names  []string
-	rows   [][]float64
-	counts []int
+	names   []string
+	classes []int
+	counts  []int
 }
 
 func (b byName) Len() int { return len(b.names) }
 func (b byName) Swap(i, j int) {
 	b.names[i], b.names[j] = b.names[j], b.names[i]
-	b.rows[i], b.rows[j] = b.rows[j], b.rows[i]
+	b.classes[i], b.classes[j] = b.classes[j], b.classes[i]
 	b.counts[i], b.counts[j] = b.counts[j], b.counts[i]
 }
 func (b byName) Less(i, j int) bool { return b.names[i] < b.names[j] }

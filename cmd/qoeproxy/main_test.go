@@ -254,6 +254,127 @@ func TestClassifyPassPaths(t *testing.T) {
 	}
 }
 
+// TestRunReplay boots the daemon with a -replay workload instead of
+// live traffic and checks the records flow through the real ingest
+// path: transaction and classification metrics move, and shutdown
+// still drains cleanly.
+func TestRunReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon integration is slow")
+	}
+	corpus, err := dataset.Build(dataset.Config{Seed: 3, Sessions: 60}, has.Svc1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var training []core.TrainingSession
+	for _, r := range corpus.Records {
+		training = append(training, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{Metric: qoe.MetricCombined, Forest: forest.Config{NumTrees: 8, Seed: 3}})
+	if err := est.Train(training); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	// Workload: 40 clients, one session each, drawn from the corpus.
+	var recs []tlsproxy.ReplayRecord
+	for i := 0; i < 40; i++ {
+		r := corpus.Records[i%len(corpus.Records)]
+		client := fmt.Sprintf("10.42.0.%d:40000", i+1)
+		for _, txn := range r.Capture.TLS {
+			recs = append(recs, tlsproxy.ReplayRecord{
+				Client: client, SNI: txn.SNI,
+				Start: txn.Start, End: txn.End,
+				UpBytes: txn.UpBytes, DownBytes: txn.DownBytes,
+			})
+		}
+	}
+	workloadPath := filepath.Join(dir, "workload.csv")
+	wf, err := os.Create(workloadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tlsproxy.WriteWorkload(wf, recs); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+
+	listen := freePort(t)
+	metricsAddr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(options{
+			listen:        listen,
+			upstream:      "127.0.0.1:1",
+			modelPath:     modelPath,
+			metricsAddr:   metricsAddr,
+			classifyEvery: 100 * time.Millisecond,
+			classifyBatch: 8,
+			replayPath:    workloadPath,
+			replayWorkers: 2,
+		})
+	}()
+
+	// Replay runs at full speed; wait for every record to land and a
+	// classification pass to run.
+	base := "http://" + metricsAddr
+	deadline := time.Now().Add(15 * time.Second)
+	var txns, runs float64
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			txns = metricValue(t, string(body), "qoeproxy_transactions_total")
+			runs = metricValue(t, string(body), "qoeproxy_classification_runs_total")
+			if txns == float64(len(recs)) && runs >= 1 {
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if txns != float64(len(recs)) {
+		t.Errorf("qoeproxy_transactions_total = %g, want %d", txns, len(recs))
+	}
+	if runs < 1 {
+		t.Errorf("qoeproxy_classification_runs_total = %g, want >= 1", runs)
+	}
+	body := scrape(t, base+"/metrics")
+	if got := metricValue(t, body, "qoeproxy_classification_errors_total"); got != 0 {
+		t.Errorf("qoeproxy_classification_errors_total = %g", got)
+	}
+	for _, series := range []string{
+		"qoeproxy_gc_pause_seconds_total",
+		"qoeproxy_gc_runs_total",
+		"qoeproxy_heap_alloc_bytes_total",
+		"qoeproxy_heap_inuse_bytes",
+		"qoeproxy_goroutines",
+	} {
+		metricValue(t, body, series)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestRunEndToEnd drives the daemon: origin <- proxy <- client, CSV and
 // Squid outputs, live /metrics+/healthz with online classification
 // while relaying, then shutdown via SIGINT with model classification.

@@ -38,7 +38,7 @@ type invariantRun struct {
 // invariant observables. The replay itself is single-goroutine, so the
 // sink enqueue order — and therefore the flushed sink bytes — is fully
 // determined by the trace.
-func replayTrace(t *testing.T, est *core.Estimator, traffic *dataset.Corpus, window time.Duration, shards, workers int) invariantRun {
+func replayTrace(t *testing.T, est *core.Estimator, traffic *dataset.Corpus, window time.Duration, shards, workers, batch int) invariantRun {
 	t.Helper()
 	const numClients = 6
 	const ttl = 120 * time.Second
@@ -49,6 +49,7 @@ func replayTrace(t *testing.T, est *core.Estimator, traffic *dataset.Corpus, win
 		maxSessionTxns:  64,
 		shards:          shards,
 		classifyWorkers: workers,
+		classifyBatch:   batch,
 	}, est)
 	var csv bytes.Buffer
 	s.out = &sink{w: &csv, name: "out"}
@@ -138,7 +139,10 @@ func replayTrace(t *testing.T, est *core.Estimator, traffic *dataset.Corpus, win
 // identical classification sequences, eviction summaries, metric
 // totals and sink output. scripts/check.sh runs it under -race, which
 // also exercises the classify fan-out and the sink writer goroutine.
-func TestShardInvariance(t *testing.T) {
+// invarianceFixtures trains the small estimator and builds the traffic
+// corpus the invariance replays share.
+func invarianceFixtures(t *testing.T) (*core.Estimator, *dataset.Corpus) {
+	t.Helper()
 	trainCorpus, err := dataset.Build(dataset.Config{Seed: 5, Sessions: 60}, has.Svc1())
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +159,11 @@ func TestShardInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return est, traffic
+}
+
+func TestShardInvariance(t *testing.T) {
+	est, traffic := invarianceFixtures(t)
 
 	matrix := []struct{ shards, workers int }{
 		{1, 1}, {8, 1}, {8, 4}, {1, 4},
@@ -167,7 +176,7 @@ func TestShardInvariance(t *testing.T) {
 		{"windowed", time.Hour},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
-			base := replayTrace(t, est, traffic, mode.window, matrix[0].shards, matrix[0].workers)
+			base := replayTrace(t, est, traffic, mode.window, matrix[0].shards, matrix[0].workers, 0)
 			if len(base.classifications) == 0 {
 				t.Fatal("baseline replay produced no classifications")
 			}
@@ -178,24 +187,64 @@ func TestShardInvariance(t *testing.T) {
 				t.Fatal("baseline replay wrote no sink output")
 			}
 			for _, m := range matrix[1:] {
-				got := replayTrace(t, est, traffic, mode.window, m.shards, m.workers)
-				name := fmt.Sprintf("shards=%d workers=%d", m.shards, m.workers)
-				if fmt.Sprint(got.classifications) != fmt.Sprint(base.classifications) {
-					t.Errorf("%s: classification sequence diverged\n got %v\nwant %v",
-						name, got.classifications, base.classifications)
-				}
-				if fmt.Sprint(got.evictions) != fmt.Sprint(base.evictions) {
-					t.Errorf("%s: eviction sequence diverged\n got %v\nwant %v",
-						name, got.evictions, base.evictions)
-				}
-				for k, want := range base.counters {
-					if got.counters[k] != want {
-						t.Errorf("%s: counter %s = %d, want %d", name, k, got.counters[k], want)
-					}
-				}
-				if got.sinkCSV != base.sinkCSV {
-					t.Errorf("%s: sink output diverged (%d bytes vs %d)", name, len(got.sinkCSV), len(base.sinkCSV))
-				}
+				got := replayTrace(t, est, traffic, mode.window, m.shards, m.workers, 0)
+				compareRuns(t, fmt.Sprintf("shards=%d workers=%d", m.shards, m.workers), got, base)
+			}
+		})
+	}
+}
+
+// compareRuns requires two replays to agree on every invariant
+// observable: emission sequences, counters, sink bytes.
+func compareRuns(t *testing.T, name string, got, base invariantRun) {
+	t.Helper()
+	if fmt.Sprint(got.classifications) != fmt.Sprint(base.classifications) {
+		t.Errorf("%s: classification sequence diverged\n got %v\nwant %v",
+			name, got.classifications, base.classifications)
+	}
+	if fmt.Sprint(got.evictions) != fmt.Sprint(base.evictions) {
+		t.Errorf("%s: eviction sequence diverged\n got %v\nwant %v",
+			name, got.evictions, base.evictions)
+	}
+	for k, want := range base.counters {
+		if got.counters[k] != want {
+			t.Errorf("%s: counter %s = %d, want %d", name, k, got.counters[k], want)
+		}
+	}
+	if got.sinkCSV != base.sinkCSV {
+		t.Errorf("%s: sink output diverged (%d bytes vs %d)", name, len(got.sinkCSV), len(base.sinkCSV))
+	}
+}
+
+// TestBatchInvariance is the acceptance test for the batched per-shard
+// inference sweep: the same trace replayed with batching disabled
+// (classifyBatch 0, the row-at-a-time scorer) is the baseline, and
+// every (shards, workers, batch) configuration — batch sizes that
+// split a shard's rows mid-block included — must reproduce its
+// classification sequence, eviction summaries, metric totals and sink
+// bytes exactly. scripts/check.sh runs it under -race, which also
+// exercises the gather-under-lock/sweep-outside-lock handoff.
+func TestBatchInvariance(t *testing.T) {
+	est, traffic := invarianceFixtures(t)
+
+	matrix := []struct{ shards, workers, batch int }{
+		{1, 1, 1}, {8, 1, 1}, {8, 4, 1}, {8, 4, 64}, {1, 4, 7}, {4, 2, 256},
+	}
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"incremental", 0},
+		{"windowed", time.Hour},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			base := replayTrace(t, est, traffic, mode.window, 1, 1, 0)
+			if len(base.classifications) == 0 {
+				t.Fatal("row-at-a-time baseline produced no classifications")
+			}
+			for _, m := range matrix {
+				got := replayTrace(t, est, traffic, mode.window, m.shards, m.workers, m.batch)
+				compareRuns(t, fmt.Sprintf("shards=%d workers=%d batch=%d", m.shards, m.workers, m.batch), got, base)
 			}
 		})
 	}

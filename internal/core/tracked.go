@@ -5,6 +5,7 @@ import (
 
 	"droppackets/internal/capture"
 	"droppackets/internal/features"
+	"droppackets/internal/qoe"
 )
 
 // TrackedSession is the incremental classify handle for one ongoing
@@ -95,6 +96,35 @@ func (e *Estimator) ClassifyRows(rows [][]float64) ([]int, error) {
 		return nil, fmt.Errorf("core: estimator not trained")
 	}
 	return e.scorer.PredictBatch(rows), nil
+}
+
+// NumFeatures returns the width of the estimator's feature rows (the
+// configured subset of the paper's TLS features) — the stride of the
+// row-major blocks ClassifyBlockInto consumes.
+func (e *Estimator) NumFeatures() int { return len(e.cols) }
+
+// NumClasses returns the number of QoE classes the estimator
+// discriminates.
+func (e *Estimator) NumClasses() int { return qoe.NumCategories }
+
+// ClassifyBlockInto predicts classes for a contiguous row-major block
+// of pre-extracted feature rows: block holds n rows of NumFeatures
+// floats each, packed back to back. probs is caller scratch of at
+// least n*NumClasses floats; out receives the class of row r at
+// out[r]. It allocates nothing and the results are bit-identical to
+// calling Classify per row — the sharded classify tick in cmd/qoeproxy
+// gathers each shard's pending rows into one block and sweeps them
+// here in a single call.
+func (e *Estimator) ClassifyBlockInto(block []float64, n int, probs []float64, out []int) error {
+	if !e.trained {
+		return fmt.Errorf("core: estimator not trained")
+	}
+	stride := len(e.cols)
+	if len(block) != n*stride {
+		return fmt.Errorf("core: block holds %d floats, want %d rows x %d features", len(block), n, stride)
+	}
+	e.scorer.PredictBatchInto(block, stride, probs, out)
+	return nil
 }
 
 // RowBuilder extracts feature rows through a private batch scratch.

@@ -112,6 +112,59 @@ func TestClassifyTrackedMatchesClassify(t *testing.T) {
 	}
 }
 
+// TestClassifyBlockIntoMatchesClassify checks the zero-alloc row-major
+// block sweep against the per-session path: same classes, untrained
+// and size-mismatch errors, and no allocations with caller buffers.
+func TestClassifyBlockIntoMatchesClassify(t *testing.T) {
+	sessions := trainingData(t, 120)
+	est := newEstimator()
+
+	if err := est.ClassifyBlockInto(nil, 0, nil, nil); err == nil {
+		t.Error("untrained estimator classified a block")
+	}
+	if err := est.Train(sessions); err != nil {
+		t.Fatal(err)
+	}
+	stride := est.NumFeatures()
+	nc := est.NumClasses()
+	if stride == 0 || nc == 0 {
+		t.Fatalf("NumFeatures = %d, NumClasses = %d", stride, nc)
+	}
+
+	n := 15
+	block := make([]float64, n*stride)
+	want := make([]int, n)
+	for i, s := range sessions[:n] {
+		copy(block[i*stride:(i+1)*stride], est.featuresFor(s.TLS))
+		c, err := est.Classify(s.TLS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+
+	probs := make([]float64, n*nc)
+	out := make([]int, n)
+	if err := est.ClassifyBlockInto(block, n, probs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("ClassifyBlockInto[%d] = %d, Classify = %d", i, out[i], want[i])
+		}
+	}
+
+	if err := est.ClassifyBlockInto(block, n+1, probs, out); err == nil {
+		t.Error("size-mismatched block accepted")
+	}
+
+	if got := testing.AllocsPerRun(20, func() {
+		est.ClassifyBlockInto(block, n, probs, out)
+	}); got != 0 {
+		t.Errorf("ClassifyBlockInto allocates %v per run, want 0", got)
+	}
+}
+
 // TestFeatureRowMatchesBatch checks the windowed-path extraction reuses
 // buffers without changing bits.
 func TestFeatureRowMatchesBatch(t *testing.T) {

@@ -141,6 +141,26 @@ func (c *CounterFunc) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", c.name, c.fn())
 }
 
+// FloatCounterFunc is a float-valued counter sampled from a callback
+// at scrape time — the bridge for monotone runtime totals that are
+// natively fractional, like cumulative GC pause seconds.
+type FloatCounterFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewFloatCounterFunc registers a sampled float counter.
+func (r *Registry) NewFloatCounterFunc(name, help string, fn func() float64) *FloatCounterFunc {
+	c := &FloatCounterFunc{name: name, help: help, fn: fn}
+	r.register(name, c)
+	return c
+}
+
+func (c *FloatCounterFunc) write(w io.Writer) {
+	header(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %s\n", c.name, formatFloat(c.fn()))
+}
+
 // Gauge is an integer metric that can go up and down.
 type Gauge struct {
 	name, help string

@@ -45,12 +45,17 @@ func TestFuncMetrics(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounterFunc("sampled_total", "Sampled counter.", func() int64 { return 13 })
 	r.NewGaugeFunc("temp", "Sampled gauge.", func() float64 { return 1.5 })
+	r.NewFloatCounterFunc("pause_seconds_total", "Sampled float counter.", func() float64 { return 0.125 })
 	out := render(r)
 	if !strings.Contains(out, "sampled_total 13\n") {
 		t.Errorf("counter func missing:\n%s", out)
 	}
 	if !strings.Contains(out, "temp 1.5\n") {
 		t.Errorf("gauge func missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE pause_seconds_total counter\n") ||
+		!strings.Contains(out, "pause_seconds_total 0.125\n") {
+		t.Errorf("float counter func missing:\n%s", out)
 	}
 }
 

@@ -128,3 +128,82 @@ func BenchmarkGBDTPredictCompiled(b *testing.B) {
 		cg.PredictInto(rows[i%len(rows)], scores)
 	}
 }
+
+// sweepRows is the block size of the multi-row sweep benchmarks,
+// shaped like one shard's classify-tick gather at realistic load.
+const sweepRows = 512
+
+// benchBlock packs sweepRows dataset rows into one contiguous
+// row-major block.
+func benchBlock(rows [][]float64) (block []float64, stride int) {
+	stride = len(rows[0])
+	block = make([]float64, sweepRows*stride)
+	for r := 0; r < sweepRows; r++ {
+		copy(block[r*stride:(r+1)*stride], rows[r%len(rows)])
+	}
+	return block, stride
+}
+
+// BenchmarkForestSweepRowAtATime is the per-row compiled path over a
+// multi-row block: what the classify tick did before the batched
+// sweep — one PredictInto call per client row. One op = one full
+// 512-row sweep.
+func BenchmarkForestSweepRowAtATime(b *testing.B) {
+	_, cf, _, _, rows := benchModels(b)
+	block, stride := benchBlock(rows)
+	probs := make([]float64, cf.NumClasses())
+	out := make([]int, sweepRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < sweepRows; r++ {
+			out[r] = cf.PredictInto(block[r*stride:(r+1)*stride], probs)
+		}
+	}
+}
+
+// BenchmarkForestSweepBatch is the batched per-shard sweep: one
+// PredictBatchInto call over the same 512-row block (trees outer,
+// four interleaved row walks). One op = one full sweep; compare
+// directly against BenchmarkForestSweepRowAtATime.
+func BenchmarkForestSweepBatch(b *testing.B) {
+	_, cf, _, _, rows := benchModels(b)
+	block, stride := benchBlock(rows)
+	probs := make([]float64, sweepRows*cf.NumClasses())
+	out := make([]int, sweepRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.PredictBatchInto(block, stride, probs, out)
+	}
+}
+
+// BenchmarkGBDTSweepRowAtATime is the per-row compiled gbdt over the
+// same multi-row block.
+func BenchmarkGBDTSweepRowAtATime(b *testing.B) {
+	_, _, _, cg, rows := benchModels(b)
+	block, stride := benchBlock(rows)
+	scores := make([]float64, cg.NumClasses())
+	out := make([]int, sweepRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < sweepRows; r++ {
+			out[r] = cg.PredictInto(block[r*stride:(r+1)*stride], scores)
+		}
+	}
+}
+
+// BenchmarkGBDTSweepBatch is the batched compiled gbdt over the same
+// multi-row block.
+func BenchmarkGBDTSweepBatch(b *testing.B) {
+	_, _, _, cg, rows := benchModels(b)
+	block, stride := benchBlock(rows)
+	scores := make([]float64, sweepRows*cg.NumClasses())
+	out := make([]int, sweepRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg.PredictBatchInto(block, stride, scores, out)
+	}
+}

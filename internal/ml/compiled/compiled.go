@@ -43,6 +43,9 @@ type Forest struct {
 	// dist pools every leaf distribution of every tree, numClasses
 	// wide each.
 	dist []float64
+	// bb is the branch-free batch walk layout built at compile time
+	// for the multi-row sweeps in batch.go.
+	bb *batchLayout
 }
 
 // CompileForest flattens a fitted forest into a Forest scorer. It
@@ -83,6 +86,7 @@ func CompileForest(f *forest.Classifier) (*Forest, error) {
 		}
 		c.roots = append(c.roots, base)
 	}
+	c.bb = buildBatchLayout(c.feature, c.threshold, c.left, c.right, c.roots, c.leaf, nil)
 	return c, nil
 }
 
@@ -220,6 +224,9 @@ type GBDT struct {
 	right     []int32
 	// value[i] is leaf i's regression output (0 for internal nodes).
 	value []float64
+	// bb is the branch-free batch walk layout built at compile time
+	// for the multi-row sweeps in batch.go.
+	bb *batchLayout
 }
 
 // CompileGBDT flattens a fitted booster into a GBDT scorer, with the
@@ -274,6 +281,7 @@ func CompileGBDT(g *gbdt.Classifier) (*GBDT, error) {
 	c.threshold = shim.threshold
 	c.left = shim.left
 	c.right = shim.right
+	c.bb = buildBatchLayout(c.feature, c.threshold, c.left, c.right, c.roots, nil, c.value)
 	return c, nil
 }
 

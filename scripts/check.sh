@@ -29,11 +29,18 @@ go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./interna
 echo "== feature benchmarks (smoke) =="
 go test -run '^$' -bench Feature -benchtime 1x .
 
-echo "== serving benchmarks (smoke: compiled scorers, sharded ingest) =="
+echo "== serving benchmarks (smoke: compiled scorers incl. batched sweep, sharded ingest) =="
 go test -run '^$' -bench . -benchtime 1x ./internal/ml/compiled
 go test -run '^$' -bench ConcurrentIngest -benchtime 100x ./cmd/qoeproxy
 
 echo "== qoeproxy smoke (/metrics, /healthz, SIGTERM drain) =="
 go run ./scripts/smoke
+
+echo "== qoeload soak (replay a few hundred clients through the real service loop) =="
+# Fails on dropped records, classification errors, sink write failures
+# or a dead /healthz. Small enough (~10s including the daemon build) to
+# run on every check; BENCH_load.json proper uses 10k+ clients.
+go run ./cmd/qoeload -clients 300 -pool 20 -ramp 10s -classify-every 200ms \
+	-settle 45s -out /tmp/qoeload-soak.json
 
 echo "All checks passed."

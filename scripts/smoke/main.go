@@ -47,6 +47,11 @@ var coreSeries = []string{
 	"qoeproxy_active_sessions",
 	"qoeproxy_clients",
 	"qoeproxy_uptime_seconds",
+	"qoeproxy_gc_pause_seconds_total",
+	"qoeproxy_gc_runs_total",
+	"qoeproxy_heap_alloc_bytes_total",
+	"qoeproxy_heap_inuse_bytes",
+	"qoeproxy_goroutines",
 }
 
 func main() {

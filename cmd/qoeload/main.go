@@ -11,7 +11,7 @@
 //
 //	qoeload [-clients 10000] [-pool 120] [-seed 7]
 //	        [-shapes steady,bursty] [-speed 0] [-ramp 60s]
-//	        [-transport replay|sockets] [-slow-sink]
+//	        [-transport replay|sockets|squid] [-slow-sink]
 //	        [-classify-every 500ms] [-window 0] [-shards N]
 //	        [-classify-workers N] [-classify-batch 256]
 //	        [-replay-workers 4] [-socket-workers 32]
@@ -24,8 +24,11 @@
 // "sockets" opens real TLS-shaped connections through the proxy
 // listener against a synthetic origin, bounded by -socket-workers
 // concurrent fetches; it exercises the full network path at smaller
-// scale. -slow-sink routes the daemon's -out CSV through a deliberately
-// slow FIFO reader, exercising sink backpressure during load.
+// scale. Transport "squid" renders the workload as a Squid access log
+// and has the daemon ingest it via -source=squid, measuring the
+// log-parse-and-reorder path end to end. -slow-sink routes the
+// daemon's -out CSV through a deliberately slow FIFO reader,
+// exercising sink backpressure during load.
 //
 // The harness fails (exit 1) if the daemon drops records
 // (transactions_total != records replayed), reports classification
@@ -47,14 +50,17 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"droppackets/internal/capture"
 	"droppackets/internal/core"
 	"droppackets/internal/ml/forest"
 	"droppackets/internal/qoe"
+	"droppackets/internal/squidlog"
 	"droppackets/internal/tlsproxy"
 )
 
@@ -90,7 +96,7 @@ func main() {
 	flag.StringVar(&o.shapes, "shapes", "steady,bursty", "comma-separated workload shapes to run (steady, bursty)")
 	flag.Float64Var(&o.speed, "speed", 0, "replay time-compression factor (1 = recorded speed, 0 = as fast as possible)")
 	flag.DurationVar(&o.ramp, "ramp", 60*time.Second, "simulated client-arrival spread")
-	flag.StringVar(&o.transport, "transport", "replay", "how records reach the daemon: replay (record-replay seam) or sockets (real connections)")
+	flag.StringVar(&o.transport, "transport", "replay", "how records reach the daemon: replay (record-replay seam), sockets (real connections), or squid (access-log ingest)")
 	flag.BoolVar(&o.slowSink, "slow-sink", false, "route the daemon's -out CSV through a slow FIFO reader to exercise sink backpressure")
 	flag.DurationVar(&o.classifyEvery, "classify-every", 500*time.Millisecond, "daemon classification interval")
 	flag.DurationVar(&o.window, "window", 0, "daemon classification window (0 = whole current session)")
@@ -271,7 +277,8 @@ func watchStderr(r io.Reader, ev *daemonEvents) {
 				default:
 				}
 			}
-		case strings.Contains(line, `"msg":"replay complete"`):
+		case strings.Contains(line, `"msg":"replay complete"`),
+			strings.Contains(line, `"msg":"ingest complete"`):
 			var e struct {
 				Records     int64   `json:"records"`
 				WallSeconds float64 `json:"wall_seconds"`
@@ -375,11 +382,42 @@ func runShape(o loadOptions, bin, modelPath, dir string, w *workload) (*shapeRes
 	if o.classifyWorkers > 0 {
 		args = append(args, "-classify-workers", fmt.Sprint(o.classifyWorkers))
 	}
-	if o.transport == "replay" {
+	switch o.transport {
+	case "replay":
 		args = append(args,
 			"-replay", csvPath,
 			"-replay-speed", fmt.Sprint(o.speed),
 			"-replay-workers", fmt.Sprint(o.replayWorkers))
+	case "squid":
+		// Render the workload as an end-time-ordered access log — the
+		// order a real Squid writes — and let the daemon's tailer ingest
+		// it as a bounded file.
+		logPath := filepath.Join(dir, w.shape+".access.log")
+		sorted := make([]tlsproxy.ReplayRecord, len(w.records))
+		copy(sorted, w.records)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].End < sorted[j].End })
+		lf, err := os.Create(logPath)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriterSize(lf, 1<<20)
+		for _, r := range sorted {
+			fmt.Fprintln(bw, squidlog.FormatEntry(r.Client, capture.TLSTransaction{
+				SNI: r.SNI, Start: r.Start, End: r.End, UpBytes: r.UpBytes, DownBytes: r.DownBytes,
+			}, 0))
+		}
+		if err := bw.Flush(); err != nil {
+			lf.Close()
+			return nil, err
+		}
+		if err := lf.Close(); err != nil {
+			return nil, err
+		}
+		args = append(args,
+			"-source", "squid",
+			"-input", logPath,
+			"-follow=false",
+			"-ingest-epoch", "0")
 	}
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()

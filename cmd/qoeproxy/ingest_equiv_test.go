@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"droppackets/internal/capture"
+	"droppackets/internal/core"
+	"droppackets/internal/dataset"
+	"droppackets/internal/ingest"
+	"droppackets/internal/netflow"
+	"droppackets/internal/pcap"
+	"droppackets/internal/squidlog"
+	"droppackets/internal/tlsproxy"
+)
+
+// canonicalWorkload derives a workload from the invariance traffic
+// corpus whose timestamps survive every serialization round-trip
+// bit-exactly. Squid logs carry millisecond end times and integer
+// millisecond durations, the coarsest of the formats, so each
+// transaction is first snapped to that grid using the exact float
+// expressions squidlog.ParseLine evaluates on read-back
+// (end = endMs/1000, start = end - durMs/1000); the replay CSV and
+// flow-file formats print floats losslessly, and the pcap writer's
+// microsecond grid is ingest.QuantizeMicros's grid, so all four
+// renderings decode to the same offsets. Records are sorted by
+// (end, start, ...) — the order Squid logs naturally appear in and
+// pcap.ReadTransactions returns — so every source assigns the same
+// ConnIDs.
+func canonicalWorkload(traffic *dataset.Corpus) []tlsproxy.ReplayRecord {
+	const numClients = 6
+	var recs []tlsproxy.ReplayRecord
+	for i, r := range traffic.Records {
+		client := fmt.Sprintf("10.9.0.%d", i%numClients+1)
+		for _, txn := range r.Capture.TLS {
+			endMs := math.Round(txn.End * 1000)
+			durMs := math.Round((txn.End - txn.Start) * 1000)
+			if durMs < 0 {
+				durMs = 0
+			}
+			if durMs > endMs {
+				durMs = endMs
+			}
+			end := endMs / 1000
+			recs = append(recs, tlsproxy.ReplayRecord{
+				Client:    client,
+				SNI:       txn.SNI,
+				Start:     end - durMs/1000,
+				End:       end,
+				UpBytes:   txn.UpBytes,
+				DownBytes: txn.DownBytes,
+			})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		switch {
+		case a.End != b.End:
+			return a.End < b.End
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.Client != b.Client:
+			return a.Client < b.Client
+		case a.SNI != b.SNI:
+			return a.SNI < b.SNI
+		case a.UpBytes != b.UpBytes:
+			return a.UpBytes < b.UpBytes
+		default:
+			return a.DownBytes < b.DownBytes
+		}
+	})
+	return recs
+}
+
+// equivRun extends the shard-invariance observables with the Squid-log
+// sink bytes, so the equivalence check also covers the second sink.
+type equivRun struct {
+	invariantRun
+	sinkSquid string
+}
+
+// runSource feeds one rendering of the canonical workload through a
+// fresh service via the given TransactionSource and returns every
+// invariant observable. The classification/eviction schedule is
+// computed from the canonical records, identical across sources.
+func runSource(t *testing.T, est *core.Estimator, recs []tlsproxy.ReplayRecord,
+	build func(base time.Time) (ingest.TransactionSource, error)) equivRun {
+	t.Helper()
+	const ttl = 120 * time.Second
+	s, logs := newTestService(t, options{
+		clientTTL:       ttl,
+		maxSessionTxns:  64,
+		shards:          4,
+		classifyWorkers: 2,
+		classifyBatch:   32,
+	}, est)
+	var csv, sq bytes.Buffer
+	s.out = &sink{w: &csv, name: "out"}
+	s.squid = &sink{w: &sq, name: "squid-log"}
+
+	src, err := build(s.epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Run(context.Background(), ingest.Handler{
+		ConnOpen:    s.onConnOpen,
+		Transaction: s.onTransaction,
+	}); err != nil {
+		t.Fatalf("%s source: %v", src.Name(), err)
+	}
+	st := src.Stats()
+	if st.Records != int64(len(recs)) {
+		t.Fatalf("%s source delivered %d records, want %d", src.Name(), st.Records, len(recs))
+	}
+	if st.Malformed != 0 {
+		t.Fatalf("%s source counted %d malformed entries in a clean rendering", src.Name(), st.Malformed)
+	}
+
+	lastEnd := 0.0
+	for _, r := range recs {
+		if r.End > lastEnd {
+			lastEnd = r.End
+		}
+	}
+	endOfTrace := s.epoch.Add(time.Duration((lastEnd + 1) * float64(time.Second)))
+	s.classifyPass(endOfTrace)
+	s.evictIdle(endOfTrace.Add(ttl + time.Second))
+	s.flushSinks()
+
+	run := equivRun{invariantRun: invariantRun{counters: map[string]int64{
+		"transactions": s.mTxns.Value(),
+		"boundaries":   s.mBoundaries.Value(),
+		"runs":         s.mRuns.Value(),
+		"class_errors": s.mClassErrors.Value(),
+		"ingested":     s.mIngested.Value(),
+		"truncated":    s.mTruncated.Value(),
+		"evicted":      s.mEvicted.Value(),
+		"clients_left": int64(s.clientCount()),
+	}, sinkCSV: csv.String()}, sinkSquid: sq.String()}
+	for _, n := range s.names {
+		run.counters["pred_"+n] = s.mPred.Value(n)
+	}
+	for _, line := range logs.lines() {
+		if line == "" {
+			continue
+		}
+		var e struct {
+			Msg          string `json:"msg"`
+			Client       string `json:"client"`
+			Class        string `json:"class"`
+			Transactions int64  `json:"transactions"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+		switch e.Msg {
+		case "classification":
+			run.classifications = append(run.classifications,
+				fmt.Sprintf("%s=%s/%d", e.Client, e.Class, e.Transactions))
+		case "client evicted":
+			run.evictions = append(run.evictions,
+				fmt.Sprintf("%s=%s/%d", e.Client, e.Class, e.Transactions))
+		}
+	}
+	return run
+}
+
+// TestCrossSourceEquivalence is the acceptance test for the unified
+// ingest layer: one canonical workload rendered as a replay CSV, a
+// Squid access log, a transaction pcap, and a flow-record file must
+// drive the service to byte-identical classification sequences,
+// eviction summaries, metric totals and sink output through all four
+// TransactionSource adapters. scripts/check.sh runs it under -race.
+func TestCrossSourceEquivalence(t *testing.T) {
+	est, traffic := invarianceFixtures(t)
+	recs := canonicalWorkload(traffic)
+	if len(recs) == 0 {
+		t.Fatal("canonical workload is empty")
+	}
+	dir := t.TempDir()
+
+	// Render the same workload in every format the daemon ingests.
+	csvPath := filepath.Join(dir, "workload.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tlsproxy.WriteWorkload(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	logPath := filepath.Join(dir, "access.log")
+	var logBuf bytes.Buffer
+	for _, r := range recs {
+		logBuf.WriteString(squidlog.FormatEntry(r.Client, capture.TLSTransaction{
+			SNI: r.SNI, Start: r.Start, End: r.End, UpBytes: r.UpBytes, DownBytes: r.DownBytes,
+		}, 0) + "\n")
+	}
+	if err := os.WriteFile(logPath, logBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pcapPath := filepath.Join(dir, "trace.pcap")
+	f, err = os.Create(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcap.WriteTransactions(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	flowPath := filepath.Join(dir, "flows.csv")
+	flows := make([]netflow.ClientFlow, 0, len(recs)+1)
+	for i, r := range recs {
+		if i == len(recs)/2 {
+			// An unresolved flow mid-file: must be counted, not delivered.
+			flows = append(flows, netflow.ClientFlow{Client: r.Client,
+				Flow: netflow.Record{Start: r.Start, End: r.End, DownBytes: 10}})
+		}
+		flows = append(flows, netflow.ClientFlow{Client: r.Client, Flow: netflow.Record{
+			Host: r.SNI, Start: r.Start, End: r.End, UpBytes: r.UpBytes, DownBytes: r.DownBytes,
+		}})
+	}
+	f, err = os.Create(flowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netflow.WriteFlows(f, flows); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	base := runSource(t, est, recs, func(b time.Time) (ingest.TransactionSource, error) {
+		return ingest.NewReplaySource(csvPath, b, 0, 1)
+	})
+	if len(base.classifications) == 0 {
+		t.Fatal("replay baseline produced no classifications")
+	}
+	if base.counters["evicted"] == 0 {
+		t.Fatal("replay baseline evicted no clients")
+	}
+	if len(base.sinkCSV) == 0 || len(base.sinkSquid) == 0 {
+		t.Fatal("replay baseline left a sink empty")
+	}
+
+	others := []struct {
+		name  string
+		build func(b time.Time) (ingest.TransactionSource, error)
+	}{
+		{"squid", func(b time.Time) (ingest.TransactionSource, error) {
+			return &ingest.SquidSource{
+				Path: logPath, Base: b, EpochUnix: 0,
+				Horizon: 1 << 20, // hold everything until the EOF flush: global time order
+				Follow:  false,
+			}, nil
+		}},
+		{"pcap", func(b time.Time) (ingest.TransactionSource, error) {
+			return ingest.NewPcapSource(pcapPath, b, 0, 0, 1)
+		}},
+		{"netflow", func(b time.Time) (ingest.TransactionSource, error) {
+			return ingest.NewNetflowSource(flowPath, b, 0, 1)
+		}},
+	}
+	for _, o := range others {
+		got := runSource(t, est, recs, o.build)
+		compareRuns(t, o.name, got.invariantRun, base.invariantRun)
+		if got.sinkSquid != base.sinkSquid {
+			t.Errorf("%s: squid-log sink diverged (%d bytes vs %d)", o.name, len(got.sinkSquid), len(base.sinkSquid))
+		}
+	}
+}

@@ -16,7 +16,19 @@
 //	         [-window 4m] [-client-ttl 1h] [-max-session-txns 4096]
 //	         [-shards N] [-classify-workers N] [-classify-batch N]
 //	         [-replay workload.csv] [-replay-speed X] [-replay-workers N]
+//	         [-source proxy|squid|pcap|netflow|replay] [-input FILE]
+//	         [-ingest-speed X] [-ingest-workers N] [-ingest-epoch T]
+//	         [-ingest-horizon 5m] [-follow=true]
 //	         [-v]
+//
+// The daemon's telemetry arrives through one internal/ingest
+// TransactionSource selected with -source: the live proxy (default),
+// a tailed Squid access log, a pcap packet trace, a client-attributed
+// NetFlow record CSV, or a replay workload CSV — everything downstream
+// of the callbacks (sessionization, classification, sinks, metrics) is
+// source-agnostic and byte-identical for equivalent inputs. Non-proxy
+// sources read -input, do not bind -listen and need no -upstream;
+// docs/INGEST.md is the per-source guide.
 //
 // The resolver map file holds "sni backend:port" lines; unlisted SNIs
 // fall back to -upstream. Logs are JSON lines on stderr (-v adds
@@ -63,6 +75,7 @@ import (
 
 	"droppackets/internal/capture"
 	"droppackets/internal/core"
+	"droppackets/internal/ingest"
 	"droppackets/internal/metrics"
 	"droppackets/internal/sessionid"
 	"droppackets/internal/squidlog"
@@ -89,6 +102,13 @@ func main() {
 	flag.StringVar(&opts.replayPath, "replay", "", "replay this workload CSV (see internal/tlsproxy.ReadWorkload) into the ingest path alongside live traffic")
 	flag.Float64Var(&opts.replaySpeed, "replay-speed", 0, "time-compression factor for -replay: 1 = recorded speed, 0 = as fast as possible")
 	flag.IntVar(&opts.replayWorkers, "replay-workers", 4, "goroutines delivering -replay records (clients are hash-partitioned across them)")
+	flag.StringVar(&opts.source, "source", "proxy", "primary telemetry source: proxy|squid|pcap|netflow|replay (docs/INGEST.md)")
+	flag.StringVar(&opts.input, "input", "", "input file for a non-proxy -source: Squid access log, pcap trace, flow CSV or workload CSV")
+	flag.Float64Var(&opts.ingestSpeed, "ingest-speed", 0, "time-compression factor for file sources: 1 = recorded pace, 0 = as fast as possible")
+	flag.IntVar(&opts.ingestWorkers, "ingest-workers", 1, "delivery goroutines for batch file sources (clients hash-partitioned; per-client order preserved)")
+	flag.Float64Var(&opts.ingestEpoch, "ingest-epoch", -1, "Unix time mapped to offset 0 for squid/pcap sources (-1 = first event's time)")
+	flag.DurationVar(&opts.ingestHorizon, "ingest-horizon", 5*time.Minute, "reordering slack for -source=squid: entries are released once the log's end-time watermark is this far past them")
+	flag.BoolVar(&opts.follow, "follow", true, "for -source=squid: keep tailing the log across rotation/truncation (false stops at EOF)")
 	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -110,6 +130,12 @@ type options struct {
 	replayPath                    string
 	replaySpeed                   float64
 	replayWorkers                 int
+	source, input                 string
+	ingestSpeed                   float64
+	ingestWorkers                 int
+	ingestEpoch                   float64
+	ingestHorizon                 time.Duration
+	follow                        bool
 	verbose                       bool
 }
 
@@ -290,7 +316,11 @@ type service struct {
 	track bool     // maintain incremental accumulators (est set, window 0)
 	epoch time.Time
 	proxy *tlsproxy.Proxy
-	reg   *metrics.Registry
+	// src is the primary TransactionSource feeding the ingest path;
+	// its Stats back the qoeproxy_ingest_source_* series. Nil in tests
+	// that drive callbacks directly.
+	src ingest.TransactionSource
+	reg *metrics.Registry
 
 	// shards partition the per-client state by FNV hash of the client
 	// host. Immutable after newService.
@@ -507,9 +537,30 @@ func run(opts options) error {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	resolver, err := loadResolver(opts.resolve, opts.upstream)
-	if err != nil {
-		return err
+	source := opts.source
+	if source == "" {
+		source = "proxy"
+	}
+	switch source {
+	case "proxy", "squid", "pcap", "netflow", "replay":
+	default:
+		return fmt.Errorf("-source %q: want proxy, squid, pcap, netflow or replay", source)
+	}
+	if source != "proxy" && opts.input == "" {
+		return fmt.Errorf("-source %s needs -input", source)
+	}
+
+	var resolver tlsproxy.Resolver
+	if source == "proxy" {
+		var err error
+		resolver, err = loadResolver(opts.resolve, opts.upstream)
+		if err != nil {
+			return err
+		}
+	} else {
+		// File sources never dial a backend; the stub keeps the proxy's
+		// stats bridges alive without requiring -upstream.
+		resolver = tlsproxy.StaticResolver("127.0.0.1:9")
 	}
 
 	// Validate every output path and the model BEFORE binding the
@@ -566,31 +617,114 @@ func run(opts options) error {
 		s.squid = &sink{w: f, name: "squid-log"}
 	}
 
-	proxy, err := tlsproxy.New(tlsproxy.Config{
-		Resolver:      resolver,
-		OnConnOpen:    s.onConnOpen,
-		OnTransaction: s.onTransaction,
-	})
-	if err != nil {
-		return err
+	// Build the primary TransactionSource. Proxy mode serves live
+	// traffic; file sources feed the same callbacks from disk. Either
+	// way a tlsproxy.Proxy exists (a stub for file sources) so the
+	// proxy-stats metric bridges and /healthz stay live.
+	var src ingest.TransactionSource
+	var ps *ingest.ProxySource
+	switch source {
+	case "proxy":
+		var err error
+		ps, err = ingest.NewProxySource(tlsproxy.Config{Resolver: resolver})
+		if err != nil {
+			return err
+		}
+		s.proxy = ps.Proxy()
+		src = ps
+	case "squid":
+		// Fail fast on an unreadable log before serving starts; the
+		// tailer itself tolerates rotation gaps later.
+		f, err := os.Open(opts.input)
+		if err != nil {
+			return fmt.Errorf("-input: %w", err)
+		}
+		f.Close()
+		src = &ingest.SquidSource{
+			Path:      opts.input,
+			Base:      s.epoch,
+			EpochUnix: opts.ingestEpoch,
+			Horizon:   opts.ingestHorizon.Seconds(),
+			Follow:    opts.follow,
+		}
+	case "pcap":
+		var err error
+		src, err = ingest.NewPcapSource(opts.input, s.epoch, opts.ingestEpoch, opts.ingestSpeed, opts.ingestWorkers)
+		if err != nil {
+			return err
+		}
+	case "netflow":
+		var err error
+		src, err = ingest.NewNetflowSource(opts.input, s.epoch, opts.ingestSpeed, opts.ingestWorkers)
+		if err != nil {
+			return err
+		}
+	case "replay":
+		var err error
+		src, err = ingest.NewReplaySource(opts.input, s.epoch, opts.ingestSpeed, opts.ingestWorkers)
+		if err != nil {
+			return err
+		}
 	}
-	s.proxy = proxy
+	if s.proxy == nil {
+		stub, err := tlsproxy.New(tlsproxy.Config{Resolver: resolver})
+		if err != nil {
+			return err
+		}
+		s.proxy = stub
+	}
+	s.src = src
 	s.registerMetrics()
 
-	// Outputs validated, model loaded: now bind.
-	l, err := net.Listen("tcp", opts.listen)
-	if err != nil {
-		return err
+	// Outputs validated, model loaded: now bind (proxy mode only; file
+	// sources accept no traffic).
+	if ps != nil {
+		l, err := net.Listen("tcp", opts.listen)
+		if err != nil {
+			return err
+		}
+		ps.Listener = l
+		logger.Info("listening", "addr", l.Addr().String())
 	}
+
+	// The source goroutine sends only fatal errors to errCh; benign
+	// completion (a file source finishing its input) logs and leaves
+	// the daemon serving metrics until a signal arrives.
+	srcCtx, srcCancel := context.WithCancel(context.Background())
+	defer srcCancel()
 	errCh := make(chan error, 1)
-	go func() { errCh <- proxy.Serve(l) }()
-	logger.Info("listening", "addr", l.Addr().String())
+	runDone := make(chan struct{})
+	runStart := time.Now()
+	if ps == nil {
+		logger.Info("ingesting", "source", src.Name(), "input", opts.input)
+	}
+	go func() {
+		defer close(runDone)
+		err := src.Run(srcCtx, ingest.Handler{ConnOpen: s.onConnOpen, Transaction: s.onTransaction})
+		if srcCtx.Err() != nil {
+			return
+		}
+		if err != nil {
+			errCh <- err
+			return
+		}
+		st := src.Stats()
+		wall := time.Since(runStart).Seconds()
+		logger.Info("ingest complete", "source", src.Name(),
+			"records", st.Records, "clients", st.Clients,
+			"skipped", st.Skipped, "malformed", st.Malformed,
+			"wall_seconds", wall, "records_per_second", float64(st.Records)/wall)
+	}()
+	stopSource := func() {
+		srcCancel()
+		<-runDone
+	}
 
 	var httpSrv *http.Server
 	if opts.metricsAddr != "" {
 		ml, err := net.Listen("tcp", opts.metricsAddr)
 		if err != nil {
-			proxy.Close()
+			stopSource()
 			return fmt.Errorf("-metrics: %w", err)
 		}
 		httpSrv = &http.Server{Handler: s.httpHandler()}
@@ -656,19 +790,21 @@ func run(opts options) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	return s.serveLoop(errCh, tick, sig, stopAux)
+	return s.serveLoop(errCh, tick, sig, stopSource, stopAux)
 }
 
-// serveLoop is the daemon's main loop: it reacts to listener errors,
-// classification/eviction ticks and shutdown signals. Both exits —
-// listener death and a signal — call stopAux (replay source, then the
-// metrics endpoint) before draining the sessionizers, so no ingest
-// follows the drain and pending decisions and the shutdown summary are
-// never lost to a crash-landing listener.
-func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-chan os.Signal, stopAux func()) error {
+// serveLoop is the daemon's main loop: it reacts to fatal source
+// errors, classification/eviction ticks and shutdown signals. Both
+// exits — source death and a signal — stop the primary source, then
+// stopAux (the legacy -replay source, then the metrics endpoint),
+// before draining the sessionizers, so no ingest follows the drain and
+// pending decisions and the shutdown summary are never lost to a
+// crash-landing listener.
+func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-chan os.Signal, stopSource, stopAux func()) error {
 	for {
 		select {
 		case err := <-errCh:
+			stopSource()
 			stopAux()
 			s.drain()
 			return err
@@ -677,11 +813,11 @@ func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-cha
 			s.evictIdle(now)
 		case got := <-sig:
 			s.log.Info("shutting down", "signal", got.String())
-			// Stop accepting, drain open relays (Close tears them down
-			// and their final records arrive through onTransaction),
-			// then stop replay and the metrics endpoint.
-			s.proxy.Close()
-			<-errCh
+			// Stop the source: in proxy mode that stops accepting and
+			// drains open relays (their final records arrive through
+			// onTransaction before Run returns); file sources flush their
+			// reorder buffers. Then stop replay and the metrics endpoint.
+			stopSource()
 			stopAux()
 			s.drain()
 			return nil
@@ -757,6 +893,25 @@ func (s *service) registerMetrics() {
 		"Ingest lock acquisitions that found their shard already held; a rising rate means -shards is too low.")
 	s.mShardClassify = r.NewHistogram("qoeproxy_shard_classify_seconds",
 		"Per-shard latency of one classification pass: row gather under the shard lock plus the batched inference sweep outside it.", classifyBuckets)
+	// Per-source ingest counters, sampled from the primary source's
+	// Stats. The families always render (operators alert on series
+	// existence); children appear for the active source.
+	mSrcRecords := r.NewCounterVecFunc("qoeproxy_ingest_source_records_total",
+		"Transactions delivered into the ingest path, by source.", "source")
+	mSrcSkipped := r.NewCounterVecFunc("qoeproxy_ingest_source_skipped_total",
+		"Out-of-scope input units dropped by a source (non-CONNECT log lines, unresolved flows), by source.", "source")
+	mSrcMalformed := r.NewCounterVecFunc("qoeproxy_ingest_source_malformed_total",
+		"Unparseable input units dropped by a streaming source, by source.", "source")
+	mSrcRotations := r.NewCounterVecFunc("qoeproxy_ingest_source_rotations_total",
+		"Log rotations and truncations a tailing source survived, by source.", "source")
+	if s.src != nil {
+		name := s.src.Name()
+		src := s.src
+		mSrcRecords.With(name, func() int64 { return src.Stats().Records })
+		mSrcSkipped.With(name, func() int64 { return src.Stats().Skipped })
+		mSrcMalformed.With(name, func() int64 { return src.Stats().Malformed })
+		mSrcRotations.With(name, func() int64 { return src.Stats().Rotations })
+	}
 	r.NewCounterFunc("qoeproxy_connections_total",
 		"Client connections accepted.", func() int64 { return s.proxy.Stats().TotalConnections })
 	r.NewGaugeFunc("qoeproxy_connections_active",

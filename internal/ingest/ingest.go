@@ -1,0 +1,141 @@
+// Package ingest unifies the repository's telemetry producers behind
+// one TransactionSource interface: the live SNI-sniffing proxy, Squid
+// access logs, pcap packet traces and NetFlow-style flow records all
+// deliver the same per-client, time-ordered tlsproxy.Record events into
+// the same handler pair the proxy has always used. The paper's
+// deployment claim (§1, §2.2) is that coarse-grained data an ISP
+// already collects is enough to detect video performance issues; this
+// package is where "already collects" meets the online inference
+// daemon — every format becomes a one-adapter problem.
+//
+// # The TransactionSource contract
+//
+// A source delivers two event kinds, mirroring tlsproxy's callbacks:
+// ConnOpen announces a connection at its start time (a partial Record),
+// Transaction delivers the completed record at its end time. For every
+// client, events arrive on a single goroutine in non-decreasing event
+// time, and a connection's open always precedes its transaction. File
+// sources replay the global event sequence sorted by (event time, file
+// order), exactly as tlsproxy.RecordSource does, so downstream output
+// is byte-identical no matter which format carried the records.
+//
+// # The clock contract
+//
+// Every Record carries absolute times built as Base + offset, where the
+// offset is the source's own timestamp rebased to its epoch (the first
+// event for tailed logs and pcap traces, explicit via EpochUnix/epoch
+// arguments otherwise) and quantized to the microsecond grid with
+// QuantizeMicros. Microseconds are the finest resolution any supported
+// format records (pcap), so quantizing every source at delivery makes
+// timestamps — and therefore sessionization and classification —
+// bit-identical across renderings of the same traffic. Pacing (Speed)
+// never changes record timestamps, only wall-clock delivery.
+//
+// # EOF and rotation semantics
+//
+// Batch sources (pcap, NetFlow, replay CSV) read their input fully at
+// construction, fail fast on malformed files, and Run returns nil after
+// the last event. The Squid tailer follows its file (Follow true),
+// surviving rotation and truncation by reopening; Run then only returns
+// on context cancellation, flushing its reorder buffer first so no
+// parsed entry is lost. Malformed tail lines are counted and skipped,
+// not fatal: a daemon must outlive one corrupt log line.
+package ingest
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"droppackets/internal/tlsproxy"
+)
+
+// Handler receives a source's events. Either callback may be nil.
+type Handler struct {
+	// ConnOpen is invoked at a connection's start time with a partial
+	// record (no end time or byte counts yet).
+	ConnOpen func(tlsproxy.Record)
+	// Transaction is invoked at a connection's end time with the
+	// completed record.
+	Transaction func(tlsproxy.Record)
+}
+
+// Stats is a live snapshot of a source's delivery counters, safe to
+// read while Run is in flight (the daemon's per-source metric series
+// sample it at scrape time).
+type Stats struct {
+	// Records counts completed transactions delivered to the handler.
+	Records int64
+	// Clients counts distinct client addresses seen.
+	Clients int64
+	// Skipped counts well-formed input units that are out of scope:
+	// non-CONNECT Squid lines, flow records with no DNS-resolved host.
+	Skipped int64
+	// Malformed counts unparseable input units dropped by a streaming
+	// source (batch sources fail at construction instead).
+	Malformed int64
+	// Rotations counts log rotations and truncations the Squid tailer
+	// survived by reopening its file.
+	Rotations int64
+}
+
+// TransactionSource is one telemetry producer: a stream of per-client,
+// time-ordered transaction events with the package-level ordering and
+// clock contract.
+type TransactionSource interface {
+	// Name identifies the source kind ("proxy", "squid", "pcap",
+	// "netflow", "replay"); it labels the daemon's per-source metrics.
+	Name() string
+	// Run delivers events into h until the input is exhausted or ctx is
+	// cancelled. Cancellation is a clean stop (nil); a non-nil error
+	// means the source failed and no further events will arrive.
+	Run(ctx context.Context, h Handler) error
+	// Stats returns a live snapshot of the delivery counters.
+	Stats() Stats
+}
+
+// QuantizeMicros snaps a time offset in seconds onto the microsecond
+// grid, rounding half away from zero and carrying a full second when
+// the fraction rounds up to 1e6 µs. Every file source applies it at
+// delivery: microseconds are the finest resolution any supported format
+// carries, and one shared rounding rule is what makes timestamps — and
+// everything computed from them — bit-identical across formats.
+func QuantizeMicros(t float64) float64 {
+	sec := math.Floor(t)
+	micros := math.Round((t - sec) * 1e6)
+	if micros >= 1e6 {
+		sec++
+		micros -= 1e6
+	}
+	return sec + micros/1e6
+}
+
+// offsetTime converts a quantized offset in seconds to an absolute
+// time, with the exact float-to-duration expression
+// tlsproxy.RecordSource uses — sub-nanosecond rounding must agree
+// between the streaming and batch delivery paths.
+func offsetTime(base time.Time, off float64) time.Time {
+	return base.Add(time.Duration(off * float64(time.Second)))
+}
+
+// tally holds a source's delivery counters as atomics; embedding it
+// gives each source a concurrency-safe Stats for free.
+type tally struct {
+	records   atomic.Int64
+	clients   atomic.Int64
+	skipped   atomic.Int64
+	malformed atomic.Int64
+	rotations atomic.Int64
+}
+
+// Stats snapshots the counters.
+func (t *tally) Stats() Stats {
+	return Stats{
+		Records:   t.records.Load(),
+		Clients:   t.clients.Load(),
+		Skipped:   t.skipped.Load(),
+		Malformed: t.malformed.Load(),
+		Rotations: t.rotations.Load(),
+	}
+}

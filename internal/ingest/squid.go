@@ -1,0 +1,247 @@
+package ingest
+
+import (
+	"bufio"
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"droppackets/internal/squidlog"
+	"droppackets/internal/tlsproxy"
+)
+
+// SquidSource tails a Squid access log and delivers each CONNECT entry
+// as a connection-open event at its start offset and a transaction
+// event at its end offset. Squid logs at connection *end*, so a
+// reorder buffer (a min-heap on event time) holds events back until a
+// watermark — the latest end time seen minus Horizon — passes them;
+// for end-ordered logs this reproduces tlsproxy.RecordSource's global
+// (time, sequence) event order exactly. Entries that arrive later than
+// the horizon allows are still delivered, just promptly rather than in
+// global order.
+//
+// With Follow set the source keeps reading as the file grows,
+// reopening on rotation (a new inode at the same path) and truncation
+// (the file shrank); Run then returns only on context cancellation.
+// Either way every buffered event is flushed before Run returns, so no
+// parsed entry is lost. Malformed lines and non-CONNECT entries are
+// counted, not fatal.
+type SquidSource struct {
+	// Path is the access log to read.
+	Path string
+	// Base is the instant offset 0 maps to (the daemon's epoch).
+	Base time.Time
+	// EpochUnix is the Unix time subtracted from every log timestamp to
+	// form offsets. Negative means "use the first entry's start time",
+	// so a live tail begins at offset ~0.
+	EpochUnix float64
+	// Horizon is the reordering slack in seconds: events are delivered
+	// once the newest end time seen is at least Horizon ahead of them.
+	// 0 delivers events as soon as they parse, in file order.
+	Horizon float64
+	// Follow keeps tailing after EOF, surviving rotation; false stops
+	// (and flushes) at the first EOF, for bounded files.
+	Follow bool
+	// Poll is how often to re-check the file for growth or rotation
+	// while following. Defaults to 200ms.
+	Poll time.Duration
+
+	tally
+	seen map[string]struct{}
+}
+
+// Name reports "squid".
+func (s *SquidSource) Name() string { return "squid" }
+
+// squidEvent is one pending delivery in the reorder heap.
+type squidEvent struct {
+	at   float64
+	seq  int64
+	open bool
+	rec  tlsproxy.Record
+}
+
+// squidHeap orders pending events by (time, sequence) — the same total
+// order tlsproxy.RecordSource sorts its partitions by.
+type squidHeap []squidEvent
+
+func (h squidHeap) Len() int { return len(h) }
+func (h squidHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].seq < h[b].seq
+}
+func (h squidHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *squidHeap) Push(x any)   { *h = append(*h, x.(squidEvent)) }
+func (h *squidHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run tails the log into h per the type's contract.
+func (s *SquidSource) Run(ctx context.Context, h Handler) error {
+	poll := s.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return fmt.Errorf("ingest: open squid log: %w", err)
+	}
+	defer func() { f.Close() }()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("ingest: stat squid log: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	s.seen = map[string]struct{}{}
+
+	var (
+		q         squidHeap
+		epoch     = s.EpochUnix
+		haveEpoch = epoch >= 0
+		maxEnd    = math.Inf(-1)
+		connSeq   int64
+		carry     string
+	)
+	deliver := func(ev squidEvent) {
+		if ev.open {
+			if h.ConnOpen != nil {
+				h.ConnOpen(ev.rec)
+			}
+			return
+		}
+		if h.Transaction != nil {
+			h.Transaction(ev.rec)
+		}
+		s.records.Add(1)
+	}
+	// emit releases everything at or before the watermark (or, at
+	// flush time, everything) in (time, sequence) order.
+	emit := func(all bool) {
+		wm := maxEnd - s.Horizon
+		for len(q) > 0 && (all || q[0].at <= wm) {
+			deliver(heap.Pop(&q).(squidEvent))
+		}
+	}
+	process := func(line string) {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return
+		}
+		e, ok, perr := squidlog.ParseLine(line)
+		if perr != nil {
+			s.malformed.Add(1)
+			return
+		}
+		if !ok {
+			s.skipped.Add(1)
+			return
+		}
+		startU := e.EndUnix - e.ElapsedSec
+		if !haveEpoch {
+			epoch = startU
+			haveEpoch = true
+		}
+		qs := QuantizeMicros(startU - epoch)
+		qe := QuantizeMicros(e.EndUnix - epoch)
+		if qe < qs {
+			qe = qs
+		}
+		i := connSeq
+		connSeq++
+		rec := tlsproxy.Record{
+			ConnID:     uint64(i + 1),
+			SNI:        e.Host,
+			ClientAddr: e.Client,
+			Start:      offsetTime(s.Base, qs),
+			End:        offsetTime(s.Base, qe),
+			UpBytes:    e.UpBytes,
+			DownBytes:  e.DownBytes,
+		}
+		if _, dup := s.seen[e.Client]; !dup {
+			s.seen[e.Client] = struct{}{}
+			s.clients.Add(1)
+		}
+		heap.Push(&q, squidEvent{at: qs, seq: 2 * i, open: true, rec: rec})
+		heap.Push(&q, squidEvent{at: qe, seq: 2*i + 1, rec: rec})
+		if qe > maxEnd {
+			maxEnd = qe
+		}
+		emit(false)
+	}
+
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr == nil {
+			if carry != "" {
+				line = carry + line
+				carry = ""
+			}
+			process(line)
+			continue
+		}
+		carry += line
+		if rerr != io.EOF {
+			emit(true)
+			return fmt.Errorf("ingest: read squid log: %w", rerr)
+		}
+		if !s.Follow {
+			if carry != "" {
+				process(carry)
+				carry = ""
+			}
+			emit(true)
+			return nil
+		}
+		// At EOF while following: wait, then look for growth, rotation
+		// (new inode at the path) or truncation (file shrank below what
+		// we already consumed).
+		timer.Reset(poll)
+		select {
+		case <-ctx.Done():
+			if carry != "" {
+				process(carry)
+				carry = ""
+			}
+			emit(true)
+			return nil
+		case <-timer.C:
+		}
+		st, serr := os.Stat(s.Path)
+		if serr != nil {
+			// Mid-rotation gap: the old file is gone and the new one is
+			// not there yet. Keep polling.
+			continue
+		}
+		pos, perr := f.Seek(0, io.SeekCurrent)
+		if perr != nil {
+			emit(true)
+			return fmt.Errorf("ingest: squid log position: %w", perr)
+		}
+		rotated := !os.SameFile(st, info)
+		truncated := !rotated && st.Size() < pos-int64(br.Buffered())
+		if !rotated && !truncated {
+			continue
+		}
+		nf, oerr := os.Open(s.Path)
+		if oerr != nil {
+			continue
+		}
+		ninfo, oerr := nf.Stat()
+		if oerr != nil {
+			nf.Close()
+			continue
+		}
+		f.Close()
+		f, info = nf, ninfo
+		br.Reset(f)
+		carry = ""
+		s.rotations.Add(1)
+	}
+}

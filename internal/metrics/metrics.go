@@ -299,6 +299,52 @@ func (v *CounterVec) write(w io.Writer) {
 	}
 }
 
+// CounterVecFunc is a family of sampled counters keyed by one label —
+// the bridge for counters owned by another subsystem that come in
+// labeled sets, like the per-source ingest totals. Children are
+// declared with With and render sorted by label value; the HELP/TYPE
+// preamble renders even with no children, so the family's existence is
+// scrapeable before any child is declared.
+type CounterVecFunc struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]func() int64
+}
+
+// NewCounterVecFunc registers a sampled labeled counter family.
+func (r *Registry) NewCounterVecFunc(name, help, label string) *CounterVecFunc {
+	v := &CounterVecFunc{name: name, help: help, label: label, children: map[string]func() int64{}}
+	r.register(name, v)
+	return v
+}
+
+// With declares the child for a label value, sampled from fn at scrape
+// time. Re-declaring a value replaces its callback.
+func (v *CounterVecFunc) With(value string, fn func() int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.children[value] = fn
+}
+
+func (v *CounterVecFunc) write(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	fns := make([]func() int64, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	for _, val := range values {
+		fns = append(fns, v.children[val])
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, fns[i]())
+	}
+}
+
 // DefBuckets are the default histogram buckets, in seconds, matching
 // the Prometheus client default — suitable for inference and request
 // latencies.

@@ -1,0 +1,95 @@
+package netflow
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file gives flow records a collector-export serialization so the
+// ingest pipeline can consume them from disk: one CSV row per
+// client-attributed flow, host left empty when DNS visibility missed
+// the server (the consumer decides whether to drop or count those).
+
+// ClientFlow is one flow record attributed to a client address — the
+// shape a collector export carries after pairing unidirectional
+// records and joining DNS visibility.
+type ClientFlow struct {
+	// Client is the subscriber-side address the flow belongs to.
+	Client string
+	// Flow is the exported record; Flow.Host may be "" for flows DNS
+	// augmentation could not resolve.
+	Flow Record
+}
+
+// flowHeader is the CSV header row of a flow-record file.
+var flowHeader = []string{"client", "host", "start_sec", "end_sec", "up_bytes", "down_bytes"}
+
+// WriteFlows serializes client-attributed flow records as CSV with a
+// fixed header.
+func WriteFlows(w io.Writer, flows []ClientFlow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(flowHeader); err != nil {
+		return fmt.Errorf("netflow: write flow header: %w", err)
+	}
+	row := make([]string, 6)
+	for i, cf := range flows {
+		row[0] = cf.Client
+		row[1] = cf.Flow.Host
+		row[2] = strconv.FormatFloat(cf.Flow.Start, 'g', -1, 64)
+		row[3] = strconv.FormatFloat(cf.Flow.End, 'g', -1, 64)
+		row[4] = strconv.FormatInt(cf.Flow.UpBytes, 10)
+		row[5] = strconv.FormatInt(cf.Flow.DownBytes, 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("netflow: write flow row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFlows parses a flow-record CSV, validating the header and every
+// row. An empty host is legal (an unresolved flow); an empty client or
+// an inverted time span is not.
+func ReadFlows(r io.Reader) ([]ClientFlow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(flowHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("netflow: read flow header: %w", err)
+	}
+	for i, want := range flowHeader {
+		if head[i] != want {
+			return nil, fmt.Errorf("netflow: flow header column %d is %q, want %q", i, head[i], want)
+		}
+	}
+	var flows []ClientFlow
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return flows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netflow: read flow line %d: %w", line, err)
+		}
+		cf := ClientFlow{Client: row[0], Flow: Record{Host: row[1]}}
+		if cf.Flow.Start, err = strconv.ParseFloat(row[2], 64); err != nil {
+			return nil, fmt.Errorf("netflow: flow line %d start: %w", line, err)
+		}
+		if cf.Flow.End, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return nil, fmt.Errorf("netflow: flow line %d end: %w", line, err)
+		}
+		if cf.Flow.UpBytes, err = strconv.ParseInt(row[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("netflow: flow line %d up_bytes: %w", line, err)
+		}
+		if cf.Flow.DownBytes, err = strconv.ParseInt(row[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("netflow: flow line %d down_bytes: %w", line, err)
+		}
+		if cf.Client == "" || cf.Flow.End < cf.Flow.Start || cf.Flow.Start < 0 {
+			return nil, fmt.Errorf("netflow: flow line %d invalid (client=%q start=%v end=%v)",
+				line, cf.Client, cf.Flow.Start, cf.Flow.End)
+		}
+		flows = append(flows, cf)
+	}
+}

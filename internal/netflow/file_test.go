@@ -1,0 +1,45 @@
+package netflow
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFlowFileRoundTrip pins the collector-export serialization:
+// WriteFlows then ReadFlows is identity, unresolved (empty-host) flows
+// included.
+func TestFlowFileRoundTrip(t *testing.T) {
+	flows := []ClientFlow{
+		{Client: "10.0.0.1", Flow: Record{Host: "cdn-01.svc1.example", Start: 0.5, End: 60.25, UpBytes: 1000, DownBytes: 2_000_000}},
+		{Client: "10.0.0.2", Flow: Record{Host: "", Start: 1, End: 2, UpBytes: 10, DownBytes: 20}},
+		{Client: "10.0.0.1", Flow: Record{Host: "cdn-02.svc1.example", Start: 61.125, End: 121, UpBytes: 900, DownBytes: 1_500_000}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlows(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlows(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, flows) {
+		t.Fatalf("round trip diverged\n got %+v\nwant %+v", got, flows)
+	}
+}
+
+// TestReadFlowsRejectsBadInput pins the fail-at-load validation.
+func TestReadFlowsRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad header":   "who,host,start_sec,end_sec,up_bytes,down_bytes\n",
+		"empty client": "client,host,start_sec,end_sec,up_bytes,down_bytes\n,h,0,1,2,3\n",
+		"end<start":    "client,host,start_sec,end_sec,up_bytes,down_bytes\nc,h,5,1,2,3\n",
+		"bad number":   "client,host,start_sec,end_sec,up_bytes,down_bytes\nc,h,x,1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadFlows(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}

@@ -186,6 +186,7 @@ func putIPChecksum(hdr []byte) {
 type Reader struct {
 	r       io.Reader
 	swapped bool
+	snaplen uint32
 }
 
 // NewReader validates the global header.
@@ -207,6 +208,14 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if link != linkTypeEther {
 		return nil, fmt.Errorf("pcap: link type %d unsupported (want Ethernet)", link)
 	}
+	// Honor the file's declared snaplen rather than assuming ours:
+	// transaction traces capture ClientHello payloads (TxnSnapLen),
+	// header-only traces capture SnapLen, and foreign captures declare
+	// whatever tcpdump -s said.
+	pr.snaplen = pr.u32(hdr[16:])
+	if pr.snaplen == 0 {
+		pr.snaplen = 65535
+	}
 	return pr, nil
 }
 
@@ -217,43 +226,71 @@ func (pr *Reader) u32(b []byte) uint32 {
 	return binary.LittleEndian.Uint32(b)
 }
 
-// Next returns the next packet, or io.EOF at end of file. Sequence-
-// number bookkeeping cannot be recovered, so Retransmit detection uses
-// repeated downlink sequence numbers seen so far.
-func (pr *Reader) Next() (capture.Packet, error) {
+// frameRecord is one parsed capture record: timestamp, the TCP/IP
+// five-tuple, the original payload length on the wire and whatever
+// payload bytes the capture actually kept.
+type frameRecord struct {
+	time         float64
+	srcIP, dstIP [4]byte
+	sport, dport uint16
+	payloadLen   int    // original payload bytes on the wire
+	capturedData []byte // payload bytes present in the capture
+}
+
+// readFrame reads and parses the next record, or io.EOF at end of
+// file.
+func (pr *Reader) readFrame() (frameRecord, error) {
 	var rec [16]byte
 	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return capture.Packet{}, io.EOF
+			return frameRecord{}, io.EOF
 		}
-		return capture.Packet{}, err
+		return frameRecord{}, err
 	}
 	sec := pr.u32(rec[0:])
 	usec := pr.u32(rec[4:])
 	capLen := pr.u32(rec[8:])
 	origLen := pr.u32(rec[12:])
-	if capLen > SnapLen || capLen > origLen {
-		return capture.Packet{}, fmt.Errorf("pcap: implausible record (cap %d, orig %d)", capLen, origLen)
+	if capLen > pr.snaplen || capLen > origLen {
+		return frameRecord{}, fmt.Errorf("pcap: implausible record (cap %d, orig %d)", capLen, origLen)
 	}
 	frame := make([]byte, capLen)
 	if _, err := io.ReadFull(pr.r, frame); err != nil {
-		return capture.Packet{}, fmt.Errorf("pcap: truncated frame: %w", err)
+		return frameRecord{}, fmt.Errorf("pcap: truncated frame: %w", err)
 	}
 	if capLen < frameLen {
-		return capture.Packet{}, fmt.Errorf("pcap: frame too short for headers (%d bytes)", capLen)
+		return frameRecord{}, fmt.Errorf("pcap: frame too short for headers (%d bytes)", capLen)
 	}
 	ip := frame[etherLen:]
 	if ip[0]>>4 != 4 || ip[9] != 6 {
-		return capture.Packet{}, fmt.Errorf("pcap: not IPv4/TCP")
+		return frameRecord{}, fmt.Errorf("pcap: not IPv4/TCP")
 	}
 	tcp := ip[ipv4Len:]
-	sport := binary.BigEndian.Uint16(tcp[0:])
-	p := capture.Packet{
-		Time:   float64(sec) + float64(usec)/1e6,
-		Size:   int(origLen) - frameLen,
-		Uplink: sport != 443,
+	fr := frameRecord{
+		time:         float64(sec) + float64(usec)/1e6,
+		sport:        binary.BigEndian.Uint16(tcp[0:]),
+		dport:        binary.BigEndian.Uint16(tcp[2:]),
+		payloadLen:   int(origLen) - frameLen,
+		capturedData: frame[frameLen:],
 	}
-	return p, nil
+	copy(fr.srcIP[:], ip[12:16])
+	copy(fr.dstIP[:], ip[16:20])
+	return fr, nil
+}
+
+// Next returns the next packet, or io.EOF at end of file. Sequence-
+// number bookkeeping cannot be recovered, so Retransmit detection uses
+// repeated downlink sequence numbers seen so far.
+func (pr *Reader) Next() (capture.Packet, error) {
+	fr, err := pr.readFrame()
+	if err != nil {
+		return capture.Packet{}, err
+	}
+	return capture.Packet{
+		Time:   fr.time,
+		Size:   fr.payloadLen,
+		Uplink: fr.sport != 443,
+	}, nil
 }
 
 // ReadAll drains the file.

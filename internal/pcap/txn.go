@@ -1,0 +1,306 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"strconv"
+
+	"droppackets/internal/tlsproxy"
+)
+
+// This file renders whole transaction workloads as multi-flow pcap
+// traces and recovers them again: the ingest pipeline's "bring a
+// packet capture" path. Each transaction becomes one TCP/443 flow with
+// a unique five-tuple; the first uplink packet carries a real TLS
+// ClientHello so the SNI survives the round trip the same way a
+// tcpdump capture would carry it, and the flow's first/last packet
+// timestamps carry the transaction's start/end.
+
+// TxnSnapLen is the snap length transaction traces declare: enough to
+// capture a full ClientHello (max-length SNI included) after the
+// Ethernet/IPv4/TCP headers.
+const TxnSnapLen = 640
+
+// txnChunk is the largest payload one synthesized packet carries; the
+// IPv4 total-length field is 16-bit, so byte counts are split into
+// chunks.
+const txnChunk = 60000
+
+// maxTxnFlows bounds how many transactions one trace can hold: flow
+// identity is encoded into the synthetic server address space.
+const maxTxnFlows = 64 << 16
+
+// txnServerIP derives a unique synthetic server address (RFC 2544
+// benchmark space onward) from the record index, so repeat connections
+// between the same client and host still get distinct five-tuples.
+func txnServerIP(i int) [4]byte {
+	return [4]byte{198, byte(18 + i>>16), byte(i >> 8), byte(i)}
+}
+
+// txnClientEndpoint maps a workload client address to a concrete
+// IPv4:port. Literal IPv4 hosts are kept (so the address survives the
+// round trip); anything else gets a deterministic 10.0.0.0/8 address
+// hashed from the name. A missing or colliding port (443 would flip
+// direction detection) becomes 49152.
+func txnClientEndpoint(client string) ([4]byte, uint16) {
+	host, portStr, err := net.SplitHostPort(client)
+	if err != nil {
+		host, portStr = client, ""
+	}
+	var ip4 [4]byte
+	if ip := net.ParseIP(host); ip != nil && ip.To4() != nil {
+		copy(ip4[:], ip.To4())
+	} else {
+		h := fnv.New32a()
+		io.WriteString(h, host)
+		v := h.Sum32()
+		ip4 = [4]byte{10, byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+	port := uint16(49152)
+	if p, err := strconv.ParseUint(portStr, 10, 16); err == nil && p != 0 && p != 443 {
+		port = uint16(p)
+	}
+	return ip4, port
+}
+
+// writeTxnFrame emits one record: a frame whose wire payload is
+// payloadLen bytes, of which only payload (the ClientHello, if any) is
+// captured. Timestamps are split into whole seconds and microseconds
+// with round-half-up and carry — the same microsecond grid
+// ingest.QuantizeMicros defines, so times survive the round trip
+// bit-exactly.
+func writeTxnFrame(w io.Writer, t float64, src, dst [4]byte, sport, dport uint16, payloadLen int, payload []byte) error {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("pcap: invalid timestamp %g", t)
+	}
+	sec := math.Floor(t)
+	usec := math.Round((t - sec) * 1e6)
+	if usec >= 1e6 {
+		sec++
+		usec -= 1e6
+	}
+	origLen := frameLen + payloadLen
+	capLen := frameLen + len(payload)
+	if capLen > TxnSnapLen {
+		return fmt.Errorf("pcap: captured payload %d overflows snaplen %d", len(payload), TxnSnapLen)
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(sec))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(usec))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(origLen))
+	if _, err := w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+
+	frame := make([]byte, capLen)
+	copy(frame[0:6], []byte{2, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{2, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:], 0x0800)
+	ip := frame[etherLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipv4Len+tcpLen+payloadLen))
+	ip[8] = 64
+	ip[9] = 6
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	putIPChecksum(ip[:ipv4Len])
+	tcp := ip[ipv4Len:]
+	binary.BigEndian.PutUint16(tcp[0:], sport)
+	binary.BigEndian.PutUint16(tcp[2:], dport)
+	tcp[12] = 5 << 4
+	tcp[13] = 0x18
+	binary.BigEndian.PutUint16(tcp[14:], 65535)
+	copy(frame[frameLen:], payload)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("pcap: writing frame: %w", err)
+	}
+	return nil
+}
+
+// WriteTransactions renders a transaction workload as a multi-flow
+// pcap trace. Per record: a unique five-tuple; an uplink packet at the
+// start offset carrying the ClientHello for the record's SNI (captured
+// in full, excluded from byte totals on read-back); uplink packets
+// carrying UpBytes at the start offset; downlink packets carrying
+// DownBytes spread across the record's span, the last exactly at the
+// end offset. Offsets are written as pcap timestamps, so they must be
+// non-negative.
+func WriteTransactions(w io.Writer, recs []tlsproxy.ReplayRecord) error {
+	if len(recs) > maxTxnFlows {
+		return fmt.Errorf("pcap: %d records exceed the %d-flow trace limit", len(recs), maxTxnFlows)
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	binary.LittleEndian.PutUint32(hdr[16:], TxnSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeEther)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: writing file header: %w", err)
+	}
+	for i, r := range recs {
+		if r.End < r.Start || r.Start < 0 {
+			return fmt.Errorf("pcap: record %d has invalid span [%g, %g]", i, r.Start, r.End)
+		}
+		cip, cport := txnClientEndpoint(r.Client)
+		sip := txnServerIP(i)
+		var hello []byte
+		if r.SNI != "" {
+			var err error
+			hello, err = tlsproxy.BuildClientHello(r.SNI, [32]byte{})
+			if err != nil {
+				return fmt.Errorf("pcap: record %d: %w", i, err)
+			}
+		}
+		// The flow's first packet pins the start time and carries the
+		// hello (empty payload when there is no SNI).
+		if err := writeTxnFrame(w, r.Start, cip, sip, cport, 443, len(hello), hello); err != nil {
+			return fmt.Errorf("pcap: record %d hello: %w", i, err)
+		}
+		for rem := r.UpBytes; rem > 0; {
+			sz := rem
+			if sz > txnChunk {
+				sz = txnChunk
+			}
+			if err := writeTxnFrame(w, r.Start, cip, sip, cport, 443, int(sz), nil); err != nil {
+				return fmt.Errorf("pcap: record %d uplink: %w", i, err)
+			}
+			rem -= sz
+		}
+		n := (r.DownBytes + txnChunk - 1) / txnChunk
+		if n == 0 {
+			// No downlink bytes: an empty packet still pins the end time.
+			if err := writeTxnFrame(w, r.End, sip, cip, 443, cport, 0, nil); err != nil {
+				return fmt.Errorf("pcap: record %d downlink: %w", i, err)
+			}
+			continue
+		}
+		rem := r.DownBytes
+		for k := int64(0); k < n; k++ {
+			sz := rem
+			if sz > txnChunk {
+				sz = txnChunk
+			}
+			t := r.Start + (r.End-r.Start)*float64(k+1)/float64(n)
+			if k == n-1 {
+				t = r.End
+			}
+			if err := writeTxnFrame(w, t, sip, cip, 443, cport, int(sz), nil); err != nil {
+				return fmt.Errorf("pcap: record %d downlink: %w", i, err)
+			}
+			rem -= sz
+		}
+	}
+	return nil
+}
+
+// txnFlowKey identifies one TCP flow, client side first.
+type txnFlowKey struct {
+	cip, sip     [4]byte
+	cport, sport uint16
+}
+
+// txnFlowState accumulates one flow while reading a trace.
+type txnFlowState struct {
+	firstIdx     int
+	start, end   float64
+	up, down     int64
+	sni          string
+	helloChecked bool
+}
+
+// ReadTransactions sessionizes a pcap trace back into transaction
+// records: one record per TCP five-tuple, spanning the flow's first
+// and last packet, with the SNI recovered from the first
+// payload-carrying uplink packet when it parses as a TLS ClientHello
+// (that packet's bytes are excluded from the byte totals; everything
+// else counts at original wire length). Records are returned sorted by
+// (end, start, file order) — the order a completion-timestamped log of
+// the same traffic would carry.
+func ReadTransactions(r io.Reader) ([]tlsproxy.ReplayRecord, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	flows := map[txnFlowKey]*txnFlowState{}
+	idx := 0
+	for {
+		fr, err := pr.readFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pcap: frame %d: %w", idx, err)
+		}
+		uplink := fr.sport != 443
+		key := txnFlowKey{cip: fr.srcIP, sip: fr.dstIP, cport: fr.sport, sport: fr.dport}
+		if !uplink {
+			key = txnFlowKey{cip: fr.dstIP, sip: fr.srcIP, cport: fr.dport, sport: fr.sport}
+		}
+		st := flows[key]
+		if st == nil {
+			st = &txnFlowState{firstIdx: idx, start: fr.time, end: fr.time}
+			flows[key] = st
+		}
+		if fr.time < st.start {
+			st.start = fr.time
+		}
+		if fr.time > st.end {
+			st.end = fr.time
+		}
+		if uplink {
+			if len(fr.capturedData) > 0 && !st.helloChecked {
+				st.helloChecked = true
+				if sni, _, perr := tlsproxy.ParseClientHello(fr.capturedData); perr == nil && sni != "" {
+					st.sni = sni
+					idx++
+					continue
+				}
+			}
+			st.up += int64(fr.payloadLen)
+		} else {
+			st.down += int64(fr.payloadLen)
+		}
+		idx++
+	}
+	type keyed struct {
+		rec      tlsproxy.ReplayRecord
+		firstIdx int
+	}
+	out := make([]keyed, 0, len(flows))
+	for key, st := range flows {
+		client := fmt.Sprintf("%d.%d.%d.%d:%d", key.cip[0], key.cip[1], key.cip[2], key.cip[3], key.cport)
+		out = append(out, keyed{
+			rec: tlsproxy.ReplayRecord{
+				Client:    client,
+				SNI:       st.sni,
+				Start:     st.start,
+				End:       st.end,
+				UpBytes:   st.up,
+				DownBytes: st.down,
+			},
+			firstIdx: st.firstIdx,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := out[a].rec, out[b].rec
+		if ra.End != rb.End {
+			return ra.End < rb.End
+		}
+		if ra.Start != rb.Start {
+			return ra.Start < rb.Start
+		}
+		return out[a].firstIdx < out[b].firstIdx
+	})
+	recs := make([]tlsproxy.ReplayRecord, len(out))
+	for i, k := range out {
+		recs[i] = k.rec
+	}
+	return recs, nil
+}

@@ -1,0 +1,95 @@
+package pcap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"droppackets/internal/tlsproxy"
+)
+
+// TestTransactionRoundTrip pins the multi-flow rendering contract:
+// WriteTransactions then ReadTransactions recovers every record — SNI
+// via the embedded ClientHello, byte totals exactly (hello excluded),
+// start/end on the microsecond grid — in end-time order.
+func TestTransactionRoundTrip(t *testing.T) {
+	recs := []tlsproxy.ReplayRecord{
+		{Client: "10.9.0.1:40000", SNI: "cdn-01.svc1.example", Start: 0.25, End: 4.75, UpBytes: 412, DownBytes: 180_000},
+		{Client: "10.9.0.2", SNI: "cdn-02.svc1.example", Start: 1.5, End: 2.5, UpBytes: 90_000, DownBytes: 250_000},
+		// Same client and host as record 0: must still come back as a
+		// distinct flow, not merge.
+		{Client: "10.9.0.1:40000", SNI: "cdn-01.svc1.example", Start: 3.125, End: 9, UpBytes: 0, DownBytes: 0},
+		// No SNI: an unreadable hello, like a capture that missed it.
+		{Client: "edge-gw-7", SNI: "", Start: 2, End: 11.000001, UpBytes: 5, DownBytes: 7},
+		// Payloads above the per-packet chunk size must split and re-sum.
+		{Client: "10.9.0.3", SNI: "video.example", Start: 0.5, End: 12.00025, UpBytes: 70_000, DownBytes: 200_000},
+	}
+	var buf bytes.Buffer
+	if err := WriteTransactions(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTransactions(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip returned %d records, want %d", len(got), len(recs))
+	}
+	// Expected order: sorted by (End, Start).
+	want := []int{1, 0, 2, 3, 4}
+	for i, wi := range want {
+		w := recs[wi]
+		g := got[i]
+		if g.SNI != w.SNI {
+			t.Errorf("record %d: SNI %q, want %q", i, g.SNI, w.SNI)
+		}
+		if g.UpBytes != w.UpBytes || g.DownBytes != w.DownBytes {
+			t.Errorf("record %d: bytes %d/%d, want %d/%d", i, g.UpBytes, g.DownBytes, w.UpBytes, w.DownBytes)
+		}
+		if math.Abs(g.Start-w.Start) > 1e-6 || math.Abs(g.End-w.End) > 1e-6 {
+			t.Errorf("record %d: span [%v, %v], want ~[%v, %v]", i, g.Start, g.End, w.Start, w.End)
+		}
+	}
+	// Literal IPv4 clients keep their address through the round trip.
+	if host := got[1].Client; host != "10.9.0.1:40000" {
+		t.Errorf("client address %q, want 10.9.0.1:40000", host)
+	}
+	// Non-IP client names map to a deterministic synthetic address.
+	again, err := func() ([]tlsproxy.ReplayRecord, error) {
+		var b2 bytes.Buffer
+		if err := WriteTransactions(&b2, recs); err != nil {
+			return nil, err
+		}
+		return ReadTransactions(bytes.NewReader(b2.Bytes()))
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[3].Client != got[3].Client {
+		t.Errorf("synthetic client address not deterministic: %q vs %q", again[3].Client, got[3].Client)
+	}
+}
+
+// TestTransactionTraceReadableAsPackets checks a transaction trace is
+// still a plain pcap stream: the packet-level Reader (with the
+// header-declared snaplen honored) walks it without errors.
+func TestTransactionTraceReadableAsPackets(t *testing.T) {
+	recs := []tlsproxy.ReplayRecord{
+		{Client: "10.9.0.1", SNI: "cdn-01.svc1.example", Start: 0, End: 1, UpBytes: 100, DownBytes: 200},
+	}
+	var buf bytes.Buffer
+	if err := WriteTransactions(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := pr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 3 {
+		t.Fatalf("expected at least hello+up+down packets, got %d", len(pkts))
+	}
+}

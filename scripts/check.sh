@@ -18,7 +18,7 @@ echo "== go vet =="
 go vet ./...
 
 echo "== doc lint (operator-facing packages) =="
-go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled internal/ingest internal/netflow internal/pcap
 
 echo "== go test =="
 go test ./...
@@ -33,7 +33,7 @@ echo "== serving benchmarks (smoke: compiled scorers incl. batched sweep, sharde
 go test -run '^$' -bench . -benchtime 1x ./internal/ml/compiled
 go test -run '^$' -bench ConcurrentIngest -benchtime 100x ./cmd/qoeproxy
 
-echo "== qoeproxy smoke (/metrics, /healthz, SIGTERM drain) =="
+echo "== qoeproxy smoke (/metrics, /healthz, squid-log tail, SIGTERM drain) =="
 go run ./scripts/smoke
 
 echo "== qoeload soak (replay a few hundred clients through the real service loop) =="

@@ -1,8 +1,11 @@
-// Command smoke is the CI gate for qoeproxy's service surface: it
-// builds the daemon, starts it on ephemeral ports, waits for the
-// structured "metrics listening" log line, scrapes /healthz and
-// /metrics, asserts every core series exists, then sends SIGTERM and
-// requires a clean (exit 0) drain. Run from the repo root:
+// Command smoke is the CI gate for qoeproxy's service surface. It
+// builds the daemon once and runs two scenarios: the proxy smoke
+// (start on ephemeral ports, wait for the structured "metrics
+// listening" log line, scrape /healthz and /metrics, assert every core
+// series exists, SIGTERM, require a clean drain) and the squid-tail
+// smoke (daemon follows a generated access log, per-source ingest
+// counters track lines appended mid-run, SIGTERM drains cleanly). Run
+// from the repo root:
 //
 //	go run ./scripts/smoke
 package main
@@ -16,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -37,6 +41,10 @@ var coreSeries = []string{
 	"qoeproxy_shard_classify_seconds",
 	"qoeproxy_ingest_contention_total",
 	"qoeproxy_feature_transactions_ingested_total",
+	"qoeproxy_ingest_source_records_total",
+	"qoeproxy_ingest_source_skipped_total",
+	"qoeproxy_ingest_source_malformed_total",
+	"qoeproxy_ingest_source_rotations_total",
 	"qoeproxy_connections_total",
 	"qoeproxy_connections_active",
 	"qoeproxy_hello_parse_failures_total",
@@ -55,43 +63,43 @@ var coreSeries = []string{
 }
 
 func main() {
-	if err := smoke(); err != nil {
-		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
-		os.Exit(1)
-	}
-	fmt.Println("smoke: qoeproxy serves /metrics and /healthz and drains cleanly")
-}
-
-// smoke runs the whole scenario; any error fails CI.
-func smoke() error {
 	tmp, err := os.MkdirTemp("", "qoeproxy-smoke")
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
 	}
 	defer os.RemoveAll(tmp)
 	bin := filepath.Join(tmp, "qoeproxy")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/qoeproxy")
 	build.Stdout, build.Stderr = os.Stdout, os.Stderr
 	if err := build.Run(); err != nil {
-		return fmt.Errorf("building qoeproxy: %w", err)
+		fmt.Fprintln(os.Stderr, "smoke: FAIL: building qoeproxy:", err)
+		os.Exit(1)
 	}
 
-	daemon := exec.Command(bin,
-		"-listen", "127.0.0.1:0",
-		"-metrics", "127.0.0.1:0",
-		"-upstream", "127.0.0.1:9", // never dialed: no traffic flows in the smoke
-	)
+	if err := smokeProxy(bin); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: qoeproxy serves /metrics and /healthz and drains cleanly")
+	if err := smokeSquidTail(bin, tmp); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL: squid tail:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: qoeproxy tails a Squid log with live per-source counters and drains cleanly")
+}
+
+// startDaemon launches the built daemon and returns it along with the
+// metrics address from its "metrics listening" log line.
+func startDaemon(bin string, args ...string) (*exec.Cmd, string, error) {
+	daemon := exec.Command(bin, args...)
 	stderr, err := daemon.StderrPipe()
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	if err := daemon.Start(); err != nil {
-		return fmt.Errorf("starting qoeproxy: %w", err)
+		return nil, "", fmt.Errorf("starting qoeproxy: %w", err)
 	}
-	defer daemon.Process.Kill() // no-op after a clean Wait
-
-	// The daemon logs JSON lines; the "metrics listening" one carries
-	// the ephemeral address to scrape.
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
@@ -108,12 +116,45 @@ func smoke() error {
 			}
 		}
 	}()
-	var addr string
 	select {
-	case addr = <-addrCh:
+	case addr := <-addrCh:
+		return daemon, addr, nil
 	case <-time.After(10 * time.Second):
-		return fmt.Errorf("no 'metrics listening' log line within 10s")
+		daemon.Process.Kill()
+		return nil, "", fmt.Errorf("no 'metrics listening' log line within 10s")
 	}
+}
+
+// stopDaemon sends SIGTERM and requires a clean exit within 10s.
+func stopDaemon(daemon *exec.Cmd) error {
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon did not exit cleanly on SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(10 * time.Second):
+		daemon.Process.Kill()
+		return fmt.Errorf("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+// smokeProxy runs the serving-surface scenario; any error fails CI.
+func smokeProxy(bin string) error {
+	daemon, addr, err := startDaemon(bin,
+		"-listen", "127.0.0.1:0",
+		"-metrics", "127.0.0.1:0",
+		"-upstream", "127.0.0.1:9", // never dialed: no traffic flows in the smoke
+	)
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill() // no-op after a clean Wait
 
 	health, err := get("http://" + addr + "/healthz")
 	if err != nil {
@@ -138,20 +179,99 @@ func smoke() error {
 	}
 	fmt.Printf("smoke: /metrics exports all %d core series\n", len(coreSeries))
 
-	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+	return stopDaemon(daemon)
+}
+
+// squidConnectLine renders one CONNECT log line (epoch-0 offsets).
+func squidConnectLine(end float64, elapsedMs int, client, host string, down int64) string {
+	return fmt.Sprintf("%.3f %6d %s TCP_TUNNEL/200 %d CONNECT %s:443 - HIER_DIRECT/203.0.113.9 - request_bytes=400\n",
+		end, elapsedMs, client, down, host)
+}
+
+// smokeSquidTail runs the log-ingest scenario: the daemon follows an
+// access log (-source=squid), the per-source counters must reflect the
+// initial lines, a skipped non-CONNECT line, and lines appended while
+// the daemon runs, and SIGTERM must still drain cleanly.
+func smokeSquidTail(bin, tmp string) error {
+	logPath := filepath.Join(tmp, "access.log")
+	initial := squidConnectLine(1.0, 800, "10.0.0.1", "cdn-01.svc1.example", 180000) +
+		squidConnectLine(2.0, 500, "10.0.0.2", "cdn-02.svc1.example", 250000) +
+		"3.000    100 10.0.0.3 TCP_MISS/200 1234 GET http://example.com/x - HIER_DIRECT/203.0.113.9 text/html\n" +
+		squidConnectLine(4.0, 900, "10.0.0.1", "cdn-01.svc1.example", 90000)
+	if err := os.WriteFile(logPath, []byte(initial), 0o644); err != nil {
 		return err
 	}
-	done := make(chan error, 1)
-	go func() { done <- daemon.Wait() }()
-	select {
-	case err := <-done:
-		if err != nil {
-			return fmt.Errorf("daemon did not exit cleanly on SIGTERM: %w", err)
-		}
-	case <-time.After(10 * time.Second):
-		return fmt.Errorf("daemon did not drain within 10s of SIGTERM")
+
+	daemon, addr, err := startDaemon(bin,
+		"-metrics", "127.0.0.1:0",
+		"-source", "squid",
+		"-input", logPath,
+		"-ingest-epoch", "0",
+		"-ingest-horizon", "0s", // count entries as they are read, not at a watermark
+	)
+	if err != nil {
+		return err
 	}
-	return nil
+	defer daemon.Process.Kill()
+
+	series := func(name string) float64 {
+		body, err := get("http://" + addr + "/metrics")
+		if err != nil {
+			return -1
+		}
+		for _, line := range strings.Split(body, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if err == nil {
+					return v
+				}
+			}
+		}
+		return -1
+	}
+	waitSeries := func(name string, want float64) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if got := series(name); got == want {
+				return nil
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("%s = %v, want %v", name, got, want)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	records := `qoeproxy_ingest_source_records_total{source="squid"}`
+	if err := waitSeries(records, 3); err != nil {
+		return err
+	}
+	if err := waitSeries(`qoeproxy_ingest_source_skipped_total{source="squid"}`, 1); err != nil {
+		return err
+	}
+	fmt.Println("smoke: squid tail ingested the initial log (3 records, 1 skipped)")
+
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	more := squidConnectLine(5.0, 700, "10.0.0.2", "cdn-02.svc1.example", 120000) +
+		squidConnectLine(6.0, 600, "10.0.0.3", "cdn-01.svc1.example", 70000)
+	if _, err := f.WriteString(more); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := waitSeries(records, 5); err != nil {
+		return fmt.Errorf("after live append: %w", err)
+	}
+	if got := series("qoeproxy_transactions_total"); got != 5 {
+		return fmt.Errorf("qoeproxy_transactions_total = %v, want 5", got)
+	}
+	fmt.Println("smoke: squid tail picked up lines appended while running")
+
+	return stopDaemon(daemon)
 }
 
 // get fetches a URL with a deadline and returns the body.

@@ -90,8 +90,11 @@ type equivRun struct {
 // runSource feeds one rendering of the canonical workload through a
 // fresh service via the given TransactionSource and returns every
 // invariant observable. The classification/eviction schedule is
-// computed from the canonical records, identical across sources.
-func runSource(t *testing.T, est *core.Estimator, recs []tlsproxy.ReplayRecord,
+// computed from the canonical records, identical across sources. A
+// positive batch selects the daemon's shard-batched delivery handler
+// (onTransactionBatch), mirroring -ingest-batch; zero keeps the
+// record-at-a-time reference path.
+func runSource(t *testing.T, est *core.Estimator, recs []tlsproxy.ReplayRecord, batch int,
 	build func(base time.Time) (ingest.TransactionSource, error)) equivRun {
 	t.Helper()
 	const ttl = 120 * time.Second
@@ -110,10 +113,13 @@ func runSource(t *testing.T, est *core.Estimator, recs []tlsproxy.ReplayRecord,
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := src.Run(context.Background(), ingest.Handler{
-		ConnOpen:    s.onConnOpen,
-		Transaction: s.onTransaction,
-	}); err != nil {
+	h := ingest.Handler{ConnOpen: s.onConnOpen}
+	if batch > 0 {
+		h.TransactionBatch = s.onTransactionBatch
+	} else {
+		h.Transaction = s.onTransaction
+	}
+	if err := src.Run(context.Background(), h); err != nil {
 		t.Fatalf("%s source: %v", src.Name(), err)
 	}
 	st := src.Stats()
@@ -240,7 +246,7 @@ func TestCrossSourceEquivalence(t *testing.T) {
 	}
 	f.Close()
 
-	base := runSource(t, est, recs, func(b time.Time) (ingest.TransactionSource, error) {
+	base := runSource(t, est, recs, 0, func(b time.Time) (ingest.TransactionSource, error) {
 		return ingest.NewReplaySource(csvPath, b, 0, 1)
 	})
 	if len(base.classifications) == 0 {
@@ -253,26 +259,51 @@ func TestCrossSourceEquivalence(t *testing.T) {
 		t.Fatal("replay baseline left a sink empty")
 	}
 
-	others := []struct {
-		name  string
-		build func(b time.Time) (ingest.TransactionSource, error)
-	}{
-		{"squid", func(b time.Time) (ingest.TransactionSource, error) {
+	// squidSrc renders a tailer config over the grid the daemon's
+	// -parse-workers/-ingest-batch flags expose; every combination must
+	// reproduce the per-record baseline byte for byte.
+	squidSrc := func(parseWorkers, batch int) func(b time.Time) (ingest.TransactionSource, error) {
+		return func(b time.Time) (ingest.TransactionSource, error) {
 			return &ingest.SquidSource{
 				Path: logPath, Base: b, EpochUnix: 0,
-				Horizon: 1 << 20, // hold everything until the EOF flush: global time order
-				Follow:  false,
+				Horizon:      1 << 20, // hold everything until the EOF flush: global time order
+				Follow:       false,
+				ParseWorkers: parseWorkers,
+				Batch:        batch,
 			}, nil
-		}},
-		{"pcap", func(b time.Time) (ingest.TransactionSource, error) {
+		}
+	}
+	others := []struct {
+		name  string
+		batch int
+		build func(b time.Time) (ingest.TransactionSource, error)
+	}{
+		{"squid", 0, squidSrc(1, 0)},
+		{"squid-batch8", 8, squidSrc(1, 8)},
+		{"squid-pw4-batch32", 32, squidSrc(4, 32)},
+		{"pcap", 0, func(b time.Time) (ingest.TransactionSource, error) {
 			return ingest.NewPcapSource(pcapPath, b, 0, 0, 1)
 		}},
-		{"netflow", func(b time.Time) (ingest.TransactionSource, error) {
+		{"pcap-batch32", 32, func(b time.Time) (ingest.TransactionSource, error) {
+			s, err := ingest.NewPcapSource(pcapPath, b, 0, 0, 1)
+			if err == nil {
+				s.Batch = 32
+			}
+			return s, err
+		}},
+		{"netflow", 0, func(b time.Time) (ingest.TransactionSource, error) {
 			return ingest.NewNetflowSource(flowPath, b, 0, 1)
+		}},
+		{"replay-batch16", 16, func(b time.Time) (ingest.TransactionSource, error) {
+			s, err := ingest.NewReplaySource(csvPath, b, 0, 1)
+			if err == nil {
+				s.Batch = 16
+			}
+			return s, err
 		}},
 	}
 	for _, o := range others {
-		got := runSource(t, est, recs, o.build)
+		got := runSource(t, est, recs, o.batch, o.build)
 		compareRuns(t, o.name, got.invariantRun, base.invariantRun)
 		if got.sinkSquid != base.sinkSquid {
 			t.Errorf("%s: squid-log sink diverged (%d bytes vs %d)", o.name, len(got.sinkSquid), len(base.sinkSquid))

@@ -19,6 +19,7 @@
 //	         [-source proxy|squid|pcap|netflow|replay] [-input FILE]
 //	         [-ingest-speed X] [-ingest-workers N] [-ingest-epoch T]
 //	         [-ingest-horizon 5m] [-follow=true]
+//	         [-ingest-batch N] [-parse-workers N]
 //	         [-v]
 //
 // The daemon's telemetry arrives through one internal/ingest
@@ -67,6 +68,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -109,6 +111,8 @@ func main() {
 	flag.Float64Var(&opts.ingestEpoch, "ingest-epoch", -1, "Unix time mapped to offset 0 for squid/pcap sources (-1 = first event's time)")
 	flag.DurationVar(&opts.ingestHorizon, "ingest-horizon", 5*time.Minute, "reordering slack for -source=squid: entries are released once the log's end-time watermark is this far past them")
 	flag.BoolVar(&opts.follow, "follow", true, "for -source=squid: keep tailing the log across rotation/truncation (false stops at EOF)")
+	flag.IntVar(&opts.ingestBatch, "ingest-batch", 256, "transactions coalesced per shard-batched ingest commit; 0 delivers record-at-a-time")
+	flag.IntVar(&opts.parseWorkers, "parse-workers", 1, "for -source=squid: goroutines decoding log lines (output is identical at any setting)")
 	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -136,6 +140,8 @@ type options struct {
 	ingestEpoch                   float64
 	ingestHorizon                 time.Duration
 	follow                        bool
+	ingestBatch                   int
+	parseWorkers                  int
 	verbose                       bool
 }
 
@@ -315,7 +321,14 @@ type service struct {
 	names []string // class display names, when est != nil
 	track bool     // maintain incremental accumulators (est set, window 0)
 	epoch time.Time
-	proxy *tlsproxy.Proxy
+	// debugLog caches whether the logger emits debug records, so the
+	// ingest hot path skips building per-transaction attribute lists
+	// that a production (info-level) daemon would throw away.
+	debugLog bool
+	// batchPool recycles the scratch (line buffer, commit list) of
+	// onTransactionBatch / onTransaction calls across goroutines.
+	batchPool sync.Pool
+	proxy     *tlsproxy.Proxy
 	// src is the primary TransactionSource feeding the ingest path;
 	// its Stats back the qoeproxy_ingest_source_* series. Nil in tests
 	// that drive callbacks directly.
@@ -389,11 +402,13 @@ func newService(opts options, logger *slog.Logger, est *core.Estimator) *service
 		opts.classifyWorkers = opts.shards
 	}
 	s := &service{
-		opts:  opts,
-		log:   logger,
-		est:   est,
-		epoch: time.Now(),
+		opts:     opts,
+		log:      logger,
+		est:      est,
+		epoch:    time.Now(),
+		debugLog: logger.Enabled(context.Background(), slog.LevelDebug),
 	}
+	s.batchPool.New = func() any { return &batchScratch{} }
 	if est != nil {
 		s.names = core.ClassNames(est.Metric())
 		s.track = opts.window <= 0
@@ -641,30 +656,35 @@ func run(opts options) error {
 		}
 		f.Close()
 		src = &ingest.SquidSource{
-			Path:      opts.input,
-			Base:      s.epoch,
-			EpochUnix: opts.ingestEpoch,
-			Horizon:   opts.ingestHorizon.Seconds(),
-			Follow:    opts.follow,
+			Path:         opts.input,
+			Base:         s.epoch,
+			EpochUnix:    opts.ingestEpoch,
+			Horizon:      opts.ingestHorizon.Seconds(),
+			Follow:       opts.follow,
+			ParseWorkers: opts.parseWorkers,
+			Batch:        opts.ingestBatch,
 		}
 	case "pcap":
-		var err error
-		src, err = ingest.NewPcapSource(opts.input, s.epoch, opts.ingestEpoch, opts.ingestSpeed, opts.ingestWorkers)
+		bs, err := ingest.NewPcapSource(opts.input, s.epoch, opts.ingestEpoch, opts.ingestSpeed, opts.ingestWorkers)
 		if err != nil {
 			return err
 		}
+		bs.Batch = opts.ingestBatch
+		src = bs
 	case "netflow":
-		var err error
-		src, err = ingest.NewNetflowSource(opts.input, s.epoch, opts.ingestSpeed, opts.ingestWorkers)
+		bs, err := ingest.NewNetflowSource(opts.input, s.epoch, opts.ingestSpeed, opts.ingestWorkers)
 		if err != nil {
 			return err
 		}
+		bs.Batch = opts.ingestBatch
+		src = bs
 	case "replay":
-		var err error
-		src, err = ingest.NewReplaySource(opts.input, s.epoch, opts.ingestSpeed, opts.ingestWorkers)
+		bs, err := ingest.NewReplaySource(opts.input, s.epoch, opts.ingestSpeed, opts.ingestWorkers)
 		if err != nil {
 			return err
 		}
+		bs.Batch = opts.ingestBatch
+		src = bs
 	}
 	if s.proxy == nil {
 		stub, err := tlsproxy.New(tlsproxy.Config{Resolver: resolver})
@@ -698,9 +718,19 @@ func run(opts options) error {
 	if ps == nil {
 		logger.Info("ingesting", "source", src.Name(), "input", opts.input)
 	}
+	// A positive -ingest-batch selects shard-batched delivery: records
+	// arrive coalesced and each shard lock is taken once per batch. Zero
+	// keeps the record-at-a-time path (useful for bisecting and as the
+	// reference ordering in tests).
+	handler := ingest.Handler{ConnOpen: s.onConnOpen}
+	if opts.ingestBatch > 0 {
+		handler.TransactionBatch = s.onTransactionBatch
+	} else {
+		handler.Transaction = s.onTransaction
+	}
 	go func() {
 		defer close(runDone)
-		err := src.Run(srcCtx, ingest.Handler{ConnOpen: s.onConnOpen, Transaction: s.onTransaction})
+		err := src.Run(srcCtx, handler)
 		if srcCtx.Err() != nil {
 			return
 		}
@@ -770,7 +800,12 @@ func run(opts options) error {
 			"records", len(replayRecs), "speed", opts.replaySpeed, "workers", src.Workers)
 		go func() {
 			defer close(replayDone)
-			st := src.Run(rctx, s.epoch, s.onConnOpen, s.onTransaction)
+			var st tlsproxy.ReplayStats
+			if opts.ingestBatch > 0 {
+				st = src.RunBatched(rctx, s.epoch, s.onConnOpen, s.onTransactionBatch, opts.ingestBatch)
+			} else {
+				st = src.Run(rctx, s.epoch, s.onConnOpen, s.onTransaction)
+			}
 			attrs := []any{"records", st.Records, "clients", st.Clients,
 				"wall_seconds", st.Wall.Seconds(),
 				"records_per_second", float64(st.Records) / st.Wall.Seconds()}
@@ -1033,6 +1068,48 @@ func (s *service) onConnOpen(r tlsproxy.Record) {
 	}
 }
 
+// appendOutLine renders one CSV sink record onto dst, matching the
+// historical fmt verbs ("%s,%s,%.3f,%.3f,%d,%d\n") byte for byte.
+func appendOutLine(dst []byte, client string, txn capture.TLSTransaction) []byte {
+	dst = append(dst, client...)
+	dst = append(dst, ',')
+	dst = append(dst, txn.SNI...)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, txn.Start, 'f', 3, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, txn.End, 'f', 3, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, txn.UpBytes, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, txn.DownBytes, 10)
+	return append(dst, '\n')
+}
+
+// txnCommit is one record's phase-two work in a batched delivery: the
+// state mutation that must run under the client's shard lock.
+type txnCommit struct {
+	si     int
+	connID uint64
+	client string
+	txn    capture.TLSTransaction
+}
+
+// batchScratch is the reusable per-call scratch of the transaction
+// ingest path, pooled so steady state allocates only the sink line
+// strings themselves.
+type batchScratch struct {
+	buf     []byte
+	commits []txnCommit
+}
+
+// debugTransaction logs per-transaction detail; the caller guards with
+// s.debugLog so an info-level daemon never builds the attribute list.
+func (s *service) debugTransaction(r tlsproxy.Record, client string) {
+	s.log.Debug("transaction",
+		"sni", r.SNI, "client", client, "conn_id", r.ConnID,
+		"duration_s", r.End.Sub(r.Start).Seconds(), "up_bytes", r.UpBytes, "down_bytes", r.DownBytes)
+}
+
 // onTransaction exports a completed transaction to the configured
 // sinks and feeds the client's online sessionizer. Record conversion,
 // line formatting and logging happen before the shard lock; only the
@@ -1040,28 +1117,103 @@ func (s *service) onConnOpen(r tlsproxy.Record) {
 // record order) run under it.
 func (s *service) onTransaction(r tlsproxy.Record) {
 	client := clientHost(r.ClientAddr)
-	txn := tlsproxy.ToCaptureTransactions([]tlsproxy.Record{r}, s.epoch)[0]
+	txn := tlsproxy.ToCaptureTransaction(r, s.epoch)
 	s.mTxns.Inc()
 	var outLine, squidLine string
-	if s.out != nil {
-		outLine = fmt.Sprintf("%s,%s,%.3f,%.3f,%d,%d\n", client, txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
+	if s.out != nil || s.squid != nil {
+		sc := s.batchPool.Get().(*batchScratch)
+		buf := sc.buf
+		if s.out != nil {
+			buf = appendOutLine(buf[:0], client, txn)
+			outLine = string(buf)
+		}
+		if s.squid != nil {
+			buf = append(squidlog.AppendEntry(buf[:0], client, txn, float64(s.epoch.Unix())), '\n')
+			squidLine = string(buf)
+		}
+		sc.buf = buf
+		s.batchPool.Put(sc)
 	}
-	if s.squid != nil {
-		squidLine = squidlog.FormatEntry(client, txn, float64(s.epoch.Unix())) + "\n"
+	if s.debugLog {
+		s.debugTransaction(r, client)
 	}
-	s.log.Debug("transaction",
-		"sni", r.SNI, "client", client, "conn_id", r.ConnID,
-		"duration_s", r.End.Sub(r.Start).Seconds(), "up_bytes", r.UpBytes, "down_bytes", r.DownBytes)
 
 	sh := s.shardFor(client)
 	s.lockIngest(sh)
 	defer sh.mu.Unlock()
-	if s.out != nil {
+	if outLine != "" {
 		s.enqueueSink(s.out, outLine)
 	}
-	if s.squid != nil {
+	if squidLine != "" {
 		s.enqueueSink(s.squid, squidLine)
 	}
+	s.commitTransaction(sh, client, r.ConnID, txn)
+}
+
+// onTransactionBatch is onTransaction for a coalesced record batch,
+// split into two phases. Phase one walks the batch in delivery order
+// with no locks held: counters, sink lines (built in a pooled buffer
+// and enqueued immediately — order is preserved because one source
+// goroutine delivers all of a client's records, and the writer drains
+// in enqueue order), debug logs. Phase two commits per-client state
+// grouped by shard, taking each shard's lock once per batch instead of
+// once per record; within a shard, commits apply in delivery order.
+func (s *service) onTransactionBatch(recs []tlsproxy.Record) {
+	sc := s.batchPool.Get().(*batchScratch)
+	commits := sc.commits[:0]
+	buf := sc.buf
+	epochUnix := float64(s.epoch.Unix())
+	for _, r := range recs {
+		client := clientHost(r.ClientAddr)
+		txn := tlsproxy.ToCaptureTransaction(r, s.epoch)
+		s.mTxns.Inc()
+		if s.out != nil {
+			buf = appendOutLine(buf[:0], client, txn)
+			s.enqueueSink(s.out, string(buf))
+		}
+		if s.squid != nil {
+			buf = append(squidlog.AppendEntry(buf[:0], client, txn, epochUnix), '\n')
+			s.enqueueSink(s.squid, string(buf))
+		}
+		if s.debugLog {
+			s.debugTransaction(r, client)
+		}
+		commits = append(commits, txnCommit{
+			si:     shardIndex(client, len(s.shards)),
+			connID: r.ConnID,
+			client: client,
+			txn:    txn,
+		})
+	}
+	done := 0
+	for si := 0; si < len(s.shards) && done < len(commits); si++ {
+		sh := s.shards[si]
+		locked := false
+		for ci := range commits {
+			c := &commits[ci]
+			if c.si != si {
+				continue
+			}
+			if !locked {
+				s.lockIngest(sh)
+				locked = true
+			}
+			s.commitTransaction(sh, c.client, c.connID, c.txn)
+			done++
+		}
+		if locked {
+			sh.mu.Unlock()
+		}
+	}
+	sc.buf, sc.commits = buf, commits
+	s.batchPool.Put(sc)
+}
+
+// commitTransaction folds one completed transaction into its client's
+// state and advances the sessionizer. The caller holds the client's
+// shard lock; sink lines and the transaction counter are the caller's
+// business.
+func (s *service) commitTransaction(sh *shard, client string, connID uint64, txn capture.TLSTransaction) {
 	cs := s.state(sh, client)
 	if txn.End > cs.lastActivity {
 		cs.lastActivity = txn.End
@@ -1073,7 +1225,7 @@ func (s *service) onTransaction(r tlsproxy.Record) {
 	if cs.recent.push(txn) > 0 {
 		s.noteTruncation(cs)
 	}
-	delete(cs.activeStarts, r.ConnID)
+	delete(cs.activeStarts, connID)
 	// Insert sorted by start: connections end out of order, the
 	// sessionizer wants start order.
 	i := sort.Search(len(cs.buffer), func(j int) bool { return cs.buffer[j].Start > txn.Start })
@@ -1140,8 +1292,10 @@ func (s *service) apply(client string, cs *clientState, decisions []sessionid.De
 		if d.NewSession {
 			cs.boundaries++
 			s.mBoundaries.Inc()
-			s.log.Debug("session boundary", "client", client, "boundaries", cs.boundaries,
-				"closed_session_txns", len(cs.current))
+			if s.debugLog {
+				s.log.Debug("session boundary", "client", client, "boundaries", cs.boundaries,
+					"closed_session_txns", len(cs.current))
+			}
 			cs.current = cs.current[:0]
 			cs.truncated = false
 			if cs.tracked != nil {

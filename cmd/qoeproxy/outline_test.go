@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"droppackets/internal/capture"
+)
+
+// TestAppendOutLine pins the allocation-free CSV sink formatter against
+// the fmt verbs it replaced: every rendering must match
+// "%s,%s,%.3f,%.3f,%d,%d\n" byte for byte, including negative zero,
+// rounding at the millisecond boundary and large byte counts.
+func TestAppendOutLine(t *testing.T) {
+	cases := []capture.TLSTransaction{
+		{SNI: "video.example", Start: 0, End: 1.5, UpBytes: 10, DownBytes: 100},
+		{SNI: "a.b", Start: 1234.5678, End: 1234.56789, UpBytes: 0, DownBytes: 0},
+		{SNI: "", Start: 0.0005, End: 0.0004999, UpBytes: -1, DownBytes: 1 << 40},
+		{SNI: "x", Start: math.Copysign(0, -1), End: 86400, UpBytes: 1, DownBytes: 2},
+		{SNI: "svc", Start: 0.9995, End: 2.9994999999, UpBytes: 42, DownBytes: 7},
+	}
+	var buf []byte
+	for _, txn := range cases {
+		want := fmt.Sprintf("%s,%s,%.3f,%.3f,%d,%d\n",
+			"10.0.0.9", txn.SNI, txn.Start, txn.End, txn.UpBytes, txn.DownBytes)
+		buf = appendOutLine(buf[:0], "10.0.0.9", txn)
+		if string(buf) != want {
+			t.Errorf("appendOutLine(%+v)\n got %q\nwant %q", txn, buf, want)
+		}
+	}
+}

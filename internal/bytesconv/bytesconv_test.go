@@ -1,0 +1,113 @@
+package bytesconv
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// diffFloat asserts ParseFloat(b) == strconv.ParseFloat(string(b), 64)
+// in value, NaN-ness and error presence.
+func diffFloat(t *testing.T, in string) {
+	t.Helper()
+	got, gotErr := ParseFloat([]byte(in))
+	want, wantErr := strconv.ParseFloat(in, 64)
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("ParseFloat(%q) err = %v, strconv err = %v", in, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return
+	}
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Fatalf("ParseFloat(%q) = %v, want NaN", in, got)
+		}
+		return
+	}
+	if got != want || math.Signbit(got) != math.Signbit(want) {
+		t.Fatalf("ParseFloat(%q) = %v (signbit %v), strconv = %v (signbit %v)",
+			in, got, math.Signbit(got), want, math.Signbit(want))
+	}
+}
+
+// diffInt asserts ParseInt(b) == strconv.ParseInt(string(b), 10, 64) in
+// value and error presence (including the saturated overflow value).
+func diffInt(t *testing.T, in string) {
+	t.Helper()
+	got, gotErr := ParseInt([]byte(in))
+	want, wantErr := strconv.ParseInt(in, 10, 64)
+	if (gotErr != nil) != (wantErr != nil) || got != want {
+		t.Fatalf("ParseInt(%q) = (%v, %v), strconv = (%v, %v)", in, got, gotErr, want, wantErr)
+	}
+}
+
+var floatCases = []string{
+	"0", "1", "-1", "+1", "1588888888.123", "-0.0", "0.0", ".5", "-.5", "1.",
+	"5125", "0.001", "123.456789", "999999999999999", "9007199254740991",
+	"9007199254740993", "1e5", "-1E-3", "0x1p4", "Inf", "-inf", "NaN", "nan",
+	"1_000", "1.2.3", "", "+", "-", ".", "+.", "abc", "12a", " 1", "1 ",
+	"184467440737095516150.5", "0.0000000000000000000000000001",
+	"1.00000000000000000000000000", "00000000000000000001.5",
+}
+
+func TestParseFloatDifferential(t *testing.T) {
+	for _, c := range floatCases {
+		diffFloat(t, c)
+	}
+}
+
+var intCases = []string{
+	"0", "1", "-1", "+1", "1583231", "-999999999999999999", "999999999999999999",
+	"9223372036854775807", "9223372036854775808", "-9223372036854775808",
+	"-9223372036854775809", "18446744073709551615", "", "+", "-", "1.5",
+	"abc", "1_0", " 1", "07", "000000000000000000000001",
+}
+
+func TestParseIntDifferential(t *testing.T) {
+	for _, c := range intCases {
+		diffInt(t, c)
+	}
+}
+
+// FuzzParseFloat proves the strconv equivalence on arbitrary input.
+func FuzzParseFloat(f *testing.F) {
+	for _, c := range floatCases {
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, in string) { diffFloat(t, in) })
+}
+
+// FuzzParseInt proves the strconv equivalence on arbitrary input.
+func FuzzParseInt(f *testing.F) {
+	for _, c := range intCases {
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, in string) { diffInt(t, in) })
+}
+
+// TestFastPathAllocs pins the hot path at zero allocations: the whole
+// point of the package.
+func TestFastPathAllocs(t *testing.T) {
+	ts := []byte("1588888888.123")
+	bytes := []byte("1583231")
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, err := ParseFloat(ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseInt(bytes); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("fast path allocates %v per line", n)
+	}
+}
+
+func BenchmarkParseFloatBytes(b *testing.B) {
+	b.ReportAllocs()
+	in := []byte("1588888888.123")
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFloat(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

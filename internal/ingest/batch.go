@@ -18,6 +18,11 @@ import (
 // are quantized to the microsecond grid at construction; constructors
 // fail fast on unreadable or empty inputs.
 type BatchSource struct {
+	// Batch caps how many completed records are coalesced per
+	// TransactionBatch call when the handler batches; <= 0 means the
+	// default (256). Ignored for handlers using per-record Transaction.
+	Batch int
+
 	name    string
 	records []tlsproxy.ReplayRecord
 	base    time.Time
@@ -25,6 +30,10 @@ type BatchSource struct {
 	workers int
 	tally
 }
+
+// defaultBatch is the transaction coalescing size when a batching
+// handler does not choose one.
+const defaultBatch = 256
 
 // newBatchSource quantizes the workload's offsets and pre-counts the
 // distinct clients.
@@ -50,15 +59,29 @@ func (s *BatchSource) Name() string { return s.name }
 
 // Run replays the workload into h at the configured pace. Delivery of
 // a loaded workload cannot fail, so Run always returns nil — either
-// every event was delivered or ctx was cancelled.
+// every event was delivered or ctx was cancelled. A handler with
+// TransactionBatch set receives records coalesced (up to Batch per
+// call) through tlsproxy.RecordSource's batched delivery path.
 func (s *BatchSource) Run(ctx context.Context, h Handler) error {
 	src := &tlsproxy.RecordSource{Records: s.records, Speed: s.speed, Workers: s.workers}
-	src.Run(ctx, s.base,
-		func(r tlsproxy.Record) {
-			if h.ConnOpen != nil {
-				h.ConnOpen(r)
-			}
-		},
+	open := func(r tlsproxy.Record) {
+		if h.ConnOpen != nil {
+			h.ConnOpen(r)
+		}
+	}
+	if h.TransactionBatch != nil {
+		maxBatch := s.Batch
+		if maxBatch <= 0 {
+			maxBatch = defaultBatch
+		}
+		src.RunBatched(ctx, s.base, open,
+			func(recs []tlsproxy.Record) {
+				h.TransactionBatch(recs)
+				s.tally.records.Add(int64(len(recs)))
+			}, maxBatch)
+		return nil
+	}
+	src.Run(ctx, s.base, open,
 		func(r tlsproxy.Record) {
 			if h.Transaction != nil {
 				h.Transaction(r)

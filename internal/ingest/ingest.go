@@ -51,7 +51,7 @@ import (
 	"droppackets/internal/tlsproxy"
 )
 
-// Handler receives a source's events. Either callback may be nil.
+// Handler receives a source's events. Any callback may be nil.
 type Handler struct {
 	// ConnOpen is invoked at a connection's start time with a partial
 	// record (no end time or byte counts yet).
@@ -59,6 +59,30 @@ type Handler struct {
 	// Transaction is invoked at a connection's end time with the
 	// completed record.
 	Transaction func(tlsproxy.Record)
+	// TransactionBatch, when set, replaces Transaction (which is then
+	// ignored): sources that can coalesce deliver completed records in
+	// runs, taking downstream locks once per run instead of once per
+	// record. The event order a batching source presents is unchanged —
+	// batches are flushed before any ConnOpen on the same goroutine,
+	// before pacing sleeps, and at end of input, and records within a
+	// batch appear in delivery order. The slice is reused after the call
+	// returns; handlers must copy anything they retain. Sources with no
+	// natural batching (the live proxy) wrap each record in a
+	// one-element batch.
+	TransactionBatch func([]tlsproxy.Record)
+}
+
+// deliver routes one completed record through whichever transaction
+// callback the handler carries.
+func (h Handler) deliver(r tlsproxy.Record) {
+	if h.TransactionBatch != nil {
+		one := [1]tlsproxy.Record{r}
+		h.TransactionBatch(one[:])
+		return
+	}
+	if h.Transaction != nil {
+		h.Transaction(r)
+	}
 }
 
 // Stats is a live snapshot of a source's delivery counters, safe to

@@ -100,10 +100,9 @@ func (s *ProxySource) connOpen(r tlsproxy.Record) {
 	}
 }
 
-// transaction forwards a completed record.
+// transaction forwards a completed record; the live proxy has no
+// natural batch, so a batching handler sees one-element batches.
 func (s *ProxySource) transaction(r tlsproxy.Record) {
 	s.records.Add(1)
-	if h := s.handler(); h.Transaction != nil {
-		h.Transaction(r)
-	}
+	s.handler().deliver(r)
 }

@@ -2,15 +2,16 @@ package ingest
 
 import (
 	"bufio"
-	"container/heap"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"math"
 	"os"
-	"strings"
+	"sync"
 	"time"
 
+	"droppackets/internal/intern"
 	"droppackets/internal/squidlog"
 	"droppackets/internal/tlsproxy"
 )
@@ -30,7 +31,15 @@ import (
 // (the file shrank); Run then returns only on context cancellation.
 // Either way every buffered event is flushed before Run returns, so no
 // parsed entry is lost. Malformed lines and non-CONNECT entries are
-// counted, not fatal.
+// counted, not fatal — including lines longer than the 1 MiB cap,
+// which are discarded up to the next newline (one malformed count per
+// oversized line) so a corrupt newline-free stretch cannot grow the
+// carry buffer without bound.
+//
+// The hot path is allocation-free: lines are scanned in place from the
+// reader's buffer (squidlog.ParseLineBytes) and client and SNI strings
+// are interned, so steady state allocates only on the first sighting
+// of a distinct endpoint.
 type SquidSource struct {
 	// Path is the access log to read.
 	Path string
@@ -50,10 +59,25 @@ type SquidSource struct {
 	// Poll is how often to re-check the file for growth or rotation
 	// while following. Defaults to 200ms.
 	Poll time.Duration
+	// ParseWorkers is how many goroutines decode lines; <= 1 parses
+	// inline on the reader goroutine. Parsed blocks are re-sequenced
+	// before the reorder buffer, so delivery order — and therefore
+	// every downstream byte — is identical at any worker count.
+	ParseWorkers int
+	// Batch caps how many transaction events are coalesced per
+	// TransactionBatch call for handlers that batch; <= 0 means the
+	// package default. Ignored for per-record handlers.
+	Batch int
 
 	tally
-	seen map[string]struct{}
+	clientNames *intern.Table
+	sniNames    *intern.Table
 }
+
+// maxCarryBytes caps the partial-line carry buffer: a line still
+// missing its newline past this size is counted malformed and
+// discarded through the next newline.
+const maxCarryBytes = 1 << 20
 
 // Name reports "squid".
 func (s *SquidSource) Name() string { return "squid" }
@@ -66,20 +90,193 @@ type squidEvent struct {
 	rec  tlsproxy.Record
 }
 
-// squidHeap orders pending events by (time, sequence) — the same total
-// order tlsproxy.RecordSource sorts its partitions by.
+// squidHeap is a typed min-heap of pending events ordered by
+// (time, sequence) — the same total order tlsproxy.RecordSource sorts
+// its partitions by. Hand-rolled sift-up/down instead of
+// container/heap so pushing an event does not box it into an
+// interface (two words and an allocation per event on the hot path).
 type squidHeap []squidEvent
 
-func (h squidHeap) Len() int { return len(h) }
-func (h squidHeap) Less(a, b int) bool {
+func (h squidHeap) less(a, b int) bool {
 	if h[a].at != h[b].at {
 		return h[a].at < h[b].at
 	}
 	return h[a].seq < h[b].seq
 }
-func (h squidHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *squidHeap) Push(x any)   { *h = append(*h, x.(squidEvent)) }
-func (h *squidHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *squidHeap) push(e squidEvent) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *squidHeap) pop() squidEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
+}
+
+// squidDelivery owns the source's ordered-delivery state: the reorder
+// heap, the epoch, connection sequencing and the transaction batch.
+// Exactly one goroutine drives it — the reader in serial mode, the
+// re-sequencing delivery goroutine when parse workers are on.
+type squidDelivery struct {
+	s         *SquidSource
+	h         Handler
+	q         squidHeap
+	epoch     float64
+	haveEpoch bool
+	maxEnd    float64
+	connSeq   int64
+	batch     []tlsproxy.Record
+	maxBatch  int
+}
+
+// lineSink is what the reader loop feeds: complete lines, idle
+// notifications before each tail poll, and one finish at end of input.
+type lineSink interface {
+	// line consumes one complete line (terminator included; the sink
+	// trims). The slice is invalid after the call returns.
+	line(raw []byte)
+	// idle is called when the tail catches up with the file, before the
+	// reader sleeps: buffered work must become visible downstream.
+	idle()
+	// finish is called exactly once at end of input and delivers
+	// everything still buffered.
+	finish()
+}
+
+// line parses and delivers one raw line (serial mode).
+func (d *squidDelivery) line(raw []byte) {
+	line := bytes.TrimSpace(raw)
+	if len(line) == 0 {
+		return
+	}
+	v, ok, err := squidlog.ParseLineBytes(line)
+	if err != nil {
+		d.s.malformed.Add(1)
+		return
+	}
+	if !ok {
+		d.s.skipped.Add(1)
+		return
+	}
+	d.entry(v)
+}
+
+func (d *squidDelivery) idle() { d.flushBatch() }
+
+func (d *squidDelivery) finish() { d.emit(true) }
+
+// entry turns one parsed view into open and transaction events,
+// interning the identity strings, and releases whatever the watermark
+// now allows. The view's byte fields are dead after this call.
+func (d *squidDelivery) entry(v squidlog.EntryView) {
+	s := d.s
+	startU := v.EndUnix - v.ElapsedSec
+	if !d.haveEpoch {
+		d.epoch = startU
+		d.haveEpoch = true
+	}
+	qs := QuantizeMicros(startU - d.epoch)
+	qe := QuantizeMicros(v.EndUnix - d.epoch)
+	if qe < qs {
+		qe = qs
+	}
+	i := d.connSeq
+	d.connSeq++
+	client, added := s.clientNames.Bytes(v.Client)
+	if added {
+		s.clients.Add(1)
+	}
+	sni, _ := s.sniNames.Bytes(v.Host)
+	rec := tlsproxy.Record{
+		ConnID:     uint64(i + 1),
+		SNI:        sni,
+		ClientAddr: client,
+		Start:      offsetTime(s.Base, qs),
+		End:        offsetTime(s.Base, qe),
+		UpBytes:    v.UpBytes,
+		DownBytes:  v.DownBytes,
+	}
+	d.q.push(squidEvent{at: qs, seq: 2 * i, open: true, rec: rec})
+	d.q.push(squidEvent{at: qe, seq: 2*i + 1, rec: rec})
+	if qe > d.maxEnd {
+		d.maxEnd = qe
+	}
+	d.emit(false)
+}
+
+// emit releases everything at or before the watermark (or, at flush
+// time, everything) in (time, sequence) order.
+func (d *squidDelivery) emit(all bool) {
+	wm := d.maxEnd - d.s.Horizon
+	for len(d.q) > 0 && (all || d.q[0].at <= wm) {
+		d.deliver(d.q.pop())
+	}
+	if all {
+		d.flushBatch()
+	}
+}
+
+func (d *squidDelivery) deliver(ev squidEvent) {
+	if ev.open {
+		// Opens must not overtake buffered transactions.
+		d.flushBatch()
+		if d.h.ConnOpen != nil {
+			d.h.ConnOpen(ev.rec)
+		}
+		return
+	}
+	if d.h.TransactionBatch != nil {
+		d.batch = append(d.batch, ev.rec)
+		if len(d.batch) >= d.maxBatch {
+			d.flushBatch()
+		}
+		return
+	}
+	if d.h.Transaction != nil {
+		d.h.Transaction(ev.rec)
+	}
+	d.s.records.Add(1)
+}
+
+func (d *squidDelivery) flushBatch() {
+	if len(d.batch) == 0 {
+		return
+	}
+	d.h.TransactionBatch(d.batch)
+	d.s.records.Add(int64(len(d.batch)))
+	d.batch = d.batch[:0]
+}
 
 // Run tails the log into h per the type's contract.
 func (s *SquidSource) Run(ctx context.Context, h Handler) error {
@@ -97,119 +294,99 @@ func (s *SquidSource) Run(ctx context.Context, h Handler) error {
 		return fmt.Errorf("ingest: stat squid log: %w", err)
 	}
 	br := bufio.NewReaderSize(f, 64<<10)
-	s.seen = map[string]struct{}{}
+	s.clientNames = intern.NewTable()
+	s.sniNames = intern.NewTable()
+
+	maxBatch := s.Batch
+	if maxBatch <= 0 {
+		maxBatch = defaultBatch
+	}
+	d := &squidDelivery{
+		s: s, h: h,
+		epoch:     s.EpochUnix,
+		haveEpoch: s.EpochUnix >= 0,
+		maxEnd:    math.Inf(-1),
+		maxBatch:  maxBatch,
+	}
+	if h.TransactionBatch != nil {
+		d.batch = make([]tlsproxy.Record, 0, maxBatch)
+	}
+	var sink lineSink = d
+	if s.ParseWorkers > 1 {
+		sink = newParsePipeline(d, s.ParseWorkers)
+	}
 
 	var (
-		q         squidHeap
-		epoch     = s.EpochUnix
-		haveEpoch = epoch >= 0
-		maxEnd    = math.Inf(-1)
-		connSeq   int64
-		carry     string
+		carry    []byte
+		overflow bool // discarding an oversized line until its newline
 	)
-	deliver := func(ev squidEvent) {
-		if ev.open {
-			if h.ConnOpen != nil {
-				h.ConnOpen(ev.rec)
+	// consume appends chunk to the pending line, enforcing the carry
+	// cap; complete marks a found newline, delivering the line (or
+	// ending an oversized-line discard).
+	consume := func(chunk []byte, complete bool) {
+		if overflow {
+			if complete {
+				overflow = false
 			}
 			return
 		}
-		if h.Transaction != nil {
-			h.Transaction(ev.rec)
-		}
-		s.records.Add(1)
-	}
-	// emit releases everything at or before the watermark (or, at
-	// flush time, everything) in (time, sequence) order.
-	emit := func(all bool) {
-		wm := maxEnd - s.Horizon
-		for len(q) > 0 && (all || q[0].at <= wm) {
-			deliver(heap.Pop(&q).(squidEvent))
-		}
-	}
-	process := func(line string) {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			return
-		}
-		e, ok, perr := squidlog.ParseLine(line)
-		if perr != nil {
+		if len(carry)+len(chunk) > maxCarryBytes {
 			s.malformed.Add(1)
+			carry = carry[:0]
+			overflow = !complete
 			return
 		}
-		if !ok {
-			s.skipped.Add(1)
+		if complete {
+			line := chunk
+			if len(carry) > 0 {
+				carry = append(carry, chunk...)
+				line = carry
+			}
+			sink.line(line)
+			carry = carry[:0]
 			return
 		}
-		startU := e.EndUnix - e.ElapsedSec
-		if !haveEpoch {
-			epoch = startU
-			haveEpoch = true
+		carry = append(carry, chunk...)
+	}
+	// finalLine delivers a trailing unterminated line at end of input.
+	finalLine := func() {
+		if !overflow && len(carry) > 0 {
+			sink.line(carry)
+			carry = carry[:0]
 		}
-		qs := QuantizeMicros(startU - epoch)
-		qe := QuantizeMicros(e.EndUnix - epoch)
-		if qe < qs {
-			qe = qs
-		}
-		i := connSeq
-		connSeq++
-		rec := tlsproxy.Record{
-			ConnID:     uint64(i + 1),
-			SNI:        e.Host,
-			ClientAddr: e.Client,
-			Start:      offsetTime(s.Base, qs),
-			End:        offsetTime(s.Base, qe),
-			UpBytes:    e.UpBytes,
-			DownBytes:  e.DownBytes,
-		}
-		if _, dup := s.seen[e.Client]; !dup {
-			s.seen[e.Client] = struct{}{}
-			s.clients.Add(1)
-		}
-		heap.Push(&q, squidEvent{at: qs, seq: 2 * i, open: true, rec: rec})
-		heap.Push(&q, squidEvent{at: qe, seq: 2*i + 1, rec: rec})
-		if qe > maxEnd {
-			maxEnd = qe
-		}
-		emit(false)
 	}
 
 	timer := time.NewTimer(poll)
 	defer timer.Stop()
 	for {
-		line, rerr := br.ReadString('\n')
+		chunk, rerr := br.ReadSlice('\n')
 		if rerr == nil {
-			if carry != "" {
-				line = carry + line
-				carry = ""
-			}
-			process(line)
+			consume(chunk, true)
 			continue
 		}
-		carry += line
+		if rerr == bufio.ErrBufferFull {
+			consume(chunk, false)
+			continue
+		}
+		consume(chunk, false)
 		if rerr != io.EOF {
-			emit(true)
+			sink.finish()
 			return fmt.Errorf("ingest: read squid log: %w", rerr)
 		}
 		if !s.Follow {
-			if carry != "" {
-				process(carry)
-				carry = ""
-			}
-			emit(true)
+			finalLine()
+			sink.finish()
 			return nil
 		}
-		// At EOF while following: wait, then look for growth, rotation
-		// (new inode at the path) or truncation (file shrank below what
-		// we already consumed).
+		// At EOF while following: surface buffered work, wait, then look
+		// for growth, rotation (new inode at the path) or truncation
+		// (file shrank below what we already consumed).
+		sink.idle()
 		timer.Reset(poll)
 		select {
 		case <-ctx.Done():
-			if carry != "" {
-				process(carry)
-				carry = ""
-			}
-			emit(true)
+			finalLine()
+			sink.finish()
 			return nil
 		case <-timer.C:
 		}
@@ -221,7 +398,7 @@ func (s *SquidSource) Run(ctx context.Context, h Handler) error {
 		}
 		pos, perr := f.Seek(0, io.SeekCurrent)
 		if perr != nil {
-			emit(true)
+			sink.finish()
 			return fmt.Errorf("ingest: squid log position: %w", perr)
 		}
 		rotated := !os.SameFile(st, info)
@@ -241,7 +418,172 @@ func (s *SquidSource) Run(ctx context.Context, h Handler) error {
 		f.Close()
 		f, info = nf, ninfo
 		br.Reset(f)
-		carry = ""
+		carry = carry[:0]
+		overflow = false
 		s.rotations.Add(1)
 	}
+}
+
+// Parallel parse pipeline: the reader packs lines into blocks, decode
+// workers parse each block in place, and a single delivery goroutine
+// consumes blocks in read order — waiting for each block's parse to
+// complete — so the reorder heap sees entries in exactly the sequence
+// the serial path would produce. Only the parse (field scanning and
+// number conversion) runs concurrently; everything order-sensitive
+// stays single-goroutine.
+
+const (
+	// blockLines and blockBytes bound one parse block; whichever fills
+	// first dispatches it.
+	blockLines = 512
+	blockBytes = 64 << 10
+)
+
+type lineKind int8
+
+const (
+	lineBlank lineKind = iota
+	lineGood
+	lineSkip
+	lineBad
+)
+
+// parsedLine is one line's parse result; v's byte fields point into
+// the block's buf.
+type parsedLine struct {
+	v    squidlog.EntryView
+	kind lineKind
+}
+
+// lineBlock is a batch of raw lines plus their parse results. Line i
+// is buf[offs[i]:offs[i+1]]; done closes when parsed is filled.
+type lineBlock struct {
+	buf    []byte
+	offs   []int32
+	parsed []parsedLine
+	done   chan struct{}
+}
+
+func (b *lineBlock) lines() int { return len(b.offs) - 1 }
+
+func parseBlock(blk *lineBlock) {
+	n := blk.lines()
+	blk.parsed = blk.parsed[:n]
+	for i := 0; i < n; i++ {
+		line := bytes.TrimSpace(blk.buf[blk.offs[i]:blk.offs[i+1]])
+		if len(line) == 0 {
+			blk.parsed[i] = parsedLine{kind: lineBlank}
+			continue
+		}
+		v, ok, err := squidlog.ParseLineBytes(line)
+		switch {
+		case err != nil:
+			blk.parsed[i] = parsedLine{kind: lineBad}
+		case !ok:
+			blk.parsed[i] = parsedLine{kind: lineSkip}
+		default:
+			blk.parsed[i] = parsedLine{v: v, kind: lineGood}
+		}
+	}
+	close(blk.done)
+}
+
+type parsePipeline struct {
+	d            *squidDelivery
+	work         chan *lineBlock // to decode workers, unordered
+	ordered      chan *lineBlock // to the delivery goroutine, read order
+	pool         sync.Pool
+	cur          *lineBlock
+	workers      sync.WaitGroup
+	deliveryDone chan struct{}
+}
+
+func newParsePipeline(d *squidDelivery, workers int) *parsePipeline {
+	p := &parsePipeline{
+		d:            d,
+		work:         make(chan *lineBlock, workers*2),
+		ordered:      make(chan *lineBlock, workers*4),
+		deliveryDone: make(chan struct{}),
+	}
+	p.pool.New = func() any {
+		return &lineBlock{
+			buf:    make([]byte, 0, blockBytes),
+			offs:   make([]int32, 1, blockLines+1),
+			parsed: make([]parsedLine, 0, blockLines),
+		}
+	}
+	for i := 0; i < workers; i++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for blk := range p.work {
+				parseBlock(blk)
+			}
+		}()
+	}
+	go p.deliverLoop()
+	return p
+}
+
+// deliverLoop re-sequences: blocks arrive in read order, each awaited
+// until parsed, then fed to the shared delivery core. Counters are
+// bumped here, on one goroutine, in line order.
+func (p *parsePipeline) deliverLoop() {
+	defer close(p.deliveryDone)
+	for blk := range p.ordered {
+		<-blk.done
+		for i := range blk.parsed {
+			switch pl := &blk.parsed[i]; pl.kind {
+			case lineGood:
+				p.d.entry(pl.v)
+			case lineSkip:
+				p.d.s.skipped.Add(1)
+			case lineBad:
+				p.d.s.malformed.Add(1)
+			}
+		}
+		// The block's bytes are dead (identity strings interned); flush
+		// so delivered work is visible before the next block, then
+		// recycle.
+		p.d.flushBatch()
+		blk.buf = blk.buf[:0]
+		blk.offs = blk.offs[:1]
+		blk.parsed = blk.parsed[:0]
+		blk.done = nil
+		p.pool.Put(blk)
+	}
+	p.d.emit(true)
+}
+
+func (p *parsePipeline) line(raw []byte) {
+	if p.cur == nil {
+		p.cur = p.pool.Get().(*lineBlock)
+		p.cur.done = make(chan struct{})
+	}
+	blk := p.cur
+	blk.buf = append(blk.buf, raw...)
+	blk.offs = append(blk.offs, int32(len(blk.buf)))
+	if blk.lines() >= blockLines || len(blk.buf) >= blockBytes {
+		p.dispatch()
+	}
+}
+
+func (p *parsePipeline) dispatch() {
+	blk := p.cur
+	if blk == nil || blk.lines() == 0 {
+		return
+	}
+	p.cur = nil
+	p.work <- blk
+	p.ordered <- blk
+}
+
+func (p *parsePipeline) idle() { p.dispatch() }
+
+func (p *parsePipeline) finish() {
+	p.dispatch()
+	close(p.work)
+	p.workers.Wait()
+	close(p.ordered)
+	<-p.deliveryDone
 }

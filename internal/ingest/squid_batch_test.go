@@ -1,0 +1,186 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"droppackets/internal/tlsproxy"
+)
+
+// eventCollector records the delivery sequence — opens, per-record
+// transactions or batches — as one flat event-string slice. Sources
+// deliver on a single goroutine and Run's return synchronizes with it,
+// so no lock is needed.
+type eventCollector struct {
+	events    []string
+	maxBatch  int
+	batchTxns int
+}
+
+func (c *eventCollector) handler(batch bool) Handler {
+	h := Handler{ConnOpen: func(r tlsproxy.Record) {
+		c.events = append(c.events, "open:"+r.SNI)
+	}}
+	if batch {
+		h.TransactionBatch = func(recs []tlsproxy.Record) {
+			if len(recs) > c.maxBatch {
+				c.maxBatch = len(recs)
+			}
+			c.batchTxns += len(recs)
+			for _, r := range recs {
+				c.events = append(c.events, txnEvent(r))
+			}
+		}
+	} else {
+		h.Transaction = func(r tlsproxy.Record) {
+			c.events = append(c.events, txnEvent(r))
+		}
+	}
+	return h
+}
+
+func txnEvent(r tlsproxy.Record) string {
+	return fmt.Sprintf("txn:%s:%s@%v", r.ClientAddr, r.SNI,
+		r.End.Sub(time.Unix(0, 0)).Seconds())
+}
+
+// TestSquidCarryOverflow pins the tailer's defense against a
+// newline-free stretch longer than the 1 MiB carry cap: the oversized
+// pseudo-line costs exactly one malformed count, everything up to its
+// terminating newline is discarded, and parsing resynchronizes on the
+// next line.
+func TestSquidCarryOverflow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	giant := strings.Repeat("x", 2<<20) // 2 MiB, no newline until the end
+	content := squidLine("c1", "a.example", 0, 1, 10, 100) +
+		giant + "\n" +
+		squidLine("c2", "b.example", 1.5, 2, 20, 200)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := &SquidSource{Path: path, Base: time.Unix(0, 0), EpochUnix: 0, Horizon: 3600, Follow: false}
+	var col eventCollector
+	if err := src.Run(context.Background(), col.handler(false)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"open:a.example", "txn:c1:a.example@1", "open:b.example", "txn:c2:b.example@2"}
+	if fmt.Sprint(col.events) != fmt.Sprint(want) {
+		t.Fatalf("delivery\n got %v\nwant %v", col.events, want)
+	}
+	st := src.Stats()
+	if st.Records != 2 || st.Malformed != 1 || st.Clients != 2 {
+		t.Fatalf("stats = %+v, want 2 records, 1 malformed, 2 clients", st)
+	}
+}
+
+// TestSquidBatchDelivery runs the bounded-file scenario through the
+// batched handler: the flattened event sequence must equal the
+// per-record order (batches flush before every open), while at least
+// one batch actually coalesces multiple transactions.
+func TestSquidBatchDelivery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	content := squidLine("c1", "a.example", 5, 6, 1, 2) +
+		squidLine("c2", "b.example", 1, 7, 3, 4) +
+		squidLine("c1", "c.example", 6.5, 8, 5, 6)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newSrc := func(batch int) *SquidSource {
+		return &SquidSource{Path: path, Base: time.Unix(0, 0), EpochUnix: 0,
+			Horizon: 3600, Follow: false, Batch: batch}
+	}
+
+	var ref eventCollector
+	if err := newSrc(0).Run(context.Background(), ref.handler(false)); err != nil {
+		t.Fatal(err)
+	}
+	var got eventCollector
+	src := newSrc(8)
+	if err := src.Run(context.Background(), got.handler(true)); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.events) != fmt.Sprint(ref.events) {
+		t.Fatalf("batched delivery reordered events\n got %v\nwant %v", got.events, ref.events)
+	}
+	// b@7 and c@8 flush together: no open separates them.
+	if got.maxBatch < 2 {
+		t.Fatalf("maxBatch = %d, expected coalescing", got.maxBatch)
+	}
+	if st := src.Stats(); st.Records != 3 || int(st.Records) != got.batchTxns {
+		t.Fatalf("stats = %+v vs %d batched txns", st, got.batchTxns)
+	}
+}
+
+// TestSquidParseWorkersEquivalence generates a sizeable log — good
+// CONNECT entries with jittered end times, skipped GET lines, malformed
+// garbage — and asserts every (ParseWorkers, Batch) configuration
+// reproduces the serial per-record delivery sequence and counters
+// exactly. This is the re-sequencing contract the daemon's
+// -parse-workers flag relies on.
+func TestSquidParseWorkersEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	var sb strings.Builder
+	// Deterministic jitter without math/rand: a small LCG.
+	state := uint64(1)
+	rnd := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	const lines = 3000
+	end := 10.0
+	for i := 0; i < lines; i++ {
+		switch {
+		case i%97 == 13: // malformed
+			sb.WriteString("garbage line that does not parse\n")
+		case i%41 == 7: // well-formed but out of scope
+			sb.WriteString(fmt.Sprintf("%.3f 10 10.0.0.5 TCP_MISS/200 100 GET http://x/%d - HIER_DIRECT/1.1.1.1 text/plain\n", end, i))
+		default:
+			end += float64(rnd(1000)) / 1000 // non-decreasing, sub-second jitter
+			start := end - float64(1+rnd(5000))/1000
+			if start < 0 {
+				start = 0
+			}
+			client := fmt.Sprintf("10.2.0.%d", rnd(17)+1)
+			sni := fmt.Sprintf("svc%d.example", rnd(9))
+			sb.WriteString(squidLine(client, sni, start, end, int64(rnd(100000)), int64(rnd(1000000))))
+		}
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(parseWorkers, batch int) (*eventCollector, Stats) {
+		src := &SquidSource{Path: path, Base: time.Unix(0, 0), EpochUnix: 0,
+			Horizon: 10, Follow: false, ParseWorkers: parseWorkers, Batch: batch}
+		var col eventCollector
+		if err := src.Run(context.Background(), col.handler(batch > 0)); err != nil {
+			t.Fatal(err)
+		}
+		return &col, src.Stats()
+	}
+	ref, refStats := run(1, 0)
+	if refStats.Records == 0 || refStats.Malformed == 0 || refStats.Skipped == 0 {
+		t.Fatalf("reference stats %+v exercise too little", refStats)
+	}
+	for _, cfg := range []struct{ pw, batch int }{{1, 8}, {2, 0}, {4, 32}, {8, 1}} {
+		got, st := run(cfg.pw, cfg.batch)
+		if st != refStats {
+			t.Errorf("pw=%d batch=%d: stats %+v, want %+v", cfg.pw, cfg.batch, st, refStats)
+		}
+		if len(got.events) != len(ref.events) {
+			t.Fatalf("pw=%d batch=%d: %d events, want %d", cfg.pw, cfg.batch, len(got.events), len(ref.events))
+		}
+		for i := range got.events {
+			if got.events[i] != ref.events[i] {
+				t.Fatalf("pw=%d batch=%d: event %d = %q, want %q", cfg.pw, cfg.batch, i, got.events[i], ref.events[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBytesCanonical(t *testing.T) {
+	tab := NewTable()
+	a, added := tab.Bytes([]byte("10.0.0.5"))
+	if !added {
+		t.Fatal("first sighting not reported as added")
+	}
+	b, added := tab.Bytes([]byte("10.0.0.5"))
+	if added {
+		t.Fatal("second sighting reported as added")
+	}
+	if a != b {
+		t.Fatalf("values differ: %q vs %q", a, b)
+	}
+	if got := tab.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if s, added := tab.String("10.0.0.5"); added || s != a {
+		t.Fatalf("String = (%q, %v), want (%q, false)", s, added, a)
+	}
+	if _, added := tab.String("10.0.0.6"); !added {
+		t.Fatal("String first sighting not reported as added")
+	}
+	if got := tab.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	tab := NewTable()
+	if s, added := tab.Bytes(nil); s != "" || !added {
+		t.Fatalf("Bytes(nil) = (%q, %v)", s, added)
+	}
+	if s, added := tab.Bytes([]byte{}); s != "" || added {
+		t.Fatalf("Bytes(empty) = (%q, %v)", s, added)
+	}
+	if got := tab.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+// TestConcurrent drives the table from many goroutines under -race:
+// every distinct value must be added exactly once, and all callers must
+// receive the same canonical string.
+func TestConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		values     = 200
+	)
+	tab := NewTable()
+	var addedTotal [goroutines]int
+	var wg sync.WaitGroup
+	results := make([][]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]string, values)
+			buf := make([]byte, 0, 32)
+			for i := 0; i < values; i++ {
+				buf = fmt.Appendf(buf[:0], "client-%d", i)
+				s, added := tab.Bytes(buf)
+				if added {
+					addedTotal[g]++
+				}
+				results[g][i] = s
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range addedTotal {
+		total += n
+	}
+	if total != values {
+		t.Fatalf("added %d distinct values, want %d", total, values)
+	}
+	if tab.Len() != values {
+		t.Fatalf("Len = %d, want %d", tab.Len(), values)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < values; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d value %d: %q != %q", g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestHitPathAllocs pins the reason the table exists: looking up a
+// value already in the table allocates nothing.
+func TestHitPathAllocs(t *testing.T) {
+	tab := NewTable()
+	keys := [][]byte{
+		[]byte("10.0.0.5"),
+		[]byte("cdn.example"),
+		[]byte("video-7.cdn.example"),
+	}
+	for _, k := range keys {
+		tab.Bytes(k)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		for _, k := range keys {
+			if _, added := tab.Bytes(k); added {
+				t.Fatal("unexpected add on hit path")
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("hit path allocates %v per %d lookups, want 0", n, len(keys))
+	}
+}
+
+func BenchmarkBytesHit(b *testing.B) {
+	tab := NewTable()
+	key := []byte("video-7.cdn.example")
+	tab.Bytes(key)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Bytes(key)
+	}
+}

@@ -1,10 +1,15 @@
 package netflow
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+
+	"droppackets/internal/bytesconv"
+	"droppackets/internal/intern"
 )
 
 // This file gives flow records a collector-export serialization so the
@@ -52,7 +57,133 @@ func WriteFlows(w io.Writer, flows []ClientFlow) error {
 // ReadFlows parses a flow-record CSV, validating the header and every
 // row. An empty host is legal (an unresolved flow); an empty client or
 // an inverted time span is not.
+//
+// The scanner works on raw line bytes (splitting on commas and parsing
+// numbers in place) and interns client and host strings, so a
+// million-row export allocates per distinct endpoint rather than per
+// field. Rows containing a quote character fall back to encoding/csv
+// line by line; quoted fields spanning multiple lines are not
+// supported and report an error. readFlowsCSV keeps the encoding/csv
+// implementation as the equivalence reference for tests.
 func ReadFlows(r io.Reader) ([]ClientFlow, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	names := intern.NewTable()
+	var (
+		flows []ClientFlow
+		carry []byte
+		f     [6][]byte
+	)
+	rec := 0
+	for {
+		raw, rerr := readFlowLine(br, &carry)
+		if rerr != nil && rerr != io.EOF {
+			return nil, fmt.Errorf("netflow: reading flows: %w", rerr)
+		}
+		if n := len(raw); n > 0 && raw[n-1] == '\n' {
+			raw = raw[:n-1]
+		}
+		if n := len(raw); n > 0 && raw[n-1] == '\r' {
+			raw = raw[:n-1]
+		}
+		if len(raw) > 0 { // encoding/csv skips blank lines; so do we
+			rec++
+			if err := parseFlowFields(raw, rec, &f); err != nil {
+				return nil, err
+			}
+			if rec == 1 {
+				for i, want := range flowHeader {
+					if string(f[i]) != want {
+						return nil, fmt.Errorf("netflow: flow header column %d is %q, want %q", i, f[i], want)
+					}
+				}
+			} else {
+				cf := ClientFlow{}
+				cf.Client, _ = names.Bytes(f[0])
+				cf.Flow.Host, _ = names.Bytes(f[1])
+				var err error
+				if cf.Flow.Start, err = bytesconv.ParseFloat(f[2]); err != nil {
+					return nil, fmt.Errorf("netflow: flow line %d start: %w", rec, err)
+				}
+				if cf.Flow.End, err = bytesconv.ParseFloat(f[3]); err != nil {
+					return nil, fmt.Errorf("netflow: flow line %d end: %w", rec, err)
+				}
+				if cf.Flow.UpBytes, err = bytesconv.ParseInt(f[4]); err != nil {
+					return nil, fmt.Errorf("netflow: flow line %d up_bytes: %w", rec, err)
+				}
+				if cf.Flow.DownBytes, err = bytesconv.ParseInt(f[5]); err != nil {
+					return nil, fmt.Errorf("netflow: flow line %d down_bytes: %w", rec, err)
+				}
+				if cf.Client == "" || cf.Flow.End < cf.Flow.Start || cf.Flow.Start < 0 {
+					return nil, fmt.Errorf("netflow: flow line %d invalid (client=%q start=%v end=%v)",
+						rec, cf.Client, cf.Flow.Start, cf.Flow.End)
+				}
+				flows = append(flows, cf)
+			}
+		}
+		if rerr == io.EOF {
+			if rec == 0 {
+				return nil, fmt.Errorf("netflow: read flow header: %w", io.EOF)
+			}
+			return flows, nil
+		}
+	}
+}
+
+// readFlowLine returns the next line (through its '\n' if present),
+// borrowing the reader's buffer in the common case and accumulating
+// into carry only when a line straddles buffer boundaries.
+func readFlowLine(br *bufio.Reader, carry *[]byte) ([]byte, error) {
+	*carry = (*carry)[:0]
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(*carry) == 0 && err != bufio.ErrBufferFull {
+			return chunk, err
+		}
+		*carry = append(*carry, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return *carry, err
+	}
+}
+
+// parseFlowFields splits one physical line into exactly len(f) comma
+// separated fields, in place for quote-free lines and through
+// encoding/csv otherwise (so quoting semantics match the reference
+// reader, minus multi-line quoted fields).
+func parseFlowFields(raw []byte, rec int, f *[6][]byte) error {
+	if bytes.IndexByte(raw, '"') >= 0 {
+		cr := csv.NewReader(bytes.NewReader(raw))
+		cr.FieldsPerRecord = len(f)
+		row, err := cr.Read()
+		if err != nil {
+			return fmt.Errorf("netflow: read flow line %d: %w", rec, err)
+		}
+		for i := range f {
+			f[i] = []byte(row[i])
+		}
+		return nil
+	}
+	n, start := 0, 0
+	for i := 0; i <= len(raw); i++ {
+		if i == len(raw) || raw[i] == ',' {
+			if n == len(f) {
+				return fmt.Errorf("netflow: read flow line %d: wrong number of fields", rec)
+			}
+			f[n] = raw[start:i]
+			n++
+			start = i + 1
+		}
+	}
+	if n != len(f) {
+		return fmt.Errorf("netflow: read flow line %d: wrong number of fields", rec)
+	}
+	return nil
+}
+
+// readFlowsCSV is the encoding/csv reference implementation ReadFlows
+// is pinned against.
+func readFlowsCSV(r io.Reader) ([]ClientFlow, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(flowHeader)
 	head, err := cr.Read()

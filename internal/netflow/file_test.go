@@ -43,3 +43,58 @@ func TestReadFlowsRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+// TestReadFlowsMatchesCSVReference pins the byte scanner against the
+// encoding/csv implementation it replaced: identical flows on accepted
+// inputs, errors on the same rejected inputs.
+func TestReadFlowsMatchesCSVReference(t *testing.T) {
+	header := "client,host,start_sec,end_sec,up_bytes,down_bytes\n"
+	inputs := map[string]string{
+		"empty":          "",
+		"header only":    header,
+		"plain rows":     header + "10.0.0.1,cdn.example,0.5,60.25,1000,2000000\n10.0.0.2,,1,2,10,20\n",
+		"no final nl":    header + "c,h,0,1,2,3",
+		"crlf":           "client,host,start_sec,end_sec,up_bytes,down_bytes\r\nc,h,0,1,2,3\r\n",
+		"blank lines":    header + "\nc,h,0,1,2,3\n\n",
+		"quoted host":    header + "c,\"ho,st.example\",0,1,2,3\n",
+		"quoted quote":   header + "c,\"say \"\"hi\"\"\",0,1,2,3\n",
+		"bare quote":     header + "c,h\"x,0,1,2,3\n",
+		"too few":        header + "c,h,0,1\n",
+		"too many":       header + "c,h,0,1,2,3,4\n",
+		"bad header":     "who,host,start_sec,end_sec,up_bytes,down_bytes\nc,h,0,1,2,3\n",
+		"bad float":      header + "c,h,x,1,2,3\n",
+		"bad int":        header + "c,h,0,1,2.5,3\n",
+		"negative start": header + "c,h,-1,1,2,3\n",
+		"exponent":       header + "c,h,6.025e1,1e2,2,3\n",
+		"spaces kept":    header + "c, h ,0,1,2,3\n",
+	}
+	for name, in := range inputs {
+		want, wantErr := readFlowsCSV(strings.NewReader(in))
+		got, gotErr := ReadFlows(strings.NewReader(in))
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Errorf("%s: ReadFlows err=%v, reference err=%v", name, gotErr, wantErr)
+			continue
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: flows diverged\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestReadFlowsLongLine exercises the carry path for rows longer than
+// the reader's internal buffer.
+func TestReadFlowsLongLine(t *testing.T) {
+	host := strings.Repeat("h", 100_000) + ".example"
+	in := "client,host,start_sec,end_sec,up_bytes,down_bytes\n" +
+		"10.0.0.1," + host + ",0,1,2,3\n"
+	flows, err := ReadFlows(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].Flow.Host != host {
+		t.Fatalf("long-line row mangled: %d flows", len(flows))
+	}
+}

@@ -2,8 +2,9 @@ package squidlog
 
 import "testing"
 
-// FuzzParseLine asserts the parser never panics and that accepted
-// entries carry sane fields.
+// FuzzParseLine asserts the parser never panics, that accepted entries
+// carry sane fields, and that the in-place byte parser agrees with the
+// reference parser on every input (entry, ok flag, error presence).
 func FuzzParseLine(f *testing.F) {
 	f.Add(sampleLine)
 	f.Add(sampleLine + " request_bytes=123")
@@ -11,10 +12,20 @@ func FuzzParseLine(f *testing.F) {
 	f.Add("# comment")
 	f.Add("1 2 3 4 5 CONNECT : - a b")
 	f.Add("x y z")
+	f.Add("1e9 2e3 c TCP_TUNNEL/200 5 CONNECT h:443 - HIER/1.2.3.4 -")
+	f.Add("1.0 2 c TCP_TUNNEL/200 5 CONNECT h:443 - HIER/1.2.3.4 -")
 	f.Fuzz(func(t *testing.T, line string) {
 		e, ok, err := ParseLine(line)
+		v, bok, berr := ParseLineBytes([]byte(line))
+		if bok != ok || (berr != nil) != (err != nil) {
+			t.Fatalf("ParseLineBytes(%q) = (ok=%v, err=%v), ParseLine = (ok=%v, err=%v)",
+				line, bok, berr, ok, err)
+		}
 		if err != nil || !ok {
 			return
+		}
+		if got := v.Entry(); got != e {
+			t.Fatalf("ParseLineBytes(%q)\n got %+v\nwant %+v", line, got, e)
 		}
 		if e.Host == "" {
 			t.Fatal("accepted entry with empty host")

@@ -1,0 +1,148 @@
+package squidlog
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"droppackets/internal/capture"
+)
+
+// checkLineEquivalence asserts ParseLineBytes agrees with ParseLine on
+// the entry, the ok flag and error presence.
+func checkLineEquivalence(t *testing.T, line string) {
+	t.Helper()
+	want, wantOK, wantErr := ParseLine(line)
+	gotView, gotOK, gotErr := ParseLineBytes([]byte(line))
+	if gotOK != wantOK || (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("ParseLineBytes(%q) = (ok=%v, err=%v), ParseLine = (ok=%v, err=%v)",
+			line, gotOK, gotErr, wantOK, wantErr)
+	}
+	if !gotOK || gotErr != nil {
+		return
+	}
+	if got := gotView.Entry(); got != want {
+		t.Fatalf("ParseLineBytes(%q)\n got %+v\nwant %+v", line, got, want)
+	}
+}
+
+func TestParseLineBytesEquivalence(t *testing.T) {
+	lines := []string{
+		sampleLine,
+		sampleLine + " request_bytes=20480",
+		sampleLine + " request_bytes=1 request_bytes=77",
+		"1588888888.123 12 10.0.0.5 TCP_MISS/200 3821 GET http://plain.example/x - HIER_DIRECT/203.0.113.9 text/html",
+		"# comment",
+		"#",
+		"",
+		"   \t  ",
+		"too few fields",
+		"notanumber 5125 10.0.0.5 TCP_TUNNEL/200 1583231 CONNECT h:443 - HIER_DIRECT/1.2.3.4 -",
+		"1588888888.1 xx 10.0.0.5 TCP_TUNNEL/200 1583231 CONNECT h:443 - HIER_DIRECT/1.2.3.4 -",
+		"1588888888.1 5125 10.0.0.5 TCP_TUNNEL/200 bytes CONNECT h:443 - HIER_DIRECT/1.2.3.4 -",
+		"1588888888.1 5125 10.0.0.5 TCP_TUNNEL/200 12 CONNECT :443 - HIER_DIRECT/1.2.3.4 -",
+		sampleLine + " request_bytes=abc",
+		"1588888888.1 -50 10.0.0.5 TCP_TUNNEL/200 12 CONNECT h:443 - HIER_DIRECT/1.2.3.4 -",
+		"1 2 3 4 5 CONNECT h:443 - a b c d e f g",
+		"1e9 2e3 c TCP_TUNNEL/200 5 CONNECT h:443 - HIER/1.2.3.4 -",
+		"\t1588888888.123\t5125\t10.0.0.5\tTCP_TUNNEL/200\t1583231\tCONNECT\tcdn.example:443\t-\tHIER_DIRECT/203.0.113.9\t-\t",
+		// Non-ASCII whitespace takes the ParseLine fallback.
+		"1588888888.123 5125 10.0.0.5 TCP_TUNNEL/200 1583231 CONNECT cdn.example:443 - HIER_DIRECT/1.2.3.4 -",
+		"1 2 éclient TCP_TUNNEL/200 5 CONNECT hést:443 - HIER/1.2.3.4 -",
+	}
+	for _, line := range lines {
+		checkLineEquivalence(t, line)
+	}
+}
+
+// TestParseLineBytesAllocs pins the steady-state contract: a
+// well-formed ASCII line parses with zero allocations.
+func TestParseLineBytesAllocs(t *testing.T) {
+	plain := []byte(sampleLine)
+	extended := []byte(sampleLine + " request_bytes=20480")
+	if n := testing.AllocsPerRun(1000, func() {
+		for _, line := range [2][]byte{plain, extended} {
+			if _, ok, err := ParseLineBytes(line); !ok || err != nil {
+				t.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("ParseLineBytes allocates %v per 2 lines, want 0", n)
+	}
+}
+
+// TestAppendEntryMatchesSprintf pins AppendEntry against the fmt verbs
+// FormatEntry historically used, across magnitudes and padding widths.
+func TestAppendEntryMatchesSprintf(t *testing.T) {
+	cases := []capture.TLSTransaction{
+		{SNI: "cdn.example", Start: 0, End: 5.125, UpBytes: 20480, DownBytes: 1583231},
+		{SNI: "a.example", Start: 1.0005, End: 1.0005, UpBytes: 0, DownBytes: 0},
+		{SNI: "b.example", Start: 3, End: 12345.678901, UpBytes: 1, DownBytes: 9_999_999_999},
+		{SNI: "c.example", Start: 0.4, End: 1000000.4, UpBytes: 7, DownBytes: 3},
+	}
+	for _, epoch := range []float64{0, 1700000000} {
+		for _, txn := range cases {
+			end := epoch + txn.End
+			elapsedMs := txn.Duration() * 1000
+			want := fmt.Sprintf("%.3f %6.0f %s TCP_TUNNEL/200 %d CONNECT %s:443 - HIER_DIRECT/203.0.113.9 - request_bytes=%d",
+				end, elapsedMs, "10.0.0.7", txn.DownBytes, txn.SNI, txn.UpBytes)
+			got := string(AppendEntry(nil, "10.0.0.7", txn, epoch))
+			if got != want {
+				t.Fatalf("AppendEntry\n got %q\nwant %q", got, want)
+			}
+		}
+	}
+}
+
+// TestGroupByClientStable pins the satellite fix: transactions with
+// equal starts keep file order, matching the streaming path's
+// (time, sequence) tie-break.
+func TestGroupByClientStable(t *testing.T) {
+	// Both c1 entries start at 998 (end - elapsed); file order must hold.
+	log := "1000.000 2000 c1 TCP_TUNNEL/200 100 CONNECT first.example:443 - H/1 -\n" +
+		"1004.000 6000 c1 TCP_TUNNEL/200 200 CONNECT second.example:443 - H/1 -\n"
+	entries, err := Parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := GroupByClient(entries)["c1"]
+	if len(txns) != 2 {
+		t.Fatalf("%d txns", len(txns))
+	}
+	if txns[0].Start != txns[1].Start {
+		t.Fatalf("fixture drifted: starts %v and %v should tie", txns[0].Start, txns[1].Start)
+	}
+	if txns[0].SNI != "first.example" || txns[1].SNI != "second.example" {
+		t.Fatalf("equal-start transactions reordered: %q, %q", txns[0].SNI, txns[1].SNI)
+	}
+	if math.Abs(txns[0].Start) > 1e-9 {
+		t.Fatalf("epoch rebase drifted: start %v", txns[0].Start)
+	}
+}
+
+// BenchmarkSquidParse compares the reference string parser with the
+// in-place byte parser on a representative CONNECT line; scripts/check.sh
+// gates the bytes variant at 0 allocs/op.
+func BenchmarkSquidParse(b *testing.B) {
+	line := sampleLine + " request_bytes=20480"
+	b.Run("line", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(line)))
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := ParseLine(line); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		b.ReportAllocs()
+		raw := []byte(line)
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := ParseLineBytes(raw); !ok || err != nil {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}

@@ -159,7 +159,9 @@ func GroupByClient(entries []Entry) map[string][]capture.TLSTransaction {
 		for i, e := range es {
 			txns[i] = e.Transaction(epoch)
 		}
-		sort.Slice(txns, func(a, b int) bool { return txns[a].Start < txns[b].Start })
+		// Stable: equal-start transactions keep file order, the same
+		// (time, sequence) tie-break the streaming ingest path applies.
+		sort.SliceStable(txns, func(a, b int) bool { return txns[a].Start < txns[b].Start })
 		out[client] = txns
 	}
 	return out
@@ -169,8 +171,5 @@ func GroupByClient(entries []Entry) map[string][]capture.TLSTransaction {
 // letting the simulator export realistic access logs for testing
 // downstream tooling (the inverse of Parse).
 func FormatEntry(client string, txn capture.TLSTransaction, epochUnix float64) string {
-	end := epochUnix + txn.End
-	elapsedMs := txn.Duration() * 1000
-	return fmt.Sprintf("%.3f %6.0f %s TCP_TUNNEL/200 %d CONNECT %s:443 - HIER_DIRECT/203.0.113.9 - request_bytes=%d",
-		end, elapsedMs, client, txn.DownBytes, txn.SNI, txn.UpBytes)
+	return string(AppendEntry(nil, client, txn, epochUnix))
 }

@@ -29,19 +29,27 @@ type Record struct {
 	DownBytes  int64 // server -> client
 }
 
+// ToCaptureTransaction converts one proxy record to the capture layer's
+// transaction type with times in seconds relative to epoch — the
+// per-record form the daemon's hot path uses so converting a single
+// record needs no slice allocation.
+func ToCaptureTransaction(r Record, epoch time.Time) capture.TLSTransaction {
+	return capture.TLSTransaction{
+		SNI:       r.SNI,
+		Start:     r.Start.Sub(epoch).Seconds(),
+		End:       r.End.Sub(epoch).Seconds(),
+		DownBytes: r.DownBytes,
+		UpBytes:   r.UpBytes,
+	}
+}
+
 // ToCaptureTransactions converts proxy records to the capture layer's
 // transaction type with times in seconds relative to epoch, ready for
 // feature extraction.
 func ToCaptureTransactions(records []Record, epoch time.Time) []capture.TLSTransaction {
 	out := make([]capture.TLSTransaction, len(records))
 	for i, r := range records {
-		out[i] = capture.TLSTransaction{
-			SNI:       r.SNI,
-			Start:     r.Start.Sub(epoch).Seconds(),
-			End:       r.End.Sub(epoch).Seconds(),
-			DownBytes: r.DownBytes,
-			UpBytes:   r.UpBytes,
-		}
+		out[i] = ToCaptureTransaction(r, epoch)
 	}
 	return out
 }

@@ -153,6 +153,27 @@ type replayEvent struct {
 // event on the same goroutine; events of one client always replay on
 // one goroutine in offset order.
 func (s *RecordSource) Run(ctx context.Context, base time.Time, open, txn func(Record)) ReplayStats {
+	var txnBatch func([]Record)
+	if txn != nil {
+		txnBatch = func(recs []Record) {
+			for _, r := range recs {
+				txn(r)
+			}
+		}
+	}
+	return s.RunBatched(ctx, base, open, txnBatch, 1)
+}
+
+// RunBatched is Run with transaction events coalesced: each worker
+// appends completed records to a batch of up to maxBatch and flushes it
+// before any open event, before every pacing sleep, and at the end of
+// its partition — so txnBatch observes exactly the per-goroutine event
+// order Run would deliver, just in runs instead of single calls. The
+// batch slice is reused between flushes; txnBatch must not retain it.
+func (s *RecordSource) RunBatched(ctx context.Context, base time.Time, open func(Record), txnBatch func([]Record), maxBatch int) ReplayStats {
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
 	workers := s.Workers
 	if workers <= 1 {
 		workers = 1
@@ -207,10 +228,22 @@ func (s *RecordSource) Run(ctx context.Context, base time.Time, open, txn func(R
 			if !timer.Stop() {
 				<-timer.C
 			}
+			batch := make([]Record, 0, maxBatch)
+			flush := func() {
+				if len(batch) == 0 {
+					return
+				}
+				if txnBatch != nil {
+					txnBatch(batch)
+				}
+				delivered.Add(int64(len(batch)))
+				batch = batch[:0]
+			}
 			for _, ev := range events {
 				if s.Speed > 0 {
 					target := start.Add(time.Duration(ev.at / s.Speed * float64(time.Second)))
 					if d := time.Until(target); d > 0 {
+						flush() // deliver what is due before blocking
 						timer.Reset(d)
 						select {
 						case <-ctx.Done():
@@ -220,19 +253,22 @@ func (s *RecordSource) Run(ctx context.Context, base time.Time, open, txn func(R
 					}
 				}
 				if ctx.Err() != nil {
+					flush()
 					return
 				}
 				if ev.open {
+					flush() // opens must not overtake buffered transactions
 					if open != nil {
 						open(ev.rec)
 					}
 				} else {
-					if txn != nil {
-						txn(ev.rec)
+					batch = append(batch, ev.rec)
+					if len(batch) == maxBatch {
+						flush()
 					}
-					delivered.Add(1)
 				}
 			}
+			flush()
 		}(p)
 	}
 	wg.Wait()

@@ -159,6 +159,68 @@ func TestRecordSourcePacing(t *testing.T) {
 	}
 }
 
+// TestRunBatchedMatchesRun pins the batched delivery seam against the
+// per-record path: with one worker, the flattened batch stream must
+// reproduce Run's event sequence exactly — same interleaving of opens
+// and transactions, same stats — while actually coalescing, and a
+// maxBatch of 1 must degenerate to one-record batches.
+func TestRunBatchedMatchesRun(t *testing.T) {
+	recs := testWorkload(200)
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+	type run struct {
+		events   []string
+		maxBatch int
+	}
+	collect := func(maxBatch int) run {
+		var r run
+		src := &RecordSource{Records: recs, Workers: 1}
+		open := func(rec Record) { r.events = append(r.events, "open:"+fmtConnEvent(rec)) }
+		if maxBatch == 0 {
+			src.Run(context.Background(), base, open, func(rec Record) {
+				r.events = append(r.events, "txn:"+fmtConnEvent(rec))
+			})
+			return r
+		}
+		st := src.RunBatched(context.Background(), base, open, func(batch []Record) {
+			if len(batch) > r.maxBatch {
+				r.maxBatch = len(batch)
+			}
+			for _, rec := range batch {
+				r.events = append(r.events, "txn:"+fmtConnEvent(rec))
+			}
+		}, maxBatch)
+		if st.Records != int64(len(recs)) {
+			t.Fatalf("maxBatch=%d: stats.Records = %d, want %d", maxBatch, st.Records, len(recs))
+		}
+		return r
+	}
+
+	ref := collect(0)
+	for _, maxBatch := range []int{1, 7, 64} {
+		got := collect(maxBatch)
+		if len(got.events) != len(ref.events) {
+			t.Fatalf("maxBatch=%d: %d events, want %d", maxBatch, len(got.events), len(ref.events))
+		}
+		for i := range got.events {
+			if got.events[i] != ref.events[i] {
+				t.Fatalf("maxBatch=%d: event %d = %q, want %q", maxBatch, i, got.events[i], ref.events[i])
+			}
+		}
+		if maxBatch == 1 && got.maxBatch != 1 {
+			t.Errorf("maxBatch=1 produced a batch of %d", got.maxBatch)
+		}
+		if maxBatch == 64 && got.maxBatch < 2 {
+			t.Errorf("maxBatch=64 never coalesced")
+		}
+	}
+}
+
+// fmtConnEvent renders the fields an event's identity hangs on.
+func fmtConnEvent(r Record) string {
+	return fmt.Sprintf("%d:%s:%s", r.ConnID, r.ClientAddr, r.SNI)
+}
+
 func TestRecordSourceCancel(t *testing.T) {
 	recs := testWorkload(10)
 	for i := range recs {

@@ -1,0 +1,129 @@
+// Command benchingest regenerates BENCH_ingest.json, the performance
+// artifact for the zero-alloc batched ingest path. It runs the squid
+// parser micro-benchmarks (string reference vs in-place byte parser)
+// and the end-to-end SquidSource benchmark across the (ParseWorkers,
+// Batch) grid, then records per-op numbers plus the derived parser
+// speedup. The run fails if the byte parser allocates or its speedup
+// over the string parser drops below 2x — the artifact's headline
+// claims must hold on the machine that wrote it. Run from the repo
+// root:
+//
+//	go run ./scripts/benchingest
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result holds one benchmark's parsed metrics, keyed by unit
+// ("ns/op", "allocs/op", "records/s", ...).
+type result map[string]float64
+
+// parseBench extracts benchmark result lines from go test -bench
+// output. Each line is "BenchmarkName-P <iters> <value> <unit> ...";
+// sub-benchmark names keep their slash but drop the -P suffix.
+func parseBench(out string) map[string]result {
+	results := map[string]result{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		r := result{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r[fields[i+1]] = v
+		}
+		// -count reruns keep the fastest pass per benchmark.
+		if prev, ok := results[name]; !ok || r["ns/op"] < prev["ns/op"] {
+			results[name] = r
+		}
+	}
+	return results
+}
+
+func run(pattern string, count int, pkgs ...string) (map[string]result, error) {
+	args := append([]string{"test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-count", strconv.Itoa(count)}, pkgs...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return parseBench(string(out)), nil
+}
+
+func main() {
+	fmt.Println("running parser benchmarks (best of 3)...")
+	parse, err := run("BenchmarkSquidParse", 3, "./internal/squidlog")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("running end-to-end ingest benchmarks...")
+	e2e, err := run("BenchmarkIngestEndToEnd", 1, "./internal/ingest")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	line, bytes := parse["BenchmarkSquidParse/line"], parse["BenchmarkSquidParse/bytes"]
+	if line == nil || bytes == nil {
+		fmt.Fprintln(os.Stderr, "parser benchmarks missing from output")
+		os.Exit(1)
+	}
+	speedup := line["ns/op"] / bytes["ns/op"]
+	if bytes["allocs/op"] != 0 {
+		fmt.Fprintf(os.Stderr, "ParseLineBytes allocates (%v allocs/op); the zero-alloc claim is broken\n", bytes["allocs/op"])
+		os.Exit(1)
+	}
+	if speedup < 2 {
+		fmt.Fprintf(os.Stderr, "byte parser speedup %.2fx < 2x acceptance floor\n", speedup)
+		os.Exit(1)
+	}
+
+	doc := map[string]any{
+		"description": "Squid ingest benchmarks for the zero-alloc batched pipeline: in-place byte parsing (squidlog.ParseLineBytes), interned names, typed reorder heap, shard-batched delivery. Regenerate with: go run ./scripts/benchingest",
+		"date":        time.Now().UTC().Format(time.RFC3339),
+		"host": map[string]any{
+			"os": runtime.GOOS, "arch": runtime.GOARCH,
+			"cpus_online": runtime.NumCPU(), "go": runtime.Version(),
+		},
+		"parser": map[string]any{
+			"BenchmarkSquidParse/line":  line,
+			"BenchmarkSquidParse/bytes": bytes,
+			"speedup":                   speedup,
+			"note":                      "line is the retained string-based reference parser; bytes is the hot path every source now uses",
+		},
+		"end_to_end": e2e,
+		"acceptance": map[string]any{
+			"byte_parser_allocs_per_line": bytes["allocs/op"],
+			"byte_parser_speedup_floor":   2.0,
+			"note":                        "end-to-end allocs/op are per full 20k-line file replay (intern misses, heap growth), not per line; parse workers only pay off with >1 CPU online",
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_ingest.json", append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("BENCH_ingest.json written: parser speedup %.2fx, %v allocs/line\n", speedup, bytes["allocs/op"])
+}

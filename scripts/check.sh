@@ -18,13 +18,16 @@ echo "== go vet =="
 go vet ./...
 
 echo "== doc lint (operator-facing packages) =="
-go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled internal/ingest internal/netflow internal/pcap
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled internal/ingest internal/netflow internal/pcap internal/intern internal/bytesconv
 
 echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages, incl. faultinject chaos tests and qoeproxy shard invariance) =="
-go test -race ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./cmd/qoeproxy
+# -timeout 20m: the experiments paper-shape suite takes ~10 wall-clock
+# minutes under the race detector on a 1-core host, right at go test's
+# default timeout.
+go test -race -timeout 20m ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./internal/intern ./internal/ingest ./cmd/qoeproxy
 
 echo "== feature benchmarks (smoke) =="
 go test -run '^$' -bench Feature -benchtime 1x .
@@ -32,6 +35,17 @@ go test -run '^$' -bench Feature -benchtime 1x .
 echo "== serving benchmarks (smoke: compiled scorers incl. batched sweep, sharded ingest) =="
 go test -run '^$' -bench . -benchtime 1x ./internal/ml/compiled
 go test -run '^$' -bench ConcurrentIngest -benchtime 100x ./cmd/qoeproxy
+
+echo "== ingest benchmarks (smoke) + zero-alloc parser gate =="
+go test -run '^$' -bench IngestEndToEnd -benchtime 1x ./internal/ingest
+# The byte parser is the per-line hot path; any allocation is a
+# regression. BENCH_ingest.json proper comes from scripts/benchingest.
+parse_out=$(go test -run '^$' -bench 'SquidParse/bytes' -benchmem ./internal/squidlog)
+echo "$parse_out"
+if ! echo "$parse_out" | grep -q "	       0 allocs/op"; then
+	echo "ParseLineBytes allocates; the zero-alloc ingest gate failed"
+	exit 1
+fi
 
 echo "== qoeproxy smoke (/metrics, /healthz, squid-log tail, SIGTERM drain) =="
 go run ./scripts/smoke

@@ -11,7 +11,9 @@
 //	         [-save model.json | -model model.json]
 //	qoeinfer -squid access.log [...]
 //
-// With -save, the trained model is written to disk after training;
+// With -save, the trained model is written to disk after training —
+// including the training corpus's per-feature baseline, which lets
+// cmd/qoeproxy export drift gauges for the live traffic it classifies;
 // with -model, training is skipped and the saved model is used.
 // With -squid, a Squid access log is ingested instead of a CSV: each
 // client address's CONNECT tunnels are classified as one session (run
@@ -158,7 +160,7 @@ func run(txnsPath, squidPath, service, metricName string, trainN int, seed int64
 			if err := sf.Close(); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "saved model to %s\n", savePath)
+			fmt.Fprintf(os.Stderr, "saved model to %s (with training baseline for drift gauges)\n", savePath)
 		}
 	}
 

@@ -59,8 +59,9 @@ func (b *logBuffer) countLogMsg(t *testing.T, msg string) int {
 
 // newTestService assembles a service around synthetic state: a real
 // (non-serving) proxy for the stats bridges, captured logs, and the
-// given options/estimator.
-func newTestService(t *testing.T, opts options, est *core.Estimator) (*service, *logBuffer) {
+// given options/estimator. An optional trailing estimator becomes the
+// shadow challenger, installed in the first serving bundle.
+func newTestService(t *testing.T, opts options, est *core.Estimator, shadow ...*core.Estimator) (*service, *logBuffer) {
 	t.Helper()
 	logs := &logBuffer{}
 	proxy, err := tlsproxy.New(tlsproxy.Config{Resolver: tlsproxy.StaticResolver("127.0.0.1:9")})
@@ -71,6 +72,9 @@ func newTestService(t *testing.T, opts options, est *core.Estimator) (*service, 
 	t.Cleanup(s.stopSinkWriter)
 	s.epoch = time.Unix(1_700_000_000, 0)
 	s.proxy = proxy
+	if len(shadow) > 0 {
+		s.pendingShadow = shadow[0]
+	}
 	s.registerMetrics()
 	return s, logs
 }
@@ -210,7 +214,7 @@ func TestClassificationErrorsMetric(t *testing.T) {
 		s.onConnOpen(r)
 		s.onTransaction(r)
 	}
-	s.classifyPass(s.epoch.Add(10 * time.Second))
+	s.classifyPass(10)
 	if got := s.mClassErrors.Value(); got != 1 {
 		t.Errorf("classification_errors_total = %d, want 1", got)
 	}

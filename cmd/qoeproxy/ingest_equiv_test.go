@@ -137,8 +137,8 @@ func runSource(t *testing.T, est *core.Estimator, recs []tlsproxy.ReplayRecord, 
 		}
 	}
 	endOfTrace := s.epoch.Add(time.Duration((lastEnd + 1) * float64(time.Second)))
-	s.classifyPass(endOfTrace)
-	s.evictIdle(endOfTrace.Add(ttl + time.Second))
+	s.classifyPass(endOfTrace.Sub(s.epoch).Seconds())
+	s.evictIdle(endOfTrace.Add(ttl + time.Second).Sub(s.epoch).Seconds())
 	s.flushSinks()
 
 	run := equivRun{invariantRun: invariantRun{counters: map[string]int64{
@@ -151,7 +151,7 @@ func runSource(t *testing.T, est *core.Estimator, recs []tlsproxy.ReplayRecord, 
 		"evicted":      s.mEvicted.Value(),
 		"clients_left": int64(s.clientCount()),
 	}, sinkCSV: csv.String()}, sinkSquid: sq.String()}
-	for _, n := range s.names {
+	for _, n := range s.model.Load().names {
 		run.counters["pred_"+n] = s.mPred.Value(n)
 	}
 	for _, line := range logs.lines() {

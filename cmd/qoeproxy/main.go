@@ -12,6 +12,7 @@
 //	qoeproxy -listen 127.0.0.1:8443 -upstream 127.0.0.1:9443
 //	         [-resolve map.txt] [-out transactions.csv]
 //	         [-squid-log access.log] [-model model.json]
+//	         [-shadow-model challenger.json]
 //	         [-metrics 127.0.0.1:9090] [-classify-every 30s]
 //	         [-window 4m] [-client-ttl 1h] [-max-session-txns 4096]
 //	         [-shards N] [-classify-workers N] [-classify-batch N]
@@ -48,7 +49,20 @@
 // straight into the ingest path — same callbacks, logical timestamps —
 // at -replay-speed times recorded speed, which is how cmd/qoeload
 // drives tens of thousands of simulated clients through the real
-// serving loop without a socket per session. Stop with SIGINT/SIGTERM:
+// serving loop without a socket per session.
+//
+// The model is operated like production ML, not loaded once and served
+// forever. SIGHUP or POST /admin/reload (loopback callers only, on the
+// -metrics listener) re-reads -model (and -shadow-model, if set) and
+// swaps the compiled estimator in atomically — each classification
+// pass reads the model pointer exactly once, so no sweep ever mixes
+// two models, and a corrupt file is rejected with the previous model
+// untouched. -shadow-model scores a challenger over the same gathered
+// feature rows, reporting disagreement and per-class confusion
+// counters without altering a byte of the primary's output. Models
+// saved with a training baseline (cmd/qoeinfer -save) additionally
+// expose per-feature drift z-scores comparing live traffic against the
+// training distribution. Stop with SIGINT/SIGTERM:
 // the proxy stops accepting, drains open relays, flushes the
 // sessionizers, prints per-client QoE estimates (if -model is given)
 // and exits cleanly. docs/OPERATIONS.md is the full runbook.
@@ -62,6 +76,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -93,6 +108,7 @@ func main() {
 	flag.StringVar(&opts.outPath, "out", "", "append transaction CSV records to this file")
 	flag.StringVar(&opts.squidPath, "squid-log", "", "append Squid-format log lines to this file")
 	flag.StringVar(&opts.modelPath, "model", "", "saved model (cmd/qoeinfer -save) for online and shutdown classification")
+	flag.StringVar(&opts.shadowPath, "shadow-model", "", "challenger model scored over the same rows as -model; disagreements are counted, output is untouched")
 	flag.StringVar(&opts.metricsAddr, "metrics", "127.0.0.1:9090", "address for /metrics and /healthz (empty disables)")
 	flag.DurationVar(&opts.classifyEvery, "classify-every", 30*time.Second, "interval between online classification passes (0 disables)")
 	flag.DurationVar(&opts.window, "window", 4*time.Minute, "sliding window of transactions classified per pass (0 = whole current session)")
@@ -125,6 +141,7 @@ func main() {
 type options struct {
 	listen, upstream, resolve     string
 	outPath, squidPath, modelPath string
+	shadowPath                    string
 	metricsAddr                   string
 	classifyEvery, window         time.Duration
 	clientTTL                     time.Duration
@@ -315,12 +332,36 @@ func capRun(run *[]capture.TLSTransaction, limit int) int {
 // startup, atomic, or owned by a single goroutine (the sink writer,
 // the classify tick).
 type service struct {
-	opts  options
-	log   *slog.Logger
-	est   *core.Estimator
-	names []string // class display names, when est != nil
-	track bool     // maintain incremental accumulators (est set, window 0)
-	epoch time.Time
+	opts options
+	log  *slog.Logger
+	// model is the serving bundle: the estimator plus everything derived
+	// from it (class names, cached counter handles, row builders, shadow
+	// scorer, drift tracker). Swapped whole on reload; every consumer
+	// Loads it exactly once per pass, so a sweep never mixes two models.
+	// Nil when no -model is configured.
+	model atomic.Pointer[servingModel]
+	// pendingEst/pendingShadow hold the startup estimators between
+	// newService and registerMetrics, which builds the first bundle (the
+	// cached prediction-counter handles need the registry).
+	pendingEst    *core.Estimator
+	pendingShadow *core.Estimator
+	// reloadMu serializes reloads (SIGHUP racing /admin/reload); the
+	// serving path never takes it.
+	reloadMu sync.Mutex
+	track    bool // maintain incremental accumulators (est set, window 0)
+	epoch    time.Time
+	// watermark is the latest record event time delivered into the
+	// ingest path, in epoch seconds (float bits, CAS-max). For file and
+	// replay sources it is the sweep clock: record timestamps are
+	// logical, so comparing them against the wall clock would evict
+	// clients mid-session at -ingest-speed 100 and never at 0.01.
+	watermark atomic.Uint64
+	// logicalClock selects the watermark (true: file/replay sources)
+	// over wall time (false: live proxy) as the sweep clock.
+	logicalClock bool
+	// lastRotate is when (sweep clock) the intern tables last rotated;
+	// tick goroutine only.
+	lastRotate float64
 	// debugLog caches whether the logger emits debug records, so the
 	// ingest hot path skips building per-transaction attribute lists
 	// that a production (info-level) daemon would throw away.
@@ -338,16 +379,17 @@ type service struct {
 	// shards partition the per-client state by FNV hash of the client
 	// host. Immutable after newService.
 	shards []*shard
-	// rowBuilders hold one extraction scratch per classify worker
-	// (windowed mode); worker w exclusively uses rowBuilders[w].
-	rowBuilders []*core.RowBuilder
 
 	mTxns          *metrics.Counter
 	mBoundaries    *metrics.Counter
 	mRuns          *metrics.Counter
 	mClassErrors   *metrics.Counter
 	mPred          *metrics.CounterVec
-	mPredClass     []*metrics.LabeledCounter // cached handles, aligned with names
+	mReloadOK      *metrics.LabeledCounter
+	mReloadError   *metrics.LabeledCounter
+	mReloadNoop    *metrics.LabeledCounter
+	mShadowDis     *metrics.Counter
+	mShadowConf    *metrics.CounterVec2
 	mInfer         *metrics.Histogram
 	mExtract       *metrics.Histogram
 	mShardClassify *metrics.Histogram
@@ -385,6 +427,7 @@ type shard struct {
 	cBlock   []float64   // row-major block, cap(cNames) x stride
 	cProbs   []float64   // per-sweep probability scratch
 	cClasses []int
+	cShadow  []int // challenger classes over the same rows (-shadow-model)
 }
 
 // newService assembles the daemon state around the given options,
@@ -402,29 +445,245 @@ func newService(opts options, logger *slog.Logger, est *core.Estimator) *service
 		opts.classifyWorkers = opts.shards
 	}
 	s := &service{
-		opts:     opts,
-		log:      logger,
-		est:      est,
-		epoch:    time.Now(),
-		debugLog: logger.Enabled(context.Background(), slog.LevelDebug),
+		opts:       opts,
+		log:        logger,
+		pendingEst: est,
+		epoch:      time.Now(),
+		debugLog:   logger.Enabled(context.Background(), slog.LevelDebug),
 	}
 	s.batchPool.New = func() any { return &batchScratch{} }
 	if est != nil {
-		s.names = core.ClassNames(est.Metric())
 		s.track = opts.window <= 0
 	}
+	s.logicalClock = (opts.source != "" && opts.source != "proxy") || opts.replayPath != ""
 	s.shards = make([]*shard, opts.shards)
 	for i := range s.shards {
 		s.shards[i] = &shard{clients: map[string]*clientState{}}
 	}
-	if est != nil && !s.track {
-		s.rowBuilders = make([]*core.RowBuilder, opts.classifyWorkers)
-		for i := range s.rowBuilders {
-			s.rowBuilders[i] = est.NewRowBuilder()
-		}
-	}
 	s.startSinkWriter()
 	return s
+}
+
+// servingModel bundles one model with everything derived from it, so a
+// reload swaps all of it atomically: a pass that Loaded the old bundle
+// finishes on the old estimator, names and counters; the next pass sees
+// the new ones. Nothing in a bundle is mutated after Store except the
+// drift tracker, which is internally locked.
+type servingModel struct {
+	est   *core.Estimator
+	names []string // class display names
+	// predClass caches the per-class prediction-counter handles, aligned
+	// with names. The underlying CounterVec children outlive reloads, so
+	// counts keep accumulating across models with the same metric.
+	predClass []*metrics.LabeledCounter
+	// rowBuilders hold one extraction scratch per classify worker
+	// (windowed mode); worker w exclusively uses rowBuilders[w].
+	rowBuilders []*core.RowBuilder
+	// shadow is the challenger state, nil without -shadow-model.
+	shadow *shadowState
+	// drift compares classified rows against the model's training
+	// baseline, nil when the model file carries none (version 1).
+	drift *driftTracker
+	// loadedAt stamps the swap for qoeproxy_model_loaded_timestamp_seconds.
+	loadedAt time.Time
+}
+
+// shadowState is the champion/challenger comparison: a second compiled
+// estimator swept over the same gathered rows as the primary, with the
+// outcome recorded only in counters — never in logs, sinks or stored
+// classifications.
+type shadowState struct {
+	est *core.Estimator
+	// confusion caches the nc×nc confusion-counter handles,
+	// primary-major: cell [p*nc+c] counts rows the primary called p and
+	// the challenger called c (p != c).
+	confusion []*metrics.LabeledCounter
+}
+
+// driftTracker accumulates per-feature population stats over every row
+// a pass classifies and compares them against the model's training
+// baseline. Shard workers fold whole row blocks under one mutex — a
+// few calls per pass, so contention is negligible next to inference.
+type driftTracker struct {
+	mu       sync.Mutex
+	names    []string // subset-space feature names
+	baseMean []float64
+	baseStd  []float64
+	obs      []stats.Running
+}
+
+func newDriftTracker(names []string, means, stds []float64) *driftTracker {
+	return &driftTracker{names: names, baseMean: means, baseStd: stds, obs: make([]stats.Running, len(names))}
+}
+
+// observeBlock folds n row-major rows of the given stride into the
+// per-feature accumulators.
+func (d *driftTracker) observeBlock(block []float64, n, stride int) {
+	d.mu.Lock()
+	for r := 0; r < n; r++ {
+		row := block[r*stride : (r+1)*stride]
+		for j := range row {
+			d.obs[j].Observe(row[j])
+		}
+	}
+	d.mu.Unlock()
+}
+
+// observeRows is observeBlock for the row-at-a-time (-classify-batch 0)
+// gather path.
+func (d *driftTracker) observeRows(rows [][]float64) {
+	d.mu.Lock()
+	for _, row := range rows {
+		for j := range row {
+			d.obs[j].Observe(row[j])
+		}
+	}
+	d.mu.Unlock()
+}
+
+// zscores snapshots the drift gauge children: for each feature,
+// (observed mean − baseline mean) / baseline std. Features with a
+// degenerate (zero-variance) baseline report 0 rather than ±Inf; so do
+// features with no observations yet.
+func (d *driftTracker) zscores() ([]string, []float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	zs := make([]float64, len(d.names))
+	for j := range d.names {
+		if d.obs[j].N() == 0 || d.baseStd[j] <= 0 {
+			continue
+		}
+		zs[j] = (d.obs[j].Mean() - d.baseMean[j]) / d.baseStd[j]
+	}
+	return d.names, zs
+}
+
+// validateShadow checks a challenger against the primary: the shadow
+// sweep reuses the primary's gathered rows and compares class indices
+// one-to-one, so the feature subset and the metric must match.
+func validateShadow(primary, shadow *core.Estimator) error {
+	if shadow.Metric() != primary.Metric() {
+		return fmt.Errorf("shadow model targets metric %d, primary targets %d", shadow.Metric(), primary.Metric())
+	}
+	if shadow.Subset() != primary.Subset() || shadow.NumFeatures() != primary.NumFeatures() {
+		return fmt.Errorf("shadow model uses feature subset %d (%d features), primary uses %d (%d)",
+			shadow.Subset(), shadow.NumFeatures(), primary.Subset(), primary.NumFeatures())
+	}
+	return nil
+}
+
+// buildModel assembles a serving bundle around freshly loaded
+// estimators. Called with the registry's vec families already
+// registered (registerMetrics for the first bundle, reloadModel after).
+func (s *service) buildModel(est, shadow *core.Estimator) (*servingModel, error) {
+	if est == nil {
+		return nil, nil
+	}
+	m := &servingModel{
+		est:      est,
+		names:    core.ClassNames(est.Metric()),
+		loadedAt: time.Now(),
+	}
+	m.predClass = make([]*metrics.LabeledCounter, len(m.names))
+	for i, n := range m.names {
+		m.predClass[i] = s.mPred.WithLabel(n)
+	}
+	if !s.track {
+		m.rowBuilders = make([]*core.RowBuilder, s.opts.classifyWorkers)
+		for i := range m.rowBuilders {
+			m.rowBuilders[i] = est.NewRowBuilder()
+		}
+	}
+	if shadow != nil {
+		if err := validateShadow(est, shadow); err != nil {
+			return nil, err
+		}
+		nc := est.NumClasses()
+		ss := &shadowState{est: shadow, confusion: make([]*metrics.LabeledCounter, nc*nc)}
+		for p := 0; p < nc; p++ {
+			for c := 0; c < nc; c++ {
+				ss.confusion[p*nc+c] = s.mShadowConf.WithLabels(m.names[p], m.names[c])
+			}
+		}
+		m.shadow = ss
+	}
+	if means, stds := est.Baseline(); means != nil {
+		m.drift = newDriftTracker(est.FeatureNames(), means, stds)
+	}
+	return m, nil
+}
+
+// loadEstimatorFile opens and loads one saved model file.
+func loadEstimatorFile(path string) (*core.Estimator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadEstimator(f)
+}
+
+// reloadModel re-reads -model (and -shadow-model) from disk and swaps
+// the serving bundle. Any failure — unreadable file, corrupt model,
+// incompatible shadow — leaves the previous bundle serving untouched.
+// With no -model configured the request is a safe no-op, so a habitual
+// `kill -HUP` on a record-only daemon does nothing. Returns the result
+// label recorded in qoeproxy_model_reloads_total.
+func (s *service) reloadModel() (string, error) {
+	if s.opts.modelPath == "" {
+		s.mReloadNoop.Inc()
+		s.log.Info("model reload requested with no -model configured; nothing to do")
+		return "noop", nil
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	est, err := loadEstimatorFile(s.opts.modelPath)
+	var shadow *core.Estimator
+	if err == nil && s.opts.shadowPath != "" {
+		shadow, err = loadEstimatorFile(s.opts.shadowPath)
+	}
+	var m *servingModel
+	if err == nil {
+		m, err = s.buildModel(est, shadow)
+	}
+	if err != nil {
+		s.mReloadError.Inc()
+		s.log.Error("model reload failed; previous model still serving",
+			"model", s.opts.modelPath, "err", err)
+		return "error", err
+	}
+	s.model.Store(m)
+	s.mReloadOK.Inc()
+	s.log.Info("model reloaded", "model", s.opts.modelPath,
+		"shadow", s.opts.shadowPath, "features", est.NumFeatures(),
+		"drift_baseline", m.drift != nil)
+	return "ok", nil
+}
+
+// noteEventTime advances the ingest watermark (CAS-max on float bits)
+// to a record's event time in epoch seconds.
+func (s *service) noteEventTime(t float64) {
+	for {
+		old := s.watermark.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if s.watermark.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
+	}
+}
+
+// sweepNow converts a tick's wall time to the sweep clock in epoch
+// seconds: the ingest watermark for file and replay sources (whose
+// record timestamps are logical and scaled by -ingest-speed or
+// -replay-speed, so the -window cutoff and -client-ttl comparisons
+// must use the records' own timescale), wall time for the live proxy.
+func (s *service) sweepNow(now time.Time) float64 {
+	if s.logicalClock {
+		return math.Float64frombits(s.watermark.Load())
+	}
+	return now.Sub(s.epoch).Seconds()
 }
 
 // shardIndex hashes a client host onto a shard with inline FNV-1a —
@@ -581,16 +840,23 @@ func run(opts options) error {
 	// Validate every output path and the model BEFORE binding the
 	// listener: a daemon that accepts traffic and then dies on a bad
 	// -out path would leave clients mid-relay and files half-written.
-	var est *core.Estimator
+	var est, shadowEst *core.Estimator
 	if opts.modelPath != "" {
-		f, err := os.Open(opts.modelPath)
-		if err != nil {
+		var err error
+		if est, err = loadEstimatorFile(opts.modelPath); err != nil {
 			return err
 		}
-		est, err = core.LoadEstimator(f)
-		f.Close()
-		if err != nil {
-			return err
+	}
+	if opts.shadowPath != "" {
+		if est == nil {
+			return fmt.Errorf("-shadow-model needs -model")
+		}
+		var err error
+		if shadowEst, err = loadEstimatorFile(opts.shadowPath); err != nil {
+			return fmt.Errorf("-shadow-model: %w", err)
+		}
+		if err := validateShadow(est, shadowEst); err != nil {
+			return fmt.Errorf("-shadow-model: %w", err)
 		}
 	}
 	var replayRecs []tlsproxy.ReplayRecord
@@ -609,6 +875,7 @@ func run(opts options) error {
 		}
 	}
 	s := newService(opts, logger, est)
+	s.pendingShadow = shadowEst
 	defer s.stopSinkWriter()
 	if opts.outPath != "" {
 		f, empty, err := openAppend(opts.outPath)
@@ -822,14 +1089,20 @@ func run(opts options) error {
 		}
 	}
 
+	// SIGHUP is registered alongside the shutdown signals: unregistered
+	// its default disposition would kill the daemon on a conventional
+	// `kill -HUP` log-rotation sweep; registered it triggers a model
+	// reload (a no-op when -model is unset).
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	defer signal.Stop(sig)
 	return s.serveLoop(errCh, tick, sig, stopSource, stopAux)
 }
 
 // serveLoop is the daemon's main loop: it reacts to fatal source
-// errors, classification/eviction ticks and shutdown signals. Both
+// errors, classification/eviction ticks, SIGHUP model reloads and
+// shutdown signals. Ticks are converted to the sweep clock (wall or
+// ingest watermark) before classifyPass/evictIdle see them. Both
 // exits — source death and a signal — stop the primary source, then
 // stopAux (the legacy -replay source, then the metrics endpoint),
 // before draining the sessionizers, so no ingest follows the drain and
@@ -844,9 +1117,16 @@ func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-cha
 			s.drain()
 			return err
 		case now := <-tick:
-			s.classifyPass(now)
-			s.evictIdle(now)
+			ns := s.sweepNow(now)
+			s.classifyPass(ns)
+			s.evictIdle(ns)
 		case got := <-sig:
+			if got == syscall.SIGHUP {
+				// Reload, not shutdown. Errors are already counted and
+				// logged; the previous model keeps serving.
+				s.reloadModel()
+				continue
+			}
 			s.log.Info("shutting down", "signal", got.String())
 			// Stop the source: in proxy mode that stops accepting and
 			// drains open relays (their final records arrive through
@@ -906,12 +1186,41 @@ func (s *service) registerMetrics() {
 		"Periodic classification passes that failed (model/feature mismatch).")
 	s.mPred = r.NewCounterVec("qoeproxy_qoe_predictions_total",
 		"Online QoE predictions by class.", "class")
-	s.mPredClass = make([]*metrics.LabeledCounter, len(s.names))
-	for i, n := range s.names {
-		// Cached handles: pre-declares the series (dashboards see zeros)
-		// and makes the per-prediction increment lock-free.
-		s.mPredClass[i] = s.mPred.WithLabel(n)
-	}
+	// Model-lifecycle series. The reload results are pre-declared so
+	// dashboards see zeros before the first reload; the per-class
+	// prediction and confusion handles are cached per serving bundle.
+	mReloads := r.NewCounterVec("qoeproxy_model_reloads_total",
+		"Model reload attempts (SIGHUP or /admin/reload) by result: ok = new model serving, error = rejected with the previous model untouched, noop = no -model configured.", "result")
+	s.mReloadOK = mReloads.WithLabel("ok")
+	s.mReloadError = mReloads.WithLabel("error")
+	s.mReloadNoop = mReloads.WithLabel("noop")
+	r.NewGaugeFunc("qoeproxy_model_loaded_timestamp_seconds",
+		"Unix time the serving model was loaded or last reloaded (0 = no model).", func() float64 {
+			if m := s.model.Load(); m != nil {
+				return float64(m.loadedAt.UnixNano()) / 1e9
+			}
+			return 0
+		})
+	s.mShadowDis = r.NewCounter("qoeproxy_shadow_disagreement_total",
+		"Classified rows where the -shadow-model challenger disagreed with the primary model.")
+	s.mShadowConf = r.NewCounterVec2("qoeproxy_shadow_confusion_total",
+		"Primary/challenger confusion cells for disagreeing rows (-shadow-model).", "primary", "shadow")
+	mDrift := r.NewGaugeVecFunc("qoeproxy_feature_drift_zscore",
+		"Per-feature drift of classified traffic against the model's training baseline: (observed mean - training mean) / training std. Requires a model saved with a baseline.", "feature")
+	mDrift.Set(func() ([]string, []float64) {
+		m := s.model.Load()
+		if m == nil || m.drift == nil {
+			return nil, nil
+		}
+		return m.drift.zscores()
+	})
+	r.NewGaugeFunc("qoeproxy_interned_strings",
+		"Distinct client/SNI strings held by the ingest source's intern tables (0 for sources that do not intern).", func() float64 {
+			if in, ok := s.src.(ingest.Interner); ok {
+				return float64(in.InternedStrings())
+			}
+			return 0
+		})
 	s.mInfer = r.NewHistogram("qoeproxy_inference_seconds",
 		"Latency of the model-prediction half of one classification pass (summed across shard sweeps).", classifyBuckets)
 	s.mExtract = r.NewHistogram("qoeproxy_feature_extraction_seconds",
@@ -996,12 +1305,49 @@ func (s *service) registerMetrics() {
 		"Bytes in in-use heap spans.", func() float64 { return float64(mem.read().HeapInuse) })
 	r.NewGaugeFunc("qoeproxy_goroutines",
 		"Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
+
+	// The first serving bundle installs here rather than in newService:
+	// the cached prediction/confusion handles need the registry. run()
+	// validates the estimator pair before newService, so a build failure
+	// can only mean a caller wired an incompatible pair directly — serve
+	// the primary alone rather than die.
+	m, err := s.buildModel(s.pendingEst, s.pendingShadow)
+	if err != nil {
+		s.log.Error("shadow model incompatible; serving without it", "err", err)
+		m, _ = s.buildModel(s.pendingEst, nil)
+	}
+	s.model.Store(m)
 }
 
-// httpHandler serves /metrics and /healthz.
+// httpHandler serves /metrics, /healthz and the loopback-only admin
+// plane (/admin/reload).
 func (s *service) httpHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		// Authenticated by locality: -metrics may be bound wide for
+		// scrapers, but mutating the serving model is reserved for
+		// operators on the box itself.
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil || !isLoopbackHost(host) {
+			http.Error(w, "reload is loopback-only", http.StatusForbidden)
+			return
+		}
+		result, rerr := s.reloadModel()
+		status := http.StatusOK
+		body := map[string]any{"result": result}
+		if rerr != nil {
+			status = http.StatusUnprocessableEntity
+			body["error"] = rerr.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(body)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		st := s.proxy.Stats()
 		clients := s.clientCount()
@@ -1022,6 +1368,13 @@ func (s *service) httpHandler() http.Handler {
 		})
 	})
 	return mux
+}
+
+// isLoopbackHost reports whether an address host is loopback (IPv4
+// 127/8, IPv6 ::1).
+func isLoopbackHost(host string) bool {
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 // clientCount sums the distinct clients across all shards.
@@ -1058,6 +1411,7 @@ func (s *service) state(sh *shard, client string) *clientState {
 func (s *service) onConnOpen(r tlsproxy.Record) {
 	client := clientHost(r.ClientAddr)
 	start := r.Start.Sub(s.epoch).Seconds()
+	s.noteEventTime(start)
 	sh := s.shardFor(client)
 	s.lockIngest(sh)
 	defer sh.mu.Unlock()
@@ -1215,6 +1569,7 @@ func (s *service) onTransactionBatch(recs []tlsproxy.Record) {
 // business.
 func (s *service) commitTransaction(sh *shard, client string, connID uint64, txn capture.TLSTransaction) {
 	cs := s.state(sh, client)
+	s.noteEventTime(txn.End)
 	if txn.End > cs.lastActivity {
 		cs.lastActivity = txn.End
 	}
@@ -1355,22 +1710,31 @@ func (s *service) forEachShard(fn func(worker, si int)) {
 
 // classifyPass classifies every client's ongoing session, updating
 // prediction counters, the latency histograms and the structured log.
-// The pass fans out across shards on the classify-worker pool: each
-// shard's feature rows are gathered into one contiguous row-major
-// block under that shard's lock only — ingest on other shards never
-// stalls — and then swept through the compiled scorer's batched
-// predictor outside the lock, -classify-batch rows per call (0 falls
-// back to the row-at-a-time predictor). The per-shard results merge in
-// shard order and sort by client, so logs, counters and stored classes
-// are identical at every (shards, workers, batch) setting. Safe to
-// call concurrently with traffic.
-func (s *service) classifyPass(now time.Time) {
-	if s.est == nil {
+// nowSec is the sweep clock in epoch seconds (see sweepNow). The pass
+// fans out across shards on the classify-worker pool: each shard's
+// feature rows are gathered into one contiguous row-major block under
+// that shard's lock only — ingest on other shards never stalls — and
+// then swept through the compiled scorer's batched predictor outside
+// the lock, -classify-batch rows per call (0 falls back to the
+// row-at-a-time predictor). The per-shard results merge in shard order
+// and sort by client, so logs, counters and stored classes are
+// identical at every (shards, workers, batch) setting. Safe to call
+// concurrently with traffic.
+//
+// The serving bundle is Loaded exactly once, up front: a reload landing
+// mid-pass takes effect at the next pass, never inside one. When the
+// bundle carries a shadow challenger, the gathered rows are additionally
+// swept through it and compared row-for-row — counters only, nothing in
+// the primary's output changes. When it carries a drift tracker, the
+// gathered rows are folded into the per-feature running stats.
+func (s *service) classifyPass(nowSec float64) {
+	m := s.model.Load()
+	if m == nil {
 		return
 	}
-	cutoff := now.Sub(s.epoch).Seconds() - s.opts.window.Seconds()
-	stride := s.est.NumFeatures()
-	nc := s.est.NumClasses()
+	cutoff := nowSec - s.opts.window.Seconds()
+	stride := m.est.NumFeatures()
+	nc := m.est.NumClasses()
 	batch := s.opts.classifyBatch
 	var buildNanos, sweepNanos atomic.Int64
 	var errMu sync.Mutex
@@ -1387,9 +1751,9 @@ func (s *service) classifyPass(now time.Time) {
 			var row []float64
 			var n int
 			if s.track {
-				row, n = s.incrementalRow(cs)
+				row, n = s.incrementalRow(m, cs)
 			} else {
-				row, n = s.windowedRow(worker, cs, cutoff)
+				row, n = s.windowedRow(m, worker, cs, cutoff)
 			}
 			if n == 0 {
 				continue
@@ -1424,14 +1788,35 @@ func (s *service) classifyPass(now time.Time) {
 				if hi > rows {
 					hi = rows
 				}
-				err = s.est.ClassifyBlockInto(sh.cBlock[lo*stride:hi*stride],
+				err = m.est.ClassifyBlockInto(sh.cBlock[lo*stride:hi*stride],
 					hi-lo, sh.cProbs[:(hi-lo)*nc], sh.cClasses[lo:hi])
 			}
 		} else if rows > 0 {
 			var classes []int
-			classes, err = s.est.ClassifyRows(sh.cRows)
+			classes, err = m.est.ClassifyRows(sh.cRows)
 			if err == nil {
 				copy(sh.cClasses, classes)
+			}
+		}
+		// The challenger sweeps the same rows after the primary; its only
+		// output is counters, so a shadow failure never fails the pass.
+		if m.shadow != nil && err == nil {
+			if cap(sh.cShadow) < rows {
+				sh.cShadow = make([]int, rows)
+			}
+			sh.cShadow = sh.cShadow[:rows]
+			if serr := s.shadowSweep(m, sh, rows, stride, nc, batch); serr != nil {
+				s.log.Error("shadow classification failed", "err", serr)
+				sh.cShadow = sh.cShadow[:0]
+			}
+		} else {
+			sh.cShadow = sh.cShadow[:0]
+		}
+		if m.drift != nil && err == nil {
+			if batch > 0 {
+				m.drift.observeBlock(sh.cBlock, rows, stride)
+			} else {
+				m.drift.observeRows(sh.cRows)
 			}
 		}
 		sweep := time.Since(t1)
@@ -1446,11 +1831,16 @@ func (s *service) classifyPass(now time.Time) {
 		}
 	})
 	var names []string
-	var classes, counts []int
+	var classes, counts, shadowClasses []int
+	shadowOK := m.shadow != nil
 	for _, sh := range s.shards {
 		names = append(names, sh.cNames...)
 		classes = append(classes, sh.cClasses...)
 		counts = append(counts, sh.cCounts...)
+		if len(sh.cShadow) != len(sh.cNames) {
+			shadowOK = false // a shard's shadow sweep failed; skip comparison
+		}
+		shadowClasses = append(shadowClasses, sh.cShadow...)
 	}
 	if len(names) == 0 {
 		return
@@ -1461,6 +1851,16 @@ func (s *service) classifyPass(now time.Time) {
 		s.mClassErrors.Inc()
 		s.log.Error("classification failed", "err", passErr)
 		return
+	}
+	// Champion/challenger comparison: order-independent counter bumps,
+	// done on the pre-sort merge so the sort below stays three-column.
+	if shadowOK {
+		for i, p := range classes {
+			if c := shadowClasses[i]; c != p {
+				s.mShadowDis.Inc()
+				m.shadow.confusion[p*nc+c].Inc()
+			}
+		}
 	}
 	s.mRuns.Inc()
 	sort.Sort(byName{names, classes, counts})
@@ -1473,9 +1873,36 @@ func (s *service) classifyPass(now time.Time) {
 		sh.mu.Unlock()
 	}
 	for i, client := range names {
-		s.mPredClass[classes[i]].Inc()
-		s.log.Info("classification", "client", client, "class", s.names[classes[i]], "transactions", counts[i])
+		m.predClass[classes[i]].Inc()
+		s.log.Info("classification", "client", client, "class", m.names[classes[i]], "transactions", counts[i])
 	}
+}
+
+// shadowSweep runs the challenger over a shard's already-gathered rows
+// into sh.cShadow, mirroring the primary's batched/row-at-a-time split.
+func (s *service) shadowSweep(m *servingModel, sh *shard, rows, stride, nc, batch int) error {
+	if batch > 0 {
+		for lo := 0; lo < rows; lo += batch {
+			hi := lo + batch
+			if hi > rows {
+				hi = rows
+			}
+			if err := m.shadow.est.ClassifyBlockInto(sh.cBlock[lo*stride:hi*stride],
+				hi-lo, sh.cProbs[:(hi-lo)*nc], sh.cShadow[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if rows == 0 {
+		return nil
+	}
+	classes, err := m.shadow.est.ClassifyRows(sh.cRows)
+	if err != nil {
+		return err
+	}
+	copy(sh.cShadow, classes)
+	return nil
 }
 
 // incrementalRow builds a client's feature row from its maintained
@@ -1483,15 +1910,18 @@ func (s *service) classifyPass(now time.Time) {
 // buffer, which follow the decided ones in start order) in
 // speculatively so the row covers the whole ongoing session. The
 // caller holds the client's shard lock; TrackedRow touches only the
-// session's own accumulator, so shards proceed in parallel.
-func (s *service) incrementalRow(cs *clientState) ([]float64, int) {
+// session's own accumulator, so shards proceed in parallel. The
+// accumulator holds the full feature vector, so the pass's bundle m
+// projects its own subset regardless of which model ingested the
+// transactions — reloads across subsets stay correct.
+func (s *service) incrementalRow(m *servingModel, cs *clientState) ([]float64, int) {
 	cs.winTxns = append(cs.winTxns[:0], cs.inFlight...)
 	cs.winTxns = append(cs.winTxns, cs.buffer...)
 	n := cs.tracked.Len() + len(cs.winTxns)
 	if n == 0 {
 		return nil, 0
 	}
-	cs.row = s.est.TrackedRow(cs.tracked, cs.winTxns, cs.row)
+	cs.row = m.est.TrackedRow(cs.tracked, cs.winTxns, cs.row)
 	return cs.row, n
 }
 
@@ -1500,7 +1930,7 @@ func (s *service) incrementalRow(cs *clientState) ([]float64, int) {
 // client's scratch list and row buffer. The caller holds the client's
 // shard lock; extraction goes through the worker's private RowBuilder
 // (the estimator's shared scratch is not concurrency-safe).
-func (s *service) windowedRow(worker int, cs *clientState, cutoff float64) ([]float64, int) {
+func (s *service) windowedRow(m *servingModel, worker int, cs *clientState, cutoff float64) ([]float64, int) {
 	w := cs.winTxns[:0]
 	for _, run := range [3][]capture.TLSTransaction{cs.current, cs.inFlight, cs.buffer} {
 		for _, t := range run {
@@ -1513,7 +1943,7 @@ func (s *service) windowedRow(worker int, cs *clientState, cutoff float64) ([]fl
 	if len(w) == 0 {
 		return nil, 0
 	}
-	cs.row = s.rowBuilders[worker].FeatureRow(w, cs.row)
+	cs.row = m.rowBuilders[worker].FeatureRow(w, cs.row)
 	return cs.row, len(w)
 }
 
@@ -1537,15 +1967,20 @@ func (b byName) Less(i, j int) bool { return b.names[i] < b.names[j] }
 // -client-ttl and has no open connections: the client's streamer is
 // flushed (finalizing pending decisions), its final classification is
 // emitted to the log and prediction counters, and its state is
-// deleted — keeping the clients map O(active clients). Runs on the
-// classify tick, after classifyPass, on the same goroutine (the
-// estimator's scratch buffers are not concurrency-safe).
-func (s *service) evictIdle(now time.Time) {
+// deleted — keeping the clients map O(active clients). nowSec is the
+// sweep clock in epoch seconds (see sweepNow) — record-derived for
+// file/replay sources, so the TTL comparison shares the timescale of
+// the lastActivity values it is compared against. Runs on the classify
+// tick, after classifyPass, on the same goroutine (the estimator's
+// scratch buffers are not concurrency-safe). The sweep also rotates
+// the ingest source's intern tables at most once per TTL, so released
+// client state releases its interned strings too.
+func (s *service) evictIdle(nowSec float64) {
+	s.rotateInterned(nowSec)
 	ttl := s.opts.clientTTL
 	if ttl <= 0 {
 		return
 	}
-	nowSec := now.Sub(s.epoch).Seconds()
 	type evictee struct {
 		client     string
 		txns       []capture.TLSTransaction
@@ -1584,22 +2019,45 @@ func (s *service) evictIdle(now time.Time) {
 	sort.Slice(gone, func(i, j int) bool { return gone[i].client < gone[j].client })
 	// Final classifications run sequentially on the tick goroutine: the
 	// estimator's Classify scratch is per-call, but the sorted order
-	// keeps logs and counters deterministic across shard counts.
+	// keeps logs and counters deterministic across shard counts. One
+	// bundle Load covers the whole sweep, like classifyPass.
+	m := s.model.Load()
 	for _, e := range gone {
 		attrs := []any{"client", e.client, "transactions", e.total,
 			"boundaries", e.boundaries, "down_bytes", e.downBytes,
 			"mean_txn_seconds", e.meanDur}
-		if s.est != nil && len(e.txns) > 0 {
-			class, err := s.est.Classify(e.txns)
+		if m != nil && len(e.txns) > 0 {
+			class, err := m.est.Classify(e.txns)
 			if err != nil {
 				s.log.Error("eviction classification failed", "client", e.client, "err", err)
 			} else {
-				s.mPredClass[class].Inc()
-				attrs = append(attrs, "class", s.names[class])
+				m.predClass[class].Inc()
+				attrs = append(attrs, "class", m.names[class])
 			}
 		}
 		s.log.Info("client evicted", attrs...)
 	}
+}
+
+// rotateInterned ties interned-string release to client eviction: when
+// the source interns (squid tail), its tables rotate at most once per
+// -client-ttl of sweep-clock time, so a string is released only after
+// one to two TTLs of idleness — the same horizon on which its client's
+// state is reclaimed. Tick goroutine only.
+func (s *service) rotateInterned(nowSec float64) {
+	ttl := s.opts.clientTTL
+	if ttl <= 0 {
+		return
+	}
+	in, ok := s.src.(ingest.Interner)
+	if !ok {
+		return
+	}
+	if nowSec-s.lastRotate < ttl.Seconds() {
+		return
+	}
+	s.lastRotate = nowSec
+	in.ReleaseIdleInterned()
 }
 
 // drain finishes the sessionizers after the proxy has stopped, stops
@@ -1618,7 +2076,8 @@ func (s *service) drain() {
 		sh.mu.Unlock()
 	}
 	s.stopSinkWriter()
-	if s.est == nil {
+	m := s.model.Load()
+	if m == nil {
 		return
 	}
 	sort.Strings(clients)
@@ -1635,13 +2094,13 @@ func (s *service) drain() {
 		if len(txns) == 0 {
 			continue
 		}
-		class, err := s.est.Classify(txns)
+		class, err := m.est.Classify(txns)
 		if err != nil {
 			s.log.Error("shutdown classification failed", "client", c, "err", err)
 			continue
 		}
 		fmt.Printf("client %-22s sessions-qoe=%s (%d transactions, %d boundaries)\n",
-			c, s.names[class], total, boundaries)
+			c, m.names[class], total, boundaries)
 	}
 }
 

@@ -236,7 +236,7 @@ func TestClassifyPassPaths(t *testing.T) {
 				t.Fatal(err)
 			}
 			for pass := 0; pass < 2; pass++ { // second pass reuses warm buffers
-				s.classifyPass(s.epoch.Add(time.Second))
+				s.classifyPass(1)
 				sh.mu.Lock()
 				got, has := cs.lastClass, cs.hasClass
 				sh.mu.Unlock()

@@ -157,8 +157,8 @@ func TestEvictionSoakBounded(t *testing.T) {
 
 		// The classify tick: a pass, then the eviction sweep past the TTL.
 		evictAt := s.epoch.Add(time.Duration((roundEnd + ttl.Seconds() + 1) * float64(time.Second)))
-		s.classifyPass(evictAt)
-		s.evictIdle(evictAt)
+		s.classifyPass(evictAt.Sub(s.epoch).Seconds())
+		s.evictIdle(evictAt.Sub(s.epoch).Seconds())
 
 		if left := s.clientCount(); left != 0 {
 			t.Fatalf("round %d: %d clients survived the eviction sweep", round, left)

@@ -19,6 +19,7 @@ import (
 	"droppackets/internal/ml/eval"
 	"droppackets/internal/ml/forest"
 	"droppackets/internal/qoe"
+	"droppackets/internal/stats"
 )
 
 // ClassNames returns the display names of the three classes of a
@@ -73,6 +74,14 @@ type Estimator struct {
 	// rb serves FeatureRow calls on the estimator itself; concurrent
 	// callers create their own builder via NewRowBuilder (tracked.go).
 	rb *RowBuilder
+
+	// baseMean/baseStd are the training corpus's per-feature population
+	// mean and standard deviation in subset space, captured by Train and
+	// carried in the saved envelope (version 2) so a serving process can
+	// compare live traffic against the distribution the model was fitted
+	// on without access to the corpus. Empty on models loaded from a
+	// version-1 file.
+	baseMean, baseStd []float64
 }
 
 // NewEstimator returns an untrained estimator.
@@ -123,9 +132,54 @@ func (e *Estimator) Train(sessions []TrainingSession) error {
 	if err := e.compile(); err != nil {
 		return err
 	}
+	e.baseMean, e.baseStd = columnStats(ds.X, len(e.cols))
 	e.trained = true
 	return nil
 }
+
+// columnStats computes the per-column population mean and standard
+// deviation of a feature matrix.
+func columnStats(x [][]float64, cols int) (means, stds []float64) {
+	accs := make([]stats.Running, cols)
+	for _, row := range x {
+		for j := range row {
+			accs[j].Observe(row[j])
+		}
+	}
+	means = make([]float64, cols)
+	stds = make([]float64, cols)
+	for j := range accs {
+		means[j] = accs[j].Mean()
+		stds[j] = accs[j].StdDev()
+	}
+	return means, stds
+}
+
+// Baseline returns copies of the training corpus's per-feature mean and
+// standard deviation in subset space (index-aligned with FeatureNames),
+// or nil slices when the estimator carries no baseline — untrained, or
+// loaded from a pre-baseline (version 1) file.
+func (e *Estimator) Baseline() (means, stds []float64) {
+	if len(e.baseMean) == 0 {
+		return nil, nil
+	}
+	means = append([]float64(nil), e.baseMean...)
+	stds = append([]float64(nil), e.baseStd...)
+	return means, stds
+}
+
+// FeatureNames returns the display names of the estimator's feature
+// subset, index-aligned with classify rows and with Baseline.
+func (e *Estimator) FeatureNames() []string {
+	names := make([]string, len(e.cols))
+	for i, c := range e.cols {
+		names[i] = features.TLSNames[c]
+	}
+	return names
+}
+
+// Subset returns the estimator's configured feature subset.
+func (e *Estimator) Subset() features.Subset { return e.cfg.Subset }
 
 // compile flattens the fitted forest into the serving scorer.
 func (e *Estimator) compile() error {

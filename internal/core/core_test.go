@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -352,5 +353,103 @@ func TestLoadEstimatorRejectsGarbage(t *testing.T) {
 		if _, err := LoadEstimator(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d: garbage estimator loaded", i)
 		}
+	}
+}
+
+func TestLoadEstimatorTruncated(t *testing.T) {
+	est := newEstimator()
+	if err := est.Train(trainingData(t, 60)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadEstimator(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated estimator file loaded")
+	}
+}
+
+func TestEstimatorBaselineRoundTrip(t *testing.T) {
+	est := newEstimator()
+	if m, s := est.Baseline(); m != nil || s != nil {
+		t.Error("untrained estimator reports a baseline")
+	}
+	if err := est.Train(trainingData(t, 80)); err != nil {
+		t.Fatal(err)
+	}
+	means, stds := est.Baseline()
+	names := est.FeatureNames()
+	if len(means) != est.NumFeatures() || len(stds) != est.NumFeatures() || len(names) != est.NumFeatures() {
+		t.Fatalf("baseline sizes %d/%d/%d, want %d", len(means), len(stds), len(names), est.NumFeatures())
+	}
+	nonzero := false
+	for i := range means {
+		if means[i] != 0 || stds[i] != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("baseline is all zeros")
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, ls := loaded.Baseline()
+	for i := range means {
+		if lm[i] != means[i] || ls[i] != stds[i] {
+			t.Fatalf("feature %d baseline changed across save/load: %g/%g vs %g/%g",
+				i, lm[i], ls[i], means[i], stds[i])
+		}
+	}
+	if loaded.Subset() != est.Subset() {
+		t.Error("subset not preserved")
+	}
+}
+
+// TestLoadEstimatorVersion1Compat proves pre-baseline model files still
+// load: strip the baseline block from a freshly saved envelope and mark
+// it version 1, the layout every earlier release wrote.
+func TestLoadEstimatorVersion1Compat(t *testing.T) {
+	est := newEstimator()
+	if err := est.Train(trainingData(t, 60)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	delete(env, "baseline")
+	env["version"] = json.RawMessage("1")
+	v1, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEstimator(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+	if m, s := loaded.Baseline(); m != nil || s != nil {
+		t.Error("version-1 file produced a baseline")
+	}
+	// A baseline block whose length disagrees with the subset is corrupt.
+	env["version"] = json.RawMessage("2")
+	env["baseline"] = json.RawMessage(`{"means":[1,2],"stds":[1,2]}`)
+	bad, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEstimator(bytes.NewReader(bad)); err == nil {
+		t.Error("mis-sized baseline block loaded")
 	}
 }

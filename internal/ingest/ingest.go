@@ -119,6 +119,21 @@ type TransactionSource interface {
 	Stats() Stats
 }
 
+// Interner is the optional seam a TransactionSource exposes when it
+// interns identity strings (client addresses, SNI hostnames). The
+// daemon type-asserts its source against this interface to publish the
+// table size as a gauge and to tie string release to its own eviction
+// sweep — the interner itself has no idea when a client is gone.
+type Interner interface {
+	// InternedStrings reports how many distinct strings the source
+	// currently holds.
+	InternedStrings() int
+	// ReleaseIdleInterned drops strings not sighted since the previous
+	// call (a generation rotation), bounding table growth to the active
+	// working set.
+	ReleaseIdleInterned()
+}
+
 // QuantizeMicros snaps a time offset in seconds onto the microsecond
 // grid, rounding half away from zero and carrying a full second when
 // the fraction rounds up to 1e6 µs. Every file source applies it at

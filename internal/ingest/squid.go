@@ -70,8 +70,36 @@ type SquidSource struct {
 	Batch int
 
 	tally
+	internOnce  sync.Once
 	clientNames *intern.Table
 	sniNames    *intern.Table
+}
+
+// initInterners creates the identity-string tables exactly once; Run
+// and the Interner methods may race from different goroutines.
+func (s *SquidSource) initInterners() {
+	s.internOnce.Do(func() {
+		s.clientNames = intern.NewTable()
+		s.sniNames = intern.NewTable()
+	})
+}
+
+// InternedStrings reports how many distinct client and SNI strings the
+// source currently holds across both intern generations — the
+// qoeproxy_interned_strings gauge.
+func (s *SquidSource) InternedStrings() int {
+	s.initInterners()
+	return s.clientNames.Len() + s.sniNames.Len()
+}
+
+// ReleaseIdleInterned rotates both intern tables, releasing strings not
+// sighted since the previous call. qoeproxy hooks this into its
+// eviction sweep so table growth tracks the active endpoint population
+// instead of the all-time distinct count.
+func (s *SquidSource) ReleaseIdleInterned() {
+	s.initInterners()
+	s.clientNames.Rotate()
+	s.sniNames.Rotate()
 }
 
 // maxCarryBytes caps the partial-line carry buffer: a line still
@@ -294,8 +322,7 @@ func (s *SquidSource) Run(ctx context.Context, h Handler) error {
 		return fmt.Errorf("ingest: stat squid log: %w", err)
 	}
 	br := bufio.NewReaderSize(f, 64<<10)
-	s.clientNames = intern.NewTable()
-	s.sniNames = intern.NewTable()
+	s.initInterners()
 
 	maxBatch := s.Batch
 	if maxBatch <= 0 {

@@ -11,6 +11,13 @@
 // for different shards never contend. Go maps look up string(b) keys
 // from a []byte without allocating, which is what makes the hit path
 // allocation-free.
+//
+// Each shard keeps two generations of entries so long-running daemons
+// with churning client populations do not leak one string per distinct
+// value forever: Rotate demotes the current generation, and values not
+// seen again before the next Rotate are dropped. A value sighted in the
+// old generation is promoted back, so active strings survive any number
+// of rotations.
 package intern
 
 import "sync"
@@ -25,16 +32,22 @@ type Table struct {
 	shards [shardCount]shard
 }
 
+// shard holds two generations: cur receives inserts and promotions,
+// prev holds values not seen since the last Rotate. A hit in prev moves
+// the value to cur, so only values idle across two consecutive Rotate
+// calls are released.
 type shard struct {
-	mu sync.RWMutex
-	m  map[string]string
+	mu   sync.RWMutex
+	cur  map[string]string
+	prev map[string]string
 }
 
 // NewTable returns an empty interner.
 func NewTable() *Table {
 	t := &Table{}
 	for i := range t.shards {
-		t.shards[i].m = map[string]string{}
+		t.shards[i].cur = map[string]string{}
+		t.shards[i].prev = map[string]string{}
 	}
 	return t
 }
@@ -56,21 +69,18 @@ func fnv1a(b []byte) uint32 {
 // Bytes returns the canonical string for b, allocating it only the
 // first time this value is seen. added reports a first sighting, which
 // is how the squid source counts distinct clients without a second
-// tracking map.
+// tracking map. A value resurfacing after Rotate released it counts as
+// a fresh sighting again.
 func (t *Table) Bytes(b []byte) (s string, added bool) {
 	sh := &t.shards[fnv1a(b)&(shardCount-1)]
 	sh.mu.RLock()
-	s, ok := sh.m[string(b)] // no allocation: map lookup special case
+	s, ok := sh.cur[string(b)] // no allocation: map lookup special case
 	sh.mu.RUnlock()
 	if ok {
 		return s, false
 	}
 	sh.mu.Lock()
-	if s, ok = sh.m[string(b)]; !ok {
-		s = string(b)
-		sh.m[s] = s
-		added = true
-	}
+	s, added = sh.insertLocked(string(b))
 	sh.mu.Unlock()
 	return s, added
 }
@@ -81,19 +91,33 @@ func (t *Table) Bytes(b []byte) (s string, added bool) {
 func (t *Table) String(v string) (s string, added bool) {
 	sh := &t.shards[fnv1aString(v)&(shardCount-1)]
 	sh.mu.RLock()
-	s, ok := sh.m[v]
+	s, ok := sh.cur[v]
 	sh.mu.RUnlock()
 	if ok {
 		return s, false
 	}
 	sh.mu.Lock()
-	if s, ok = sh.m[v]; !ok {
-		s = v
-		sh.m[s] = s
-		added = true
-	}
+	s, added = sh.insertLocked(v)
 	sh.mu.Unlock()
 	return s, added
+}
+
+// insertLocked resolves a cur miss under the write lock: re-check cur
+// (another writer may have raced), promote from prev, or insert fresh.
+// k must already be a materialized string (string(b) conversions in the
+// callers only allocate on this slow path).
+func (sh *shard) insertLocked(k string) (s string, added bool) {
+	if s, ok := sh.cur[k]; ok {
+		return s, false
+	}
+	if s, ok := sh.prev[k]; ok {
+		// Promote: the value is still live, keep it out of the next drop.
+		sh.cur[s] = s
+		delete(sh.prev, s)
+		return s, false
+	}
+	sh.cur[k] = k
+	return k, true
 }
 
 func fnv1aString(v string) uint32 {
@@ -109,14 +133,31 @@ func fnv1aString(v string) uint32 {
 	return h
 }
 
-// Len reports how many distinct values the table holds.
+// Len reports how many distinct values the table holds across both
+// generations.
 func (t *Table) Len() int {
 	n := 0
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.RLock()
-		n += len(sh.m)
+		n += len(sh.cur) + len(sh.prev)
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// Rotate releases every value not seen since the previous Rotate and
+// demotes the rest: prev is dropped, cur becomes prev, and a fresh cur
+// starts accumulating. Callers tie Rotate to their own idleness signal
+// — qoeproxy calls it from the eviction sweep — so table growth is
+// bounded by two generations of the active working set instead of the
+// all-time distinct count.
+func (t *Table) Rotate() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.prev = sh.cur
+		sh.cur = make(map[string]string, len(sh.prev))
+		sh.mu.Unlock()
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestBytesCanonical(t *testing.T) {
@@ -115,6 +116,96 @@ func TestHitPathAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("hit path allocates %v per %d lookups, want 0", n, len(keys))
 	}
+}
+
+func TestRotateReleasesIdle(t *testing.T) {
+	tab := NewTable()
+	tab.Bytes([]byte("active"))
+	tab.Bytes([]byte("idle"))
+	tab.Rotate() // both demoted to prev
+	// "active" is sighted again: promoted, not counted as new.
+	if s, added := tab.Bytes([]byte("active")); added || s != "active" {
+		t.Fatalf("promotion = (%q, %v), want (active, false)", s, added)
+	}
+	if got := tab.Len(); got != 2 {
+		t.Fatalf("Len after promote = %d, want 2", got)
+	}
+	tab.Rotate() // "idle" idle for two generations: dropped
+	if got := tab.Len(); got != 1 {
+		t.Fatalf("Len after second rotate = %d, want 1", got)
+	}
+	// A released value resurfacing counts as a fresh sighting.
+	if _, added := tab.Bytes([]byte("idle")); !added {
+		t.Fatal("released value not re-added")
+	}
+}
+
+// TestChurnBounded is the leak regression: a daemon interning a
+// never-repeating stream of client addresses must not grow without
+// bound as long as Rotate runs periodically. Growth is bounded by two
+// generations of the per-interval working set.
+func TestChurnBounded(t *testing.T) {
+	const (
+		rounds   = 50
+		perRound = 500
+	)
+	tab := NewTable()
+	buf := make([]byte, 0, 32)
+	peak := 0
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			buf = fmt.Appendf(buf[:0], "client-%d-%d", r, i)
+			tab.Bytes(buf)
+		}
+		if n := tab.Len(); n > peak {
+			peak = n
+		}
+		tab.Rotate()
+	}
+	// Without release the table would hold rounds*perRound = 25000
+	// strings; with two generations it can never exceed 2 intervals.
+	if limit := 2 * perRound; peak > limit {
+		t.Fatalf("peak table size %d exceeds two-generation bound %d", peak, limit)
+	}
+	if got := tab.Len(); got > perRound {
+		t.Fatalf("final Len = %d, want <= %d", got, perRound)
+	}
+}
+
+// TestRotateConcurrent interleaves rotations with lookups under -race.
+func TestRotateConcurrent(t *testing.T) {
+	tab := NewTable()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tab.Rotate()
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 32)
+			for i := 0; i < 5000; i++ {
+				buf = fmt.Appendf(buf[:0], "client-%d", i%100)
+				if s, _ := tab.Bytes(buf); s != string(buf) {
+					t.Errorf("canonical mismatch: %q vs %q", s, buf)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 func BenchmarkBytesHit(b *testing.B) {

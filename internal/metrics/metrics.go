@@ -299,6 +299,124 @@ func (v *CounterVec) write(w io.Writer) {
 	}
 }
 
+// CounterVec2 is a family of counters keyed by two labels — e.g. the
+// shadow-scoring confusion counters in cmd/qoeproxy, partitioned by
+// the primary model's class and the challenger's class. Children are
+// created on first use and render sorted by label pair for stable
+// output; WithLabels returns a cached lock-free handle like
+// CounterVec.WithLabel.
+type CounterVec2 struct {
+	name, help     string
+	label1, label2 string
+
+	mu       sync.Mutex
+	children map[[2]string]*atomic.Int64
+}
+
+// NewCounterVec2 registers a two-label counter family.
+func (r *Registry) NewCounterVec2(name, help, label1, label2 string) *CounterVec2 {
+	v := &CounterVec2{
+		name: name, help: help, label1: label1, label2: label2,
+		children: map[[2]string]*atomic.Int64{},
+	}
+	r.register(name, v)
+	return v
+}
+
+// child returns (creating if needed) the counter for a label pair.
+func (v *CounterVec2) child(v1, v2 string) *atomic.Int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := [2]string{v1, v2}
+	c, ok := v.children[key]
+	if !ok {
+		c = &atomic.Int64{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// WithLabels returns a cached handle to the counter for a label pair,
+// creating the child (and its zero-rendered series) if needed.
+func (v *CounterVec2) WithLabels(v1, v2 string) *LabeledCounter {
+	return &LabeledCounter{v: v.child(v1, v2)}
+}
+
+// Value returns the current count for a label pair.
+func (v *CounterVec2) Value(v1, v2 string) int64 { return v.child(v1, v2).Load() }
+
+func (v *CounterVec2) write(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	keys := make([][2]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	counts := make(map[[2]string]int64, len(keys))
+	for _, k := range keys {
+		counts[k] = v.children[k].Load()
+	}
+	v.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q,%s=%q} %d\n", v.name, v.label1, k[0], v.label2, k[1], counts[k])
+	}
+}
+
+// GaugeVecFunc is a family of gauges keyed by one label whose entire
+// child set is sampled from a single snapshot callback at scrape time
+// — the bridge for label sets that change at runtime, like the
+// per-feature drift z-scores whose feature set follows whichever
+// model is currently loaded. The HELP/TYPE preamble renders even when
+// the callback is unset or returns nothing, so the family's existence
+// is scrapeable before the first sample.
+type GaugeVecFunc struct {
+	name, help, label string
+
+	mu sync.Mutex
+	fn func() (values []string, samples []float64)
+}
+
+// NewGaugeVecFunc registers a snapshot-sampled gauge family.
+func (r *Registry) NewGaugeVecFunc(name, help, label string) *GaugeVecFunc {
+	g := &GaugeVecFunc{name: name, help: help, label: label}
+	r.register(name, g)
+	return g
+}
+
+// Set installs (or replaces) the snapshot callback. The callback must
+// return label values paired index-wise with samples; extra entries in
+// the longer slice are ignored. It may be called from any goroutine at
+// scrape time.
+func (g *GaugeVecFunc) Set(fn func() ([]string, []float64)) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+func (g *GaugeVecFunc) write(w io.Writer) {
+	header(w, g.name, g.help, "gauge")
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	values, samples := fn()
+	n := len(values)
+	if len(samples) < n {
+		n = len(samples)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", g.name, g.label, values[i], formatFloat(samples[i]))
+	}
+}
+
 // CounterVecFunc is a family of sampled counters keyed by one label —
 // the bridge for counters owned by another subsystem that come in
 // labeled sets, like the per-source ingest totals. Children are

@@ -183,6 +183,62 @@ func TestBadBucketsPanic(t *testing.T) {
 	NewRegistry().NewHistogram("h", "bad", []float64{1, 1})
 }
 
+func TestCounterVec2SortedPairs(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec2("confusion_total", "Confusion cells.", "primary", "shadow")
+	low := v.WithLabels("low", "high")
+	low.Inc()
+	low.Add(2)
+	v.WithLabels("high", "low").Inc()
+	v.WithLabels("high", "high") // declared, renders as 0
+	out := render(r)
+	want := "# HELP confusion_total Confusion cells.\n" +
+		"# TYPE confusion_total counter\n" +
+		`confusion_total{primary="high",shadow="high"} 0` + "\n" +
+		`confusion_total{primary="high",shadow="low"} 1` + "\n" +
+		`confusion_total{primary="low",shadow="high"} 3` + "\n"
+	if out != want {
+		t.Errorf("render:\n%s\nwant:\n%s", out, want)
+	}
+	if v.Value("low", "high") != 3 {
+		t.Errorf("Value = %d, want 3", v.Value("low", "high"))
+	}
+}
+
+func TestGaugeVecFuncSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVecFunc("drift_zscore", "Drift by feature.", "feature")
+	// Before Set: preamble only, no children.
+	out := render(r)
+	if !strings.Contains(out, "# TYPE drift_zscore gauge\n") {
+		t.Errorf("preamble missing before Set:\n%s", out)
+	}
+	if strings.Contains(out, "drift_zscore{") {
+		t.Errorf("children rendered before Set:\n%s", out)
+	}
+	g.Set(func() ([]string, []float64) {
+		return []string{"dl_bytes", "iat_mean"}, []float64{1.25, -0.5}
+	})
+	out = render(r)
+	for _, want := range []string{
+		`drift_zscore{feature="dl_bytes"} 1.25`,
+		`drift_zscore{feature="iat_mean"} -0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The callback can be swapped at runtime (model reload changes the
+	// feature set); mismatched slice lengths truncate to the shorter.
+	g.Set(func() ([]string, []float64) {
+		return []string{"a", "b", "c"}, []float64{1}
+	})
+	out = render(r)
+	if !strings.Contains(out, `drift_zscore{feature="a"} 1`) || strings.Contains(out, `feature="b"`) {
+		t.Errorf("snapshot swap/truncation wrong:\n%s", out)
+	}
+}
+
 func TestHandlerServesTextFormat(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounter("hits_total", "Hits.").Add(3)

@@ -27,7 +27,7 @@ echo "== go test -race (concurrent packages, incl. faultinject chaos tests and q
 # -timeout 20m: the experiments paper-shape suite takes ~10 wall-clock
 # minutes under the race detector on a 1-core host, right at go test's
 # default timeout.
-go test -race -timeout 20m ./internal/ml/... ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./internal/intern ./internal/ingest ./cmd/qoeproxy
+go test -race -timeout 20m ./internal/ml/... ./internal/core ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./internal/intern ./internal/ingest ./cmd/qoeproxy
 
 echo "== feature benchmarks (smoke) =="
 go test -run '^$' -bench Feature -benchtime 1x .
@@ -47,7 +47,7 @@ if ! echo "$parse_out" | grep -q "	       0 allocs/op"; then
 	exit 1
 fi
 
-echo "== qoeproxy smoke (/metrics, /healthz, squid-log tail, SIGTERM drain) =="
+echo "== qoeproxy smoke (/metrics, /healthz, squid-log tail, model hot reload, SIGTERM drain) =="
 go run ./scripts/smoke
 
 echo "== qoeload soak (replay a few hundred clients through the real service loop) =="

@@ -1,17 +1,21 @@
 // Command smoke is the CI gate for qoeproxy's service surface. It
-// builds the daemon once and runs two scenarios: the proxy smoke
+// builds the daemon once and runs three scenarios: the proxy smoke
 // (start on ephemeral ports, wait for the structured "metrics
 // listening" log line, scrape /healthz and /metrics, assert every core
-// series exists, SIGTERM, require a clean drain) and the squid-tail
+// series exists, SIGTERM, require a clean drain), the squid-tail
 // smoke (daemon follows a generated access log, per-source ingest
-// counters track lines appended mid-run, SIGTERM drains cleanly). Run
-// from the repo root:
+// counters track lines appended mid-run, SIGTERM drains cleanly), and
+// the model-reload smoke (daemon starts serving model A, rolls to
+// model B via POST /admin/reload and again via SIGHUP with the reload
+// counters tracking each swap, then a corrupt model file is rejected
+// with the old model still serving). Run from the repo root:
 //
 //	go run ./scripts/smoke
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,6 +27,12 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"droppackets/internal/core"
+	"droppackets/internal/dataset"
+	"droppackets/internal/has"
+	"droppackets/internal/ml/forest"
+	"droppackets/internal/qoe"
 )
 
 // coreSeries are the metric families operators alert on; docs/OPERATIONS.md
@@ -45,6 +55,12 @@ var coreSeries = []string{
 	"qoeproxy_ingest_source_skipped_total",
 	"qoeproxy_ingest_source_malformed_total",
 	"qoeproxy_ingest_source_rotations_total",
+	"qoeproxy_model_reloads_total",
+	"qoeproxy_model_loaded_timestamp_seconds",
+	"qoeproxy_shadow_disagreement_total",
+	"qoeproxy_shadow_confusion_total",
+	"qoeproxy_feature_drift_zscore",
+	"qoeproxy_interned_strings",
 	"qoeproxy_connections_total",
 	"qoeproxy_connections_active",
 	"qoeproxy_hello_parse_failures_total",
@@ -87,6 +103,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("smoke: qoeproxy tails a Squid log with live per-source counters and drains cleanly")
+	if err := smokeReload(bin, tmp); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL: model reload:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: qoeproxy hot-reloads models via /admin/reload and SIGHUP and rejects corrupt files")
 }
 
 // startDaemon launches the built daemon and returns it along with the
@@ -214,38 +235,11 @@ func smokeSquidTail(bin, tmp string) error {
 	}
 	defer daemon.Process.Kill()
 
-	series := func(name string) float64 {
-		body, err := get("http://" + addr + "/metrics")
-		if err != nil {
-			return -1
-		}
-		for _, line := range strings.Split(body, "\n") {
-			if rest, ok := strings.CutPrefix(line, name+" "); ok {
-				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-				if err == nil {
-					return v
-				}
-			}
-		}
-		return -1
-	}
-	waitSeries := func(name string, want float64) error {
-		deadline := time.Now().Add(15 * time.Second)
-		for {
-			if got := series(name); got == want {
-				return nil
-			} else if time.Now().After(deadline) {
-				return fmt.Errorf("%s = %v, want %v", name, got, want)
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
-	}
-
 	records := `qoeproxy_ingest_source_records_total{source="squid"}`
-	if err := waitSeries(records, 3); err != nil {
+	if err := waitSeries(addr, records, 3); err != nil {
 		return err
 	}
-	if err := waitSeries(`qoeproxy_ingest_source_skipped_total{source="squid"}`, 1); err != nil {
+	if err := waitSeries(addr, `qoeproxy_ingest_source_skipped_total{source="squid"}`, 1); err != nil {
 		return err
 	}
 	fmt.Println("smoke: squid tail ingested the initial log (3 records, 1 skipped)")
@@ -263,15 +257,177 @@ func smokeSquidTail(bin, tmp string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := waitSeries(records, 5); err != nil {
+	if err := waitSeries(addr, records, 5); err != nil {
 		return fmt.Errorf("after live append: %w", err)
 	}
-	if got := series("qoeproxy_transactions_total"); got != 5 {
+	if got := series(addr, "qoeproxy_transactions_total"); got != 5 {
 		return fmt.Errorf("qoeproxy_transactions_total = %v, want 5", got)
 	}
 	fmt.Println("smoke: squid tail picked up lines appended while running")
 
 	return stopDaemon(daemon)
+}
+
+// series scrapes one metric sample from the daemon, or -1 if absent.
+// Labeled series are addressed by their full name{label="x"} form.
+func series(addr, name string) float64 {
+	body, err := get("http://" + addr + "/metrics")
+	if err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// waitSeries polls a series until it reaches want or 15s elapse.
+func waitSeries(addr, name string, want float64) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if got := series(addr, name); got == want {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("%s = %v, want %v", name, got, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// trainedModel trains a small estimator on the synthetic corpus and
+// returns its saved-model bytes; seed/trees differentiate models so a
+// reload observably changes what is serving.
+func trainedModel(seed int64, trees int) ([]byte, error) {
+	corpus, err := dataset.Build(dataset.Config{Seed: 5, Sessions: 40}, has.Svc1())
+	if err != nil {
+		return nil, err
+	}
+	var training []core.TrainingSession
+	for _, r := range corpus.Records {
+		training = append(training, core.TrainingSession{TLS: r.Capture.TLS, QoE: r.QoE})
+	}
+	est := core.NewEstimator(core.Config{Metric: qoe.MetricCombined, Forest: forest.Config{NumTrees: trees, Seed: seed}})
+	if err := est.Train(training); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// smokeReload runs the model-lifecycle scenario: the daemon starts
+// with model A, swaps to model B over the admin endpoint and again via
+// SIGHUP, and a corrupt file is rejected with 422 while the previous
+// model keeps serving and the daemon stays healthy.
+func smokeReload(bin, tmp string) error {
+	modelA, err := trainedModel(3, 8)
+	if err != nil {
+		return err
+	}
+	modelB, err := trainedModel(17, 4)
+	if err != nil {
+		return err
+	}
+	modelPath := filepath.Join(tmp, "model.json")
+	if err := os.WriteFile(modelPath, modelA, 0o644); err != nil {
+		return err
+	}
+
+	daemon, addr, err := startDaemon(bin,
+		"-listen", "127.0.0.1:0",
+		"-metrics", "127.0.0.1:0",
+		"-upstream", "127.0.0.1:9",
+		"-model", modelPath,
+	)
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+
+	if got := series(addr, "qoeproxy_model_loaded_timestamp_seconds"); got <= 0 {
+		return fmt.Errorf("qoeproxy_model_loaded_timestamp_seconds = %v at startup with -model, want > 0", got)
+	}
+
+	// Roll A -> B over the admin plane.
+	if err := os.WriteFile(modelPath, modelB, 0o644); err != nil {
+		return err
+	}
+	code, body, err := post("http://" + addr + "/admin/reload")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !strings.Contains(body, `"result":"ok"`) {
+		return fmt.Errorf("POST /admin/reload = %d %q, want 200 with result ok", code, body)
+	}
+	if err := waitSeries(addr, `qoeproxy_model_reloads_total{result="ok"}`, 1); err != nil {
+		return err
+	}
+	fmt.Println("smoke: POST /admin/reload swapped model A for model B")
+
+	// Roll back B -> A via SIGHUP.
+	if err := os.WriteFile(modelPath, modelA, 0o644); err != nil {
+		return err
+	}
+	if err := daemon.Process.Signal(syscall.SIGHUP); err != nil {
+		return err
+	}
+	if err := waitSeries(addr, `qoeproxy_model_reloads_total{result="ok"}`, 2); err != nil {
+		return fmt.Errorf("after SIGHUP: %w", err)
+	}
+	fmt.Println("smoke: SIGHUP reloaded the model file")
+
+	// A corrupt file must be rejected with the old model untouched.
+	if err := os.WriteFile(modelPath, []byte("{not a model"), 0o644); err != nil {
+		return err
+	}
+	code, body, err = post("http://" + addr + "/admin/reload")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusUnprocessableEntity || !strings.Contains(body, `"result":"error"`) {
+		return fmt.Errorf("corrupt reload = %d %q, want 422 with result error", code, body)
+	}
+	if err := waitSeries(addr, `qoeproxy_model_reloads_total{result="error"}`, 1); err != nil {
+		return err
+	}
+	if got := series(addr, `qoeproxy_model_reloads_total{result="ok"}`); got != 2 {
+		return fmt.Errorf("ok reloads after corrupt attempt = %v, want still 2", got)
+	}
+	health, err := get("http://" + addr + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon unhealthy after rejected reload: %w", err)
+	}
+	var status struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(health), &status); err != nil || status.Status != "ok" {
+		return fmt.Errorf("healthz after rejected reload = %q (parse err %v)", health, err)
+	}
+	fmt.Println("smoke: corrupt model rejected with 422; previous model still serving")
+
+	return stopDaemon(daemon)
+}
+
+// post sends an empty POST with a deadline and returns status + body.
+func post(url string) (int, string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		return 0, "", fmt.Errorf("POST %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(body), nil
 }
 
 // get fetches a URL with a deadline and returns the body.

@@ -15,7 +15,7 @@
 //	        [-classify-every 500ms] [-window 0] [-shards N]
 //	        [-classify-workers N] [-classify-batch 256]
 //	        [-replay-workers 4] [-socket-workers 32]
-//	        [-settle 60s] [-out BENCH_load.json] [-bin path]
+//	        [-instances N] [-settle 60s] [-out BENCH_load.json] [-bin path]
 //
 // Transport "replay" (the default) ships the workload to the daemon as
 // a CSV and lets qoeproxy -replay deliver it through the record-replay
@@ -29,6 +29,13 @@
 // log-parse-and-reorder path end to end. -slow-sink routes the
 // daemon's -out CSV through a deliberately slow FIFO reader,
 // exercising sink backpressure during load.
+//
+// -instances N adds a fleet section to the report: N daemons behind
+// one consistent-hash ring (plus a 1-instance baseline), each fed the
+// identical workload with its ring filter skipping non-owned clients,
+// checked for exactly-once coverage and clean SIGTERM-with-snapshot;
+// see fleet.go. -shapes "" skips the per-shape runs so a fleet smoke
+// can run alone.
 //
 // The harness fails (exit 1) if the daemon drops records
 // (transactions_total != records replayed), reports classification
@@ -83,6 +90,8 @@ type loadOptions struct {
 	replayWorkers   int
 	socketWorkers   int
 
+	instances int
+
 	settle time.Duration
 	out    string
 	bin    string
@@ -105,6 +114,7 @@ func main() {
 	flag.IntVar(&o.classifyBatch, "classify-batch", 256, "daemon batched-sweep rows per inference call (0 = row-at-a-time)")
 	flag.IntVar(&o.replayWorkers, "replay-workers", 4, "daemon replay delivery goroutines (replay transport)")
 	flag.IntVar(&o.socketWorkers, "socket-workers", 32, "concurrent fetches (sockets transport)")
+	flag.IntVar(&o.instances, "instances", 0, "also bench a consistent-hash partitioned fleet of N daemons against the shared workload (0 = skip the fleet section)")
 	flag.DurationVar(&o.settle, "settle", 60*time.Second, "how long to wait after replay for classification passes to accumulate")
 	flag.StringVar(&o.out, "out", "BENCH_load.json", "write the load report here")
 	flag.StringVar(&o.bin, "bin", "", "prebuilt qoeproxy binary (empty: go build one into a temp dir)")
@@ -119,9 +129,15 @@ func main() {
 // runLoad executes every requested shape and writes the report,
 // returning an error if any shape failed a correctness check.
 func runLoad(o loadOptions) error {
-	shapes := strings.Split(o.shapes, ",")
-	for i := range shapes {
-		shapes[i] = strings.TrimSpace(shapes[i])
+	var shapes []string
+	if o.shapes != "" {
+		shapes = strings.Split(o.shapes, ",")
+		for i := range shapes {
+			shapes[i] = strings.TrimSpace(shapes[i])
+		}
+	}
+	if o.instances > 0 && o.transport != "replay" {
+		return fmt.Errorf("-instances requires the replay transport")
 	}
 	dir, err := os.MkdirTemp("", "qoeload")
 	if err != nil {
@@ -172,6 +188,7 @@ func runLoad(o loadOptions) error {
 			"classify_batch":   o.classifyBatch,
 			"replay_workers":   o.replayWorkers,
 			"socket_workers":   o.socketWorkers,
+			"instances":        o.instances,
 		},
 		Shapes: map[string]*shapeResult{},
 	}
@@ -192,6 +209,33 @@ func runLoad(o loadOptions) error {
 		report.Shapes[shape] = res
 		for _, f := range res.Failures {
 			failed = append(failed, shape+": "+f)
+		}
+	}
+
+	// Fleet section: 1 instance as the scale-out baseline, then the
+	// requested count — same workload, same ring math, so the two rows
+	// are directly comparable.
+	if o.instances > 0 {
+		report.Fleet = map[string]*fleetResult{}
+		counts := []int{1}
+		if o.instances > 1 {
+			counts = append(counts, o.instances)
+		}
+		w, err := p.generate(genConfig{clients: o.clients, seed: o.seed, ramp: o.ramp.Seconds(), shape: "steady"})
+		if err != nil {
+			return err
+		}
+		for _, n := range counts {
+			fmt.Fprintf(os.Stderr, "qoeload: fleet bench: %d instance(s), %d records, %d clients\n",
+				n, len(w.records), w.clients)
+			fres, err := runFleet(o, bin, modelPath, dir, w, n)
+			if err != nil {
+				return fmt.Errorf("fleet %d: %w", n, err)
+			}
+			report.Fleet[fmt.Sprint(n)] = fres
+			for _, f := range fres.Failures {
+				failed = append(failed, fmt.Sprintf("fleet %d: %s", n, f))
+			}
 		}
 	}
 

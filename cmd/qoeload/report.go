@@ -185,4 +185,7 @@ type benchReport struct {
 	Host   map[string]any          `json:"host"`
 	Config map[string]any          `json:"config"`
 	Shapes map[string]*shapeResult `json:"shapes"`
+	// Fleet holds the -instances scale-out runs, keyed by instance
+	// count ("1" is the single-member baseline).
+	Fleet map[string]*fleetResult `json:"fleet,omitempty"`
 }

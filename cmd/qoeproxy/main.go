@@ -21,6 +21,8 @@
 //	         [-ingest-speed X] [-ingest-workers N] [-ingest-epoch T]
 //	         [-ingest-horizon 5m] [-follow=true]
 //	         [-ingest-batch N] [-parse-workers N]
+//	         [-cluster-config cluster.json] [-instance-id ID]
+//	         [-snapshot state.json] [-restore state.json]
 //	         [-v]
 //
 // The daemon's telemetry arrives through one internal/ingest
@@ -65,7 +67,18 @@
 // training distribution. Stop with SIGINT/SIGTERM:
 // the proxy stops accepting, drains open relays, flushes the
 // sessionizers, prints per-client QoE estimates (if -model is given)
-// and exits cleanly. docs/OPERATIONS.md is the full runbook.
+// and exits cleanly.
+//
+// The daemon also runs as one member of a serving fleet:
+// -cluster-config/-instance-id load a static consistent-hash ring
+// (internal/cluster) so N instances tailing the same telemetry jointly
+// cover every client exactly once, each skipping (and counting) the
+// clients the ring assigns elsewhere. -snapshot serializes the live
+// serving state on shutdown (or POST /admin/snapshot) and -restore
+// rebuilds it at startup, so an instance restarts warm — or hands its
+// partitions to a peer — with mid-session classifications
+// byte-identical to a daemon that never stopped (see snapshot.go).
+// docs/OPERATIONS.md is the full runbook.
 package main
 
 import (
@@ -91,6 +104,7 @@ import (
 	"time"
 
 	"droppackets/internal/capture"
+	"droppackets/internal/cluster"
 	"droppackets/internal/core"
 	"droppackets/internal/ingest"
 	"droppackets/internal/metrics"
@@ -129,6 +143,10 @@ func main() {
 	flag.BoolVar(&opts.follow, "follow", true, "for -source=squid: keep tailing the log across rotation/truncation (false stops at EOF)")
 	flag.IntVar(&opts.ingestBatch, "ingest-batch", 256, "transactions coalesced per shard-batched ingest commit; 0 delivers record-at-a-time")
 	flag.IntVar(&opts.parseWorkers, "parse-workers", 1, "for -source=squid: goroutines decoding log lines (output is identical at any setting)")
+	flag.StringVar(&opts.clusterConfig, "cluster-config", "", "cluster membership file (internal/cluster JSON); this instance serves only the clients the ring assigns it")
+	flag.StringVar(&opts.instanceID, "instance-id", "", "this daemon's id in -cluster-config (required with it)")
+	flag.StringVar(&opts.snapshotPath, "snapshot", "", "write the serving state here on shutdown (and on POST /admin/snapshot) instead of printing the shutdown summary")
+	flag.StringVar(&opts.restorePath, "restore", "", "restore serving state from this snapshot at startup (missing/corrupt files log and start cold)")
 	flag.BoolVar(&opts.verbose, "v", false, "log per-transaction detail (debug level)")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -159,6 +177,8 @@ type options struct {
 	follow                        bool
 	ingestBatch                   int
 	parseWorkers                  int
+	clusterConfig, instanceID     string
+	snapshotPath, restorePath     string
 	verbose                       bool
 }
 
@@ -376,6 +396,13 @@ type service struct {
 	src ingest.TransactionSource
 	reg *metrics.Registry
 
+	// ring is the fleet's consistent-hash client assignment and
+	// instanceID this daemon's member id; both nil/empty for a
+	// standalone daemon. Immutable after run() wires them, so the ingest
+	// hot path reads them without synchronization.
+	ring       *cluster.Ring
+	instanceID string
+
 	// shards partition the per-client state by FNV hash of the client
 	// host. Immutable after newService.
 	shards []*shard
@@ -398,6 +425,7 @@ type service struct {
 	mSinkFailures  *metrics.Counter
 	mEvicted       *metrics.Counter
 	mContention    *metrics.Counter
+	mSkipped       *metrics.Counter
 
 	out   *sink
 	squid *sink
@@ -823,6 +851,22 @@ func run(opts options) error {
 	if source != "proxy" && opts.input == "" {
 		return fmt.Errorf("-source %s needs -input", source)
 	}
+	if (opts.clusterConfig == "") != (opts.instanceID == "") {
+		return fmt.Errorf("-cluster-config and -instance-id must be given together")
+	}
+	var ring *cluster.Ring
+	if opts.clusterConfig != "" {
+		cfg, err := cluster.LoadConfigFile(opts.clusterConfig)
+		if err != nil {
+			return err
+		}
+		if ring, err = cluster.New(cfg); err != nil {
+			return err
+		}
+		if !ring.Has(opts.instanceID) {
+			return fmt.Errorf("-instance-id %q is not a member of %s", opts.instanceID, opts.clusterConfig)
+		}
+	}
 
 	var resolver tlsproxy.Resolver
 	if source == "proxy" {
@@ -877,6 +921,19 @@ func run(opts options) error {
 	s := newService(opts, logger, est)
 	s.pendingShadow = shadowEst
 	defer s.stopSinkWriter()
+	if ring != nil {
+		s.ring, s.instanceID = ring, opts.instanceID
+		logger.Info("cluster membership loaded", "instance", opts.instanceID,
+			"config", opts.clusterConfig, "instances", len(ring.Instances()),
+			"partitions_owned", ring.Partitions(opts.instanceID),
+			"partitions_total", ring.TotalPartitions())
+	}
+	// Restore precedes every source and sink construction: the adopted
+	// epoch must be in place before any component derives offsets from
+	// it, and the restored shards before any record commits.
+	if opts.restorePath != "" {
+		s.restoreFromFile(opts.restorePath)
+	}
 	if opts.outPath != "" {
 		f, empty, err := openAppend(opts.outPath)
 		if err != nil {
@@ -1114,7 +1171,7 @@ func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-cha
 		case err := <-errCh:
 			stopSource()
 			stopAux()
-			s.drain()
+			s.shutdownState()
 			return err
 		case now := <-tick:
 			ns := s.sweepNow(now)
@@ -1134,10 +1191,33 @@ func (s *service) serveLoop(errCh <-chan error, tick <-chan time.Time, sig <-cha
 			// reorder buffers. Then stop replay and the metrics endpoint.
 			stopSource()
 			stopAux()
-			s.drain()
+			s.shutdownState()
 			return nil
 		}
 	}
+}
+
+// shutdownState finishes the serving state after ingest has stopped:
+// with -snapshot it serializes the state for a warm restart or peer
+// handoff — deliberately NOT flushing the sessionizers or printing the
+// per-client summary, because those finalizations belong to whichever
+// instance ends each session, and emitting them here too would
+// double-count against the successor. Queued sink lines still flush
+// (they are already-committed records). Without -snapshot, or if the
+// write fails, the classic drain runs so a shutdown never silently
+// loses the summary.
+func (s *service) shutdownState() {
+	if s.opts.snapshotPath != "" {
+		clients, err := s.writeSnapshotFile(s.opts.snapshotPath)
+		if err == nil {
+			s.log.Info("state snapshot written", "path", s.opts.snapshotPath,
+				"clients", clients, "trigger", "shutdown")
+			s.stopSinkWriter()
+			return
+		}
+		s.log.Error("snapshot failed; draining instead", "path", s.opts.snapshotPath, "err", err)
+	}
+	s.drain()
 }
 
 // classifyBuckets are the histogram bounds for the classification-pass
@@ -1235,6 +1315,27 @@ func (s *service) registerMetrics() {
 		"Clients evicted after -client-ttl of idleness, final classification emitted.")
 	s.mContention = r.NewCounter("qoeproxy_ingest_contention_total",
 		"Ingest lock acquisitions that found their shard already held; a rising rate means -shards is too low.")
+	// Fleet-operation series: the instance identity, the partitions this
+	// member owns (summed across members they equal the ring total, so
+	// coverage is verifiable from scrapes alone) and the records skipped
+	// because the ring assigns their client elsewhere.
+	s.mSkipped = r.NewCounter("qoeproxy_cluster_clients_skipped_total",
+		"Transaction records skipped because the cluster ring assigns their client to another instance (0 standalone).")
+	r.NewGaugeFunc("qoeproxy_partitions_owned",
+		"Consistent-hash partitions (virtual ring points) this instance owns; the fleet-wide sum equals the ring's partition total exactly when coverage is 100% (0 standalone).", func() float64 {
+			if s.ring == nil {
+				return 0
+			}
+			return float64(s.ring.Partitions(s.instanceID))
+		})
+	mInstance := r.NewGaugeVecFunc("qoeproxy_instance_info",
+		"Identity of this daemon in the serving fleet; constant 1 with the instance id as a label.", "instance")
+	mInstance.Set(func() ([]string, []float64) {
+		if s.instanceID == "" {
+			return nil, nil
+		}
+		return []string{s.instanceID}, []float64{1}
+	})
 	s.mShardClassify = r.NewHistogram("qoeproxy_shard_classify_seconds",
 		"Per-shard latency of one classification pass: row gather under the shard lock plus the batched inference sweep outside it.", classifyBuckets)
 	// Per-source ingest counters, sampled from the primary source's
@@ -1348,6 +1449,35 @@ func (s *service) httpHandler() http.Handler {
 		w.WriteHeader(status)
 		json.NewEncoder(w).Encode(body)
 	})
+	mux.HandleFunc("/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		// Loopback-only like /admin/reload: serializing the serving state
+		// to disk is an operator action, not a scraper's.
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil || !isLoopbackHost(host) {
+			http.Error(w, "snapshot is loopback-only", http.StatusForbidden)
+			return
+		}
+		if s.opts.snapshotPath == "" {
+			http.Error(w, "no -snapshot path configured", http.StatusUnprocessableEntity)
+			return
+		}
+		clients, werr := s.writeSnapshotFile(s.opts.snapshotPath)
+		status := http.StatusOK
+		body := map[string]any{"path": s.opts.snapshotPath, "clients": clients}
+		if werr != nil {
+			status = http.StatusInternalServerError
+			body = map[string]any{"error": werr.Error()}
+		} else {
+			s.log.Info("state snapshot written", "path", s.opts.snapshotPath, "clients", clients, "trigger", "admin")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(body)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		st := s.proxy.Stats()
 		clients := s.clientCount()
@@ -1356,9 +1486,16 @@ func (s *service) httpHandler() http.Handler {
 		if degraded {
 			status = "degraded"
 		}
+		partitions := 0
+		if s.ring != nil {
+			partitions = s.ring.Partitions(s.instanceID)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
 			"status":              status,
+			"instance":            s.instanceID,
+			"partitions_owned":    partitions,
+			"clients_skipped":     s.mSkipped.Value(),
 			"uptime_seconds":      time.Since(s.epoch).Seconds(),
 			"active_connections":  st.ActiveConnections,
 			"total_connections":   st.TotalConnections,
@@ -1406,12 +1543,25 @@ func (s *service) state(sh *shard, client string) *clientState {
 	return cs
 }
 
+// owns reports whether this instance serves a client: always true for
+// a standalone daemon, the ring's verdict in a fleet. The filter lives
+// here in the callbacks — not in the sources — so skipped records
+// still advance the ingest watermark (the logical sweep clock): a
+// fleet member owning few clients of a replayed workload must still
+// see time pass, or its eviction and window cutoffs would stall.
+func (s *service) owns(client string) bool {
+	return s.ring == nil || s.ring.Owns(s.instanceID, client)
+}
+
 // onConnOpen records an in-flight connection so the sessionizer knows
 // not to advance past its start time until it completes.
 func (s *service) onConnOpen(r tlsproxy.Record) {
 	client := clientHost(r.ClientAddr)
 	start := r.Start.Sub(s.epoch).Seconds()
 	s.noteEventTime(start)
+	if !s.owns(client) {
+		return // counted once per record in the transaction callbacks
+	}
 	sh := s.shardFor(client)
 	s.lockIngest(sh)
 	defer sh.mu.Unlock()
@@ -1471,6 +1621,11 @@ func (s *service) debugTransaction(r tlsproxy.Record, client string) {
 // record order) run under it.
 func (s *service) onTransaction(r tlsproxy.Record) {
 	client := clientHost(r.ClientAddr)
+	if !s.owns(client) {
+		s.noteEventTime(r.End.Sub(s.epoch).Seconds())
+		s.mSkipped.Inc()
+		return
+	}
 	txn := tlsproxy.ToCaptureTransaction(r, s.epoch)
 	s.mTxns.Inc()
 	var outLine, squidLine string
@@ -1519,6 +1674,11 @@ func (s *service) onTransactionBatch(recs []tlsproxy.Record) {
 	epochUnix := float64(s.epoch.Unix())
 	for _, r := range recs {
 		client := clientHost(r.ClientAddr)
+		if !s.owns(client) {
+			s.noteEventTime(r.End.Sub(s.epoch).Seconds())
+			s.mSkipped.Inc()
+			continue
+		}
 		txn := tlsproxy.ToCaptureTransaction(r, s.epoch)
 		s.mTxns.Inc()
 		if s.out != nil {

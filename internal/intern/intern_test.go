@@ -172,6 +172,61 @@ func TestChurnBounded(t *testing.T) {
 	}
 }
 
+// TestRestoreWaveDoesNotResurrect pins the snapshot-restore contract:
+// a warm restart decodes thousands of client addresses from a snapshot
+// envelope and holds them in serving state, but those externally-held
+// copies must never re-enter or pin the interner — only live ingest
+// sightings do. Equal-valued strings held elsewhere must not keep
+// entries alive across rotations or count as prior sightings.
+func TestRestoreWaveDoesNotResurrect(t *testing.T) {
+	const perRound = 500
+	tab := NewTable()
+	buf := make([]byte, 0, 32)
+
+	// A pre-restart working set gets interned, then released by two
+	// rotations (the instance drained and its clients went quiet).
+	external := make([]string, 0, perRound)
+	for i := 0; i < perRound; i++ {
+		buf = fmt.Appendf(buf[:0], "restored-%d", i)
+		s, _ := tab.Bytes(buf)
+		// Simulate the restore path: a distinct, equal-valued copy held
+		// by the rebuilt serving state (JSON decode never returns the
+		// interner's canonical string).
+		external = append(external, string(append([]byte(nil), s...)))
+	}
+	tab.Rotate()
+	tab.Rotate()
+	if got := tab.Len(); got != 0 {
+		t.Fatalf("Len after release = %d, want 0; external copies pinned the table", got)
+	}
+
+	// Post-restore churn stays inside the two-generation bound even
+	// while the restored state keeps its copies alive.
+	peak := 0
+	for r := 0; r < 20; r++ {
+		for i := 0; i < perRound; i++ {
+			buf = fmt.Appendf(buf[:0], "churn-%d-%d", r, i)
+			tab.Bytes(buf)
+		}
+		if n := tab.Len(); n > peak {
+			peak = n
+		}
+		tab.Rotate()
+	}
+	if limit := 2 * perRound; peak > limit {
+		t.Fatalf("peak %d exceeds two-generation bound %d during restore-wave churn", peak, limit)
+	}
+
+	// When a restored client finally sends live traffic, its address is
+	// a fresh sighting — the released entry was not resurrected.
+	if _, added := tab.Bytes([]byte(external[0])); !added {
+		t.Fatal("released value resurfaced as a prior sighting; restore resurrected it")
+	}
+	if external[0] != "restored-0" {
+		t.Fatalf("external copy corrupted: %q", external[0])
+	}
+}
+
 // TestRotateConcurrent interleaves rotations with lookups under -race.
 func TestRotateConcurrent(t *testing.T) {
 	tab := NewTable()

@@ -1,0 +1,49 @@
+package sessionid
+
+import "sort"
+
+// StreamerState is the serializable form of a Streamer's mutable
+// state: the server set and the look-ahead buffer. Together with the
+// Params (which the owner configures, not the stream) it is everything
+// a warm restart needs — a streamer rebuilt from it continues the
+// stream with decisions bit-identical to one that never stopped, which
+// the snapshot/handoff path in cmd/qoeproxy relies on.
+type StreamerState struct {
+	// SeenHosts lists the server set in sorted order, so the same
+	// streamer state always serializes to the same bytes.
+	SeenHosts []string `json:"seen_hosts,omitempty"`
+	// Pending holds the buffered transactions whose look-ahead window is
+	// still open, in arrival order.
+	Pending []Transaction `json:"pending,omitempty"`
+}
+
+// State captures the streamer's mutable state for serialization. The
+// returned slices are fresh copies; the streamer can keep running.
+func (s *Streamer) State() StreamerState {
+	var st StreamerState
+	if len(s.seen) > 0 {
+		st.SeenHosts = make([]string, 0, len(s.seen))
+		for h := range s.seen {
+			st.SeenHosts = append(st.SeenHosts, h)
+		}
+		sort.Strings(st.SeenHosts)
+	}
+	if len(s.pending) > 0 {
+		st.Pending = append([]Transaction(nil), s.pending...)
+	}
+	return st
+}
+
+// RestoreStreamer rebuilds a streamer from a captured state. Pushing
+// the remainder of the stream into the result yields exactly the
+// decisions the original streamer would have emitted.
+func RestoreStreamer(p Params, st StreamerState) *Streamer {
+	s := NewStreamer(p)
+	for _, h := range st.SeenHosts {
+		s.seen[h] = true
+	}
+	if len(st.Pending) > 0 {
+		s.pending = append([]Transaction(nil), st.Pending...)
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package sessionid
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomStream builds a start-ordered stream with enough host reuse
+// and bursts to exercise both boundary outcomes.
+func randomStream(rng *rand.Rand, n int) []Transaction {
+	hosts := []string{"cdn.a.example", "cdn.b.example", "api.example", "img.example", "telemetry.example"}
+	var out []Transaction
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += rng.Float64() * 4 // sometimes inside the 3s window, sometimes past it
+		out = append(out, Transaction{Start: t, End: t + rng.Float64(), SNI: hosts[rng.Intn(len(hosts))]})
+	}
+	return out
+}
+
+// TestStreamerSnapshotRoundTrip cuts a stream at every position,
+// serializes the streamer state through JSON at the cut, and checks
+// the restored streamer finishes the stream with exactly the decisions
+// of a streamer that never stopped.
+func TestStreamerSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		stream := randomStream(rng, 40)
+
+		baseline := NewStreamer(PaperParams)
+		var want []Decision
+		for _, txn := range stream {
+			want = append(want, baseline.Push(txn)...)
+		}
+		want = append(want, baseline.Flush()...)
+
+		for cut := 0; cut <= len(stream); cut++ {
+			s := NewStreamer(PaperParams)
+			var got []Decision
+			for _, txn := range stream[:cut] {
+				got = append(got, s.Push(txn)...)
+			}
+
+			raw, err := json.Marshal(s.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st StreamerState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatal(err)
+			}
+			restored := RestoreStreamer(PaperParams, st)
+
+			if restored.Pending() != s.Pending() {
+				t.Fatalf("trial %d cut %d: restored pending %d, original %d", trial, cut, restored.Pending(), s.Pending())
+			}
+			for _, txn := range stream[cut:] {
+				got = append(got, restored.Push(txn)...)
+			}
+			got = append(got, restored.Flush()...)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d cut %d: decisions diverge after restore\n got %v\nwant %v", trial, cut, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamerStateDeterministic pins that the same streamer state
+// always serializes to the same bytes (the seen set must come out
+// sorted, not in map order).
+func TestStreamerStateDeterministic(t *testing.T) {
+	build := func() *Streamer {
+		s := NewStreamer(PaperParams)
+		for i := 0; i < 30; i++ {
+			s.Push(Transaction{Start: float64(i) * 2, SNI: fmt.Sprintf("host-%d.example", i%9)})
+		}
+		return s
+	}
+	a, err := json.Marshal(build().State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := json.Marshal(build().State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("state serialization not deterministic:\n%s\n%s", a, b)
+		}
+	}
+}
+
+// TestStreamerStateIsCopy verifies State detaches from the live
+// streamer: mutating the streamer afterwards must not reach into the
+// captured slices.
+func TestStreamerStateIsCopy(t *testing.T) {
+	s := NewStreamer(PaperParams)
+	s.Push(Transaction{Start: 0, SNI: "a.example"})
+	s.Push(Transaction{Start: 1, SNI: "b.example"})
+	st := s.State()
+	if len(st.Pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(st.Pending))
+	}
+	s.Push(Transaction{Start: 100, SNI: "c.example"}) // closes the window, rewrites s.pending in place
+	if st.Pending[0].SNI != "a.example" || st.Pending[1].SNI != "b.example" {
+		t.Errorf("captured pending mutated by later pushes: %+v", st.Pending)
+	}
+}

@@ -354,6 +354,31 @@ func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 // Reset empties the accumulator for reuse.
 func (r *Running) Reset() { *r = Running{} }
 
+// RunningState is the serializable form of a Running accumulator. Go's
+// JSON encoding round-trips float64 exactly (shortest-representation
+// formatting), so State → encode → decode → Restore reproduces the
+// accumulator bit for bit — which the warm-restart path in
+// cmd/qoeproxy depends on.
+type RunningState struct {
+	N    int64   `json:"n"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State captures the accumulator for serialization.
+func (r *Running) State() RunningState {
+	return RunningState{N: r.n, Min: r.min, Max: r.max, Sum: r.sum, Mean: r.mean, M2: r.m2}
+}
+
+// Restore overwrites the accumulator with a captured state; subsequent
+// Observes continue exactly where the captured accumulator left off.
+func (r *Running) Restore(st RunningState) {
+	r.n, r.min, r.max, r.sum, r.mean, r.m2 = st.N, st.Min, st.Max, st.Sum, st.Mean, st.M2
+}
+
 // Sparkline renders values as a compact unicode bar chart, for
 // terminal-friendly views of distributions. Empty input yields "".
 func Sparkline(values []float64) string {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -384,5 +385,46 @@ func TestRunningZeroAndReset(t *testing.T) {
 	r.Reset()
 	if r.N() != 0 || r.Min() != 0 || r.Max() != 0 || r.Sum() != 0 {
 		t.Errorf("Reset left state behind: %+v", r)
+	}
+}
+
+// TestRunningStateRoundTrip pins the warm-restart contract: State →
+// JSON → Restore reproduces the accumulator bit for bit, and further
+// Observes continue identically to the uninterrupted accumulator —
+// including awkward floats whose decimal forms are inexact.
+func TestRunningStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64()*4)
+	}
+	var whole Running
+	for _, x := range xs {
+		whole.Observe(x)
+	}
+	for _, cut := range []int{0, 1, 7, 100, 199, 200} {
+		var r Running
+		for _, x := range xs[:cut] {
+			r.Observe(x)
+		}
+		raw, err := json.Marshal(r.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st RunningState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		var back Running
+		back.Restore(st)
+		if back != r {
+			t.Fatalf("cut %d: restored %+v, want %+v", cut, back, r)
+		}
+		for _, x := range xs[cut:] {
+			back.Observe(x)
+		}
+		if back != whole {
+			t.Fatalf("cut %d: resumed accumulator %+v, uninterrupted %+v", cut, back, whole)
+		}
 	}
 }

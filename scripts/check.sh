@@ -18,7 +18,7 @@ echo "== go vet =="
 go vet ./...
 
 echo "== doc lint (operator-facing packages) =="
-go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled internal/ingest internal/netflow internal/pcap internal/intern internal/bytesconv
+go run ./scripts/doclint internal/sessionid internal/tlsproxy internal/squidlog internal/features internal/core internal/faultinject internal/ml/compiled internal/ingest internal/netflow internal/pcap internal/intern internal/bytesconv internal/cluster
 
 echo "== go test =="
 go test ./...
@@ -27,7 +27,7 @@ echo "== go test -race (concurrent packages, incl. faultinject chaos tests and q
 # -timeout 20m: the experiments paper-shape suite takes ~10 wall-clock
 # minutes under the race detector on a 1-core host, right at go test's
 # default timeout.
-go test -race -timeout 20m ./internal/ml/... ./internal/core ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./internal/intern ./internal/ingest ./cmd/qoeproxy
+go test -race -timeout 20m ./internal/ml/... ./internal/core ./internal/dataset ./internal/tlsproxy ./internal/metrics ./internal/experiments ./internal/features ./internal/faultinject ./internal/intern ./internal/ingest ./internal/cluster ./cmd/qoeproxy
 
 echo "== feature benchmarks (smoke) =="
 go test -run '^$' -bench Feature -benchtime 1x .
@@ -56,5 +56,13 @@ echo "== qoeload soak (replay a few hundred clients through the real service loo
 # run on every check; BENCH_load.json proper uses 10k+ clients.
 go run ./cmd/qoeload -clients 300 -pool 20 -ramp 10s -classify-every 200ms \
 	-settle 45s -out /tmp/qoeload-soak.json
+
+echo "== qoeload fleet soak (2-instance consistent-hash ring: exactly-once coverage, SIGTERM-with-snapshot) =="
+# Two daemons behind one ring, fed the identical workload: fails on any
+# overlap or gap in client ownership (owned sums must cover the stream
+# exactly once), a missing or unloadable shutdown snapshot, or an
+# unclean exit. ~10s on top of the daemon build cached above.
+go run ./cmd/qoeload -clients 300 -pool 20 -ramp 10s -classify-every 200ms \
+	-shapes "" -instances 2 -settle 45s -out /tmp/qoeload-fleet.json
 
 echo "All checks passed."

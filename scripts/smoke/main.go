@@ -50,6 +50,8 @@ var coreSeries = []string{
 	"qoeproxy_feature_extraction_seconds",
 	"qoeproxy_shard_classify_seconds",
 	"qoeproxy_ingest_contention_total",
+	"qoeproxy_cluster_clients_skipped_total",
+	"qoeproxy_partitions_owned",
 	"qoeproxy_feature_transactions_ingested_total",
 	"qoeproxy_ingest_source_records_total",
 	"qoeproxy_ingest_source_skipped_total",
